@@ -1,0 +1,14 @@
+"""Benchmark: inter-layer coupling DP vs. greedy mapping.
+
+An ablation of a DESIGN.md-called-out design choice (not a paper artifact).
+"""
+
+from repro.experiments import ablation_coupling as experiment
+
+
+def test_bench_ablation_coupling(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+
+    for row in result.rows:
+        assert row["dp_cycles"] <= row["greedy_cycles"]

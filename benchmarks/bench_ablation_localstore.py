@@ -1,0 +1,14 @@
+"""Benchmark: local-store capacity vs. broadcast traffic.
+
+An ablation of a DESIGN.md-called-out design choice (not a paper artifact).
+"""
+
+from repro.experiments import ablation_localstore as experiment
+
+
+def test_bench_ablation_localstore(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+
+    reads = [row["buffer_reads"] for row in result.rows]
+    assert all(a >= b for a, b in zip(reads, reads[1:]))

@@ -1,0 +1,15 @@
+"""Benchmark: style-restriction ablation (complementary parallelism).
+
+An ablation of a DESIGN.md-called-out design choice (not a paper artifact).
+"""
+
+from repro.experiments import ablation_styles as experiment
+
+
+def test_bench_ablation_styles(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+
+    for row in result.rows:
+        full = row["MFMNMS (FlexFlow)"]
+        assert all(v <= full + 1e-9 for k, v in row.items() if k != "workload" and k != "MFMNMS (FlexFlow)")

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Section 6.2.1: layout area of the four baselines.
+
+Times the experiment with pytest-benchmark and prints the paper-style
+rows; the assertions pin the paper's qualitative shape.
+"""
+
+from repro.experiments import area_table as experiment
+
+
+def test_bench_area(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+
+    for row in result.rows:
+        assert abs(row["area_mm2"] - row["paper_mm2"]) / row["paper_mm2"] < 0.05

@@ -1,0 +1,10 @@
+"""Benchmark: rectangular-array aspect-ratio study (extension)."""
+
+from repro.experiments import aspect_ratio_study as experiment
+
+
+def test_bench_aspect(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+    for row in result.rows:
+        assert row["gain"] >= 1.0 - 1e-9

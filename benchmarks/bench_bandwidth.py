@@ -1,0 +1,11 @@
+"""Benchmark: external-bandwidth requirement study (extension, not a
+paper artifact)."""
+
+from repro.experiments import bandwidth_study as experiment
+
+
+def test_bench_bandwidth(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+    for row in result.rows:
+        assert row["eff_at_1w"] <= row["eff_at_16w"]

@@ -1,0 +1,13 @@
+"""Benchmark: design-space exploration of the FlexFlow array scale
+(extension, not a paper artifact)."""
+
+from repro.experiments import dse_array_scale as experiment
+
+
+def test_bench_dse(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+    by_name = {row["workload"]: row for row in result.rows}
+    # Small nets peak at small scales; AlexNet/VGG keep scaling.
+    assert by_name["AlexNet"]["best_scale"] in ("32x32", "64x64")
+    assert by_name["PV"]["best_scale"] in ("8x8", "16x16")

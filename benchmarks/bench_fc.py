@@ -1,0 +1,10 @@
+"""Benchmark: FC-layer study (extension, not a paper artifact)."""
+
+from repro.experiments import fc_study as experiment
+
+
+def test_bench_fc(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+    for row in result.rows:
+        assert row["FlexFlow_util"] > 0.8

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 1: nominal vs. achievable performance on LeNet-5.
+
+Times the experiment with pytest-benchmark and prints the paper-style
+rows; the assertions pin the paper's qualitative shape.
+"""
+
+from repro.experiments import fig01_nominal_vs_achievable as experiment
+
+
+def test_bench_fig01(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+
+    rows = {r["architecture"]: r for r in result.rows}
+    assert rows["Tiling"]["achievable_fraction"] < 0.15
+    assert rows["FlexFlow"]["achievable_fraction"] > 0.8

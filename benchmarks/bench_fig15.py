@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 15: computing resource utilization, six workloads x four architectures.
+
+Times the experiment with pytest-benchmark and prints the paper-style
+rows; the assertions pin the paper's qualitative shape.
+"""
+
+from repro.experiments import fig15_utilization as experiment
+
+
+def test_bench_fig15(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+
+    for row in result.rows:
+        assert row["FlexFlow"] > 0.74

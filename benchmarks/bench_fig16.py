@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 16: performance (GOPS) and FlexFlow speedups.
+
+Times the experiment with pytest-benchmark and prints the paper-style
+rows; the assertions pin the paper's qualitative shape.
+"""
+
+from repro.experiments import fig16_performance as experiment
+
+
+def test_bench_fig16(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+
+    for row in result.rows:
+        assert row["FlexFlow_gops"] > 380

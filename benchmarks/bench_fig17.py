@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 17: data transmission volume.
+
+Times the experiment with pytest-benchmark and prints the paper-style
+rows; the assertions pin the paper's qualitative shape.
+"""
+
+from repro.experiments import fig17_data_volume as experiment
+
+
+def test_bench_fig17(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+
+    for row in result.rows:
+        assert row["FlexFlow_kb"] < row["Tiling_kb"]

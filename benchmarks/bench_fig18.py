@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 18: power efficiency, energy, and power.
+
+Times the experiment with pytest-benchmark and prints the paper-style
+rows; the assertions pin the paper's qualitative shape.
+"""
+
+from repro.experiments import fig18_power_energy as experiment
+
+
+def test_bench_fig18(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+
+    for row in result.rows:
+        assert row["eff_vs_tiling"] > 1.4

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 19: scalability (utilization / power / area) on AlexNet.
+
+Times the experiment with pytest-benchmark and prints the paper-style
+rows; the assertions pin the paper's qualitative shape.
+"""
+
+from repro.experiments import fig19_scalability as experiment
+
+
+def test_bench_fig19(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+
+    ff = [r for r in result.rows if r["architecture"] == "FlexFlow"]
+    assert min(r["utilization"] for r in ff) > 0.85

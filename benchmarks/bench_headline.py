@@ -1,0 +1,12 @@
+"""Benchmark: the abstract's headline claims, measured end to end."""
+
+from repro.experiments import headline_claims as experiment
+
+
+def test_bench_headline(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+    by_claim = {row["claim"]: row for row in result.rows}
+    measured = by_claim["performance speedup over baselines"]["measured"]
+    low = float(measured.split("x")[0])
+    assert low >= 1.0

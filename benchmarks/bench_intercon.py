@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Section 6.2.5: routing-network power share vs. scale.
+
+Times the experiment with pytest-benchmark and prints the paper-style
+rows; the assertions pin the paper's qualitative shape.
+"""
+
+from repro.experiments import interconnect_power as experiment
+
+
+def test_bench_intercon(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+
+    shares = [r["interconnect_share_pct"] for r in result.rows]
+    assert shares[0] > shares[-1]

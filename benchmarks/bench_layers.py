@@ -1,0 +1,12 @@
+"""Benchmark: per-layer utilization breakdown (extension)."""
+
+from repro.experiments import layer_breakdown as experiment
+
+
+def test_bench_layers(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+    for row in result.rows:
+        assert row["FlexFlow_util"] >= max(
+            row["Systolic_util"], row["2D-Mapping_util"], row["Tiling_util"]
+        ) - 1e-9

@@ -1,0 +1,10 @@
+"""Benchmark: the Section 1 motivation table (dominant parallelism flips)."""
+
+from repro.experiments import motivation as experiment
+
+
+def test_bench_motivation(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+    summaries = [r for r in result.rows if r["layer"] == "(summary)"]
+    assert len(summaries) == 6

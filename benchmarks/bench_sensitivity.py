@@ -1,0 +1,12 @@
+"""Benchmark: calibration-sensitivity sweep (robustness self-check)."""
+
+from repro.experiments import sensitivity as experiment
+
+
+def test_bench_sensitivity(benchmark, show):
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    show(result)
+    for row in result.rows:
+        assert row["best_utilization"]
+        assert row["best_efficiency"]
+        assert row["lowest_energy"]

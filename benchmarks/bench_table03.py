@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 3: cross-layer utilization of rigid architectures.
+
+Times the experiment with pytest-benchmark and prints the paper-style
+rows; the assertions pin the paper's qualitative shape.
+"""
+
+from repro.experiments import table03_utilization_mismatch as experiment
+
+
+def test_bench_table03(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+
+    assert len(result.rows) == 8  # 4 workloads x 2 directions

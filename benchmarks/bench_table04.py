@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 4: unrolling factors for the four small workloads.
+
+Times the experiment with pytest-benchmark and prints the paper-style
+rows; the assertions pin the paper's qualitative shape.
+"""
+
+from repro.experiments import table04_unrolling_factors as experiment
+
+
+def test_bench_table04(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+
+    assert len(result.rows) == 8
+    for row in result.rows:
+        assert 0 < row["ut"] <= 1.0

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 6: FlexFlow power breakdown by component.
+
+Times the experiment with pytest-benchmark and prints the paper-style
+rows; the assertions pin the paper's qualitative shape.
+"""
+
+from repro.experiments import table06_power_breakdown as experiment
+
+
+def test_bench_table06(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+
+    for row in result.rows:
+        assert row["P_com_pct"] > 79

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 7: comparison with DianNao and Eyeriss.
+
+Times the experiment with pytest-benchmark and prints the paper-style
+rows; the assertions pin the paper's qualitative shape.
+"""
+
+from repro.experiments import table07_accelerator_comparison as experiment
+
+
+def test_bench_table07(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+
+    ours = {r["accelerator"]: r for r in result.rows}["FlexFlow (ours)"]
+    assert float(ours["dram_acc_per_op"]) < 0.006

@@ -1,0 +1,12 @@
+"""Benchmark: functional-simulator verification sweep (self-check)."""
+
+from repro.experiments import verification as experiment
+
+
+def test_bench_verify(benchmark, show):
+    result = benchmark(experiment.run)
+    show(result)
+    for row in result.rows:
+        assert row["flexflow_ok"] and row["systolic_ok"]
+        assert row["mapping2d_ok"] and row["tiling_ok"]
+        assert row["ff_cycles"] == row["ff_cycles_predicted"]

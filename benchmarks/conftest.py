@@ -1,0 +1,19 @@
+"""Shared fixtures for the table/figure regeneration benchmarks.
+
+Each ``bench_*.py`` file times one experiment with pytest-benchmark and
+prints the regenerated paper-style table (run with ``-s`` to see it).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print an ExperimentResult table beneath the benchmark output."""
+
+    def _show(result):
+        print()
+        print(result.format_table())
+        return result
+
+    return _show

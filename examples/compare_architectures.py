@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Compare all four architectures on one workload — the paper's core story.
+
+Reproduces the Figure 15-18 comparison for a single workload: utilization,
+performance, data traffic, power, efficiency, and energy, side by side,
+plus FlexFlow's speedup/efficiency ratios.
+
+Usage::
+
+    python examples/compare_architectures.py [workload] [array_dim]
+"""
+
+import sys
+
+from repro import ArchConfig, get_workload, make_accelerator
+from repro.experiments.common import ARCH_LABELS, ARCH_ORDER
+from repro.metrics import (
+    efficiency_ratio_matrix,
+    speedup_matrix,
+    volume_ratio_matrix,
+)
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "AlexNet"
+    array_dim = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    network = get_workload(workload)
+    config = ArchConfig().scaled_to(array_dim)
+
+    results = {
+        kind: make_accelerator(
+            kind, config, workload_name=workload
+        ).simulate_network(network)
+        for kind in ARCH_ORDER
+    }
+
+    print(f"{workload} on {array_dim}x{array_dim}-PE-scale engines @ 1 GHz")
+    print()
+    header = (
+        f"{'architecture':<12} {'util':>6} {'GOPS':>8} {'traffic KB':>11}"
+        f" {'power mW':>9} {'GOPS/W':>7} {'energy uJ':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for kind in ARCH_ORDER:
+        r = results[kind]
+        traffic_kb = r.buffer_traffic_words * 2 / 1024
+        print(
+            f"{ARCH_LABELS[kind]:<12} {r.overall_utilization:6.2f}"
+            f" {r.gops:8.1f} {traffic_kb:11.1f} {r.power_mw:9.0f}"
+            f" {r.gops_per_watt:7.0f} {r.energy_uj:10.2f}"
+        )
+
+    print()
+    speedups = speedup_matrix(results)
+    ratios = efficiency_ratio_matrix(results)
+    volumes = volume_ratio_matrix(results)
+    print("FlexFlow vs. each baseline:")
+    for kind in ("systolic", "mapping2d", "tiling"):
+        print(
+            f"  vs {ARCH_LABELS[kind]:<12} {speedups[kind]:5.2f}x faster,"
+            f" {ratios[kind]:5.2f}x more efficient,"
+            f" {volumes[kind]:6.2f}x less data moved"
+        )
+
+
+if __name__ == "__main__":
+    main()

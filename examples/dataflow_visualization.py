@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Visualize the flexible dataflow: occupancy maps and address traces.
+
+Renders the paper's Figure 8 picture in ASCII — how the mapper's
+complementary parallelism tiles the PE array into logical groups for each
+layer — and shows a Figure 10/11-style local-store address trace with its
+INIT/INCR/HOLD/JUMP modes.
+
+Usage::
+
+    python examples/dataflow_visualization.py [workload] [array_dim]
+"""
+
+import sys
+
+from repro import get_workload, map_network
+from repro.arch import AddressGenerator
+from repro.dataflow import occupancy_map
+
+
+def show_occupancy(workload: str, array_dim: int) -> None:
+    network = get_workload(workload)
+    mapping = map_network(network, array_dim)
+    print(f"{workload} on a {array_dim}x{array_dim} array — logical grouping\n")
+    for lm in mapping.layers:
+        omap = occupancy_map(lm)
+        print(
+            f"{lm.layer.name}: {lm.factors.describe()}"
+            f"  ({omap.active_pes}/{omap.total_pes} PEs active,"
+            f" Ut={lm.utilization.ut:.2f})"
+        )
+        print(omap.render())
+        print()
+
+
+def show_address_trace() -> None:
+    print("Local-store address trace (Figure 10/11 machinery)")
+    print("Walking two neuron rows, window length 3, two windows per row,")
+    print("one HOLD reuse per window, row jump 10:\n")
+    gen = AddressGenerator(
+        base=0,
+        step=1,
+        window_len=3,
+        windows_per_row=2,
+        row_jump=10,
+        hold_repeats=1,
+    )
+    print(f"{'cycle':>5} {'address':>8} {'mode':>6}")
+    for entry in gen.generate(num_rows=2):
+        print(f"{entry.cycle:>5} {entry.address:>8} {entry.mode.value:>6}")
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "LeNet-5"
+    array_dim = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    show_occupancy(workload, array_dim)
+    show_address_trace()
+
+
+if __name__ == "__main__":
+    main()

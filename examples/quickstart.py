@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: map LeNet-5 onto FlexFlow and read the headline numbers.
+
+Runs the Section 5 compiler pass (parallelism determination), executes
+the network on the FlexFlow model, and prints per-layer unrolling
+factors, utilization, and the Figure 15/16-style summary.
+
+Usage::
+
+    python examples/quickstart.py [workload]
+
+where ``workload`` is one of PV, FR, LeNet-5, HG, AlexNet, VGG-11
+(default LeNet-5).
+"""
+
+import sys
+
+from repro import (
+    ArchConfig,
+    FlexFlowAccelerator,
+    compile_network,
+    get_workload,
+    map_network,
+    to_asm,
+)
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "LeNet-5"
+    network = get_workload(workload)
+    config = ArchConfig()  # the paper's 16x16 PE / 32 KB buffer setup
+
+    print(network.describe())
+    print()
+
+    # 1. Parallelism determination (Section 5): the joint DP mapper.
+    mapping = map_network(network, config.array_dim)
+    print(f"Unrolling factors on a {config.array_dim}x{config.array_dim} array:")
+    for lm in mapping.layers:
+        coupled = "coupled" if lm.coupled else "re-layout"
+        print(
+            f"  {lm.layer.name:<4} {lm.factors.describe():<42}"
+            f" Ur={lm.utilization.ur:.2f} Uc={lm.utilization.uc:.2f}"
+            f" Ut={lm.utilization.ut:.2f}  {lm.compute_cycles} cycles ({coupled})"
+        )
+    print(f"  overall utilization: {mapping.overall_utilization:.1%}")
+    print()
+
+    # 2. Execute on the accelerator model.
+    result = FlexFlowAccelerator(config).simulate_network(network)
+    report = result.power_report()
+    print(f"Execution on FlexFlow ({config.num_pes} PEs @ 1 GHz):")
+    print(f"  cycles:            {result.total_cycles:,}")
+    print(f"  performance:       {result.gops:.1f} GOPS"
+          f" (nominal {config.nominal_gops:.0f})")
+    print(f"  power:             {result.power_mw:.0f} mW")
+    print(f"  power efficiency:  {result.gops_per_watt:.0f} GOPS/W")
+    print(f"  energy:            {result.energy_uj:.2f} uJ")
+    print(f"  buffer traffic:    {result.buffer_traffic_words:,} words")
+    print(f"  DRAM accesses/op:  {result.dram_accesses_per_op:.4f}")
+    print()
+
+    # 3. The generated configuration program (Section 5's assembly).
+    program = compile_network(network, config.array_dim, mapping=mapping)
+    print("Generated configuration program:")
+    for line in to_asm(program).splitlines():
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

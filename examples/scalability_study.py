@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The Figure 19 scalability study, runnable on any workload.
+
+Sweeps the PE array from 8x8 to 64x64 and prints utilization, power, and
+area for all four architectures — the paper's argument that only FlexFlow
+keeps its utilization as the engine grows.
+
+Usage::
+
+    python examples/scalability_study.py [workload]
+"""
+
+import sys
+
+from repro.experiments.common import ARCH_LABELS, ARCH_ORDER
+from repro.metrics import scalability_sweep, utilization_sensitivity
+from repro.nn import get_workload
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "AlexNet"
+    network = get_workload(workload)
+    scales = (8, 16, 32, 64)
+    points = scalability_sweep(network, scales=scales)
+    by_key = {(p.kind, p.array_dim): p for p in points}
+
+    print(f"Scalability of the four architectures on {workload}")
+    print()
+    print("Utilization vs. scale:")
+    header = f"{'scale':<8}" + "".join(
+        f"{ARCH_LABELS[k]:>12}" for k in ARCH_ORDER
+    )
+    print(header)
+    for dim in scales:
+        row = f"{dim}x{dim:<5}"
+        for kind in ARCH_ORDER:
+            row += f"{by_key[(kind, dim)].utilization:12.2f}"
+        print(row)
+    print()
+
+    print("Area (mm^2) vs. scale:")
+    print(header)
+    for dim in scales:
+        row = f"{dim}x{dim:<5}"
+        for kind in ARCH_ORDER:
+            row += f"{by_key[(kind, dim)].area_mm2:12.2f}"
+        print(row)
+    print()
+
+    print("Power (mW) vs. scale:")
+    print(header)
+    for dim in scales:
+        row = f"{dim}x{dim:<5}"
+        for kind in ARCH_ORDER:
+            row += f"{by_key[(kind, dim)].power_mw:12.0f}"
+        print(row)
+    print()
+
+    print("Utilization drop from 8x8 to 64x64 (lower = more scalable):")
+    for kind in ARCH_ORDER:
+        drop = utilization_sensitivity(points, kind)
+        print(f"  {ARCH_LABELS[kind]:<12} {drop:+.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Batched-inference throughput with double-buffered DMA.
+
+The ping-pong neuron buffers let the next image's loads overlap the
+current image's compute.  This study compiles a workload, executes it at
+several external bandwidths and batch sizes, and shows where throughput
+saturates — the deployment question behind the paper's 1-image numbers.
+
+Usage::
+
+    python examples/throughput_study.py [workload]
+"""
+
+import sys
+
+from repro import ArchConfig, compile_network, get_workload
+from repro.compiler import ProgramExecutor
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "LeNet-5"
+    network = get_workload(workload)
+    config = ArchConfig()
+    program = compile_network(network, config.array_dim)
+    conv_ops = sum(layer.ops for layer in network.conv_layers)
+
+    print(f"{workload}: batched throughput with double-buffered DMA\n")
+    print(
+        f"{'bandwidth':>10} {'batch':>6} {'cyc/inf':>10} {'GOPS':>8}"
+        f" {'overlap gain':>13}"
+    )
+    for words_per_cycle in (1, 2, 4, 8, 16):
+        executor = ProgramExecutor(config, dma_words_per_cycle=words_per_cycle)
+        for batch in (1, 4, 64):
+            report = executor.execute_batch(program, batch)
+            cycles_per_inf = report.cycles_per_inference
+            gops = conv_ops / cycles_per_inf  # ops per ns at 1 GHz = GOPS
+            print(
+                f"{words_per_cycle:>8} w {batch:>6} {cycles_per_inf:>10.0f}"
+                f" {gops:>8.1f} {report.speedup_over_serial:>12.2f}x"
+            )
+        print()
+    print(
+        "Once bandwidth covers the steady-state DMA, batching hides the"
+        " remaining load latency and throughput approaches the compute"
+        " bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

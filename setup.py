@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP 660 editable installs; in
+offline environments without it, ``python setup.py develop`` installs the
+package in editable mode using only setuptools.  Configuration lives in
+``pyproject.toml``; this file adds nothing beyond the entry point.
+"""
+
+from setuptools import setup
+
+setup()

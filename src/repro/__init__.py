@@ -1,0 +1,130 @@
+"""FlexFlow (HPCA 2017) reproduction: a flexible-dataflow CNN accelerator
+architecture library.
+
+The package implements the paper's complete system in Python:
+
+* :mod:`repro.nn` — CNN workload substrate (layer specs, the six Table 1
+  workloads, NumPy golden model);
+* :mod:`repro.arch` — hardware substrate (65 nm technology model, buffers,
+  local stores with the Figure 11 addressing FSM, interconnect, area and
+  power models);
+* :mod:`repro.dataflow` — the paper's core contribution: unrolling
+  factors, the eight processing styles, Eq. 2/3 utilization, the Section 5
+  parallelism-determination mapper, logical PE grouping, IADP/IPDR;
+* :mod:`repro.accelerators` — analytical models of Systolic, 2D-Mapping,
+  Tiling, and FlexFlow;
+* :mod:`repro.sim` — functional cycle-level simulators validated against
+  the golden model;
+* :mod:`repro.compiler` — the configuration compiler and assembler;
+* :mod:`repro.metrics` / :mod:`repro.experiments` — every evaluation
+  table and figure, regenerated.
+
+Quick start::
+
+    from repro import FlexFlowAccelerator, get_workload
+
+    result = FlexFlowAccelerator().simulate_network(get_workload("LeNet-5"))
+    print(result.gops, result.overall_utilization)
+"""
+
+from repro.accelerators import (
+    Accelerator,
+    FlexFlowAccelerator,
+    LayerResult,
+    Mapping2DAccelerator,
+    NetworkResult,
+    SystolicAccelerator,
+    TilingAccelerator,
+    make_accelerator,
+)
+from repro.arch import ArchConfig, DEFAULT_CONFIG, TSMC65, TechnologyModel
+from repro.compiler import Program, compile_network, parse_asm, to_asm
+from repro.dataflow import (
+    LayerMapping,
+    NetworkMapping,
+    ProcessingStyle,
+    UnrollingFactors,
+    map_layer,
+    map_network,
+)
+from repro.errors import (
+    CapacityError,
+    CompilationError,
+    ConfigurationError,
+    MappingError,
+    ReproError,
+    SimulationError,
+    SpecificationError,
+)
+from repro.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.nn import (
+    ConvLayer,
+    FCLayer,
+    InputSpec,
+    Network,
+    PoolLayer,
+    all_workloads,
+    get_workload,
+)
+from repro.sim import (
+    FlexFlowFunctionalSim,
+    Mapping2DFunctionalSim,
+    SystolicFunctionalSim,
+    TilingFunctionalSim,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # accelerators
+    "Accelerator",
+    "FlexFlowAccelerator",
+    "SystolicAccelerator",
+    "Mapping2DAccelerator",
+    "TilingAccelerator",
+    "make_accelerator",
+    "LayerResult",
+    "NetworkResult",
+    # arch
+    "ArchConfig",
+    "DEFAULT_CONFIG",
+    "TechnologyModel",
+    "TSMC65",
+    # compiler
+    "Program",
+    "compile_network",
+    "to_asm",
+    "parse_asm",
+    # dataflow
+    "UnrollingFactors",
+    "ProcessingStyle",
+    "LayerMapping",
+    "NetworkMapping",
+    "map_layer",
+    "map_network",
+    # errors
+    "ReproError",
+    "SpecificationError",
+    "MappingError",
+    "SimulationError",
+    "CapacityError",
+    "CompilationError",
+    "ConfigurationError",
+    # experiments
+    "ALL_EXPERIMENTS",
+    "run_experiment",
+    # nn
+    "ConvLayer",
+    "PoolLayer",
+    "FCLayer",
+    "InputSpec",
+    "Network",
+    "get_workload",
+    "all_workloads",
+    # sim
+    "FlexFlowFunctionalSim",
+    "SystolicFunctionalSim",
+    "Mapping2DFunctionalSim",
+    "TilingFunctionalSim",
+]

@@ -1,0 +1,55 @@
+"""The four architecture models: Systolic, 2D-Mapping, Tiling, FlexFlow."""
+
+from typing import Optional
+
+from repro.accelerators.base import (
+    Accelerator,
+    LayerResult,
+    NetworkResult,
+    dram_words_with_reload,
+)
+from repro.accelerators.flexflow import FlexFlowAccelerator
+from repro.accelerators.mapping2d import Mapping2DAccelerator
+from repro.accelerators.rowstationary import RowStationaryAccelerator
+from repro.accelerators.systolic import SystolicAccelerator
+from repro.accelerators.tiling import TilingAccelerator
+from repro.arch.config import ArchConfig
+from repro.errors import ConfigurationError
+
+
+def make_accelerator(
+    kind: str, config: Optional[ArchConfig] = None, *, workload_name: str = ""
+) -> Accelerator:
+    """Factory over the four architecture kinds.
+
+    ``workload_name`` lets the systolic baseline pick the paper's
+    per-workload array size (11 for AlexNet, 6 otherwise).
+    """
+    if kind == "systolic":
+        return SystolicAccelerator.for_workload(workload_name, config)
+    if kind == "mapping2d":
+        return Mapping2DAccelerator(config)
+    if kind == "tiling":
+        return TilingAccelerator(config)
+    if kind == "flexflow":
+        return FlexFlowAccelerator(config)
+    if kind == "rowstationary":
+        return RowStationaryAccelerator(config)
+    raise ConfigurationError(
+        f"unknown architecture kind {kind!r}; known: systolic, mapping2d,"
+        f" tiling, flexflow, rowstationary"
+    )
+
+
+__all__ = [
+    "Accelerator",
+    "LayerResult",
+    "NetworkResult",
+    "dram_words_with_reload",
+    "SystolicAccelerator",
+    "RowStationaryAccelerator",
+    "Mapping2DAccelerator",
+    "TilingAccelerator",
+    "FlexFlowAccelerator",
+    "make_accelerator",
+]

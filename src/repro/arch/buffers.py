@@ -1,0 +1,151 @@
+"""Banked on-chip buffers (DataFlow3's D-banked neuron/kernel buffers).
+
+FlexFlow has three on-chip buffers — two neuron buffers (input/output
+ping-pong) and one kernel buffer — each split into ``D`` banks so ``D``
+words can feed the PE array's ``D`` columns (or row-groups) per cycle
+(Section 4.5, Figures 12-13).  IADP pre-arranges data across groups /
+subgroups / banks so those ``D`` reads never conflict.
+
+:class:`BankedBuffer` is the storage model: capacity-checked banks with
+per-bank access counters and conflict detection for same-cycle reads.
+The IADP *placement functions* that decide which bank a datum lives in
+are in :mod:`repro.dataflow.placement`; this module only models storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import CapacityError, SimulationError
+
+
+@dataclass(frozen=True)
+class BufferAccessStats:
+    """Aggregate access counts for one buffer."""
+
+    reads: int
+    writes: int
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+class BankedBuffer:
+    """An on-chip SRAM buffer divided into equal banks.
+
+    Addresses are (bank, offset) pairs.  A *cycle read* may touch each bank
+    at most once — a second read of the same bank in one cycle is a bank
+    conflict and raises :class:`SimulationError`, which is exactly the
+    congestion IADP exists to prevent.
+    """
+
+    def __init__(self, capacity_bytes: int, banks: int, word_bytes: int = 2,
+                 name: str = "buffer") -> None:
+        if capacity_bytes <= 0:
+            raise CapacityError(f"{name}: capacity must be positive")
+        if banks <= 0:
+            raise CapacityError(f"{name}: bank count must be positive")
+        if word_bytes <= 0:
+            raise CapacityError(f"{name}: word size must be positive")
+        total_words = capacity_bytes // word_bytes
+        if total_words < banks:
+            raise CapacityError(
+                f"{name}: {capacity_bytes} B is too small for {banks} banks"
+            )
+        self.name = name
+        self.banks = banks
+        self.word_bytes = word_bytes
+        self.capacity_bytes = capacity_bytes
+        self.words_per_bank = total_words // banks
+        self._data: List[Dict[int, float]] = [{} for _ in range(banks)]
+        self.reads = 0
+        self.writes = 0
+
+    # -- single-word access -------------------------------------------------
+
+    def write(self, bank: int, offset: int, value: float) -> None:
+        self._check(bank, offset)
+        self._data[bank][offset] = value
+        self.writes += 1
+
+    def read(self, bank: int, offset: int) -> float:
+        self._check(bank, offset)
+        if offset not in self._data[bank]:
+            raise SimulationError(
+                f"{self.name}: read of unwritten word (bank {bank}, offset"
+                f" {offset})"
+            )
+        self.reads += 1
+        return self._data[bank][offset]
+
+    # -- cycle-wide access ----------------------------------------------------
+
+    def read_cycle(self, requests: Sequence[Tuple[int, int]]) -> List[float]:
+        """Read several words in one cycle, enforcing one access per bank.
+
+        Args:
+            requests: (bank, offset) pairs for this cycle.
+
+        Raises:
+            SimulationError: if two requests hit the same bank (conflict).
+        """
+        seen_banks = set()
+        for bank, _offset in requests:
+            if bank in seen_banks:
+                raise SimulationError(
+                    f"{self.name}: bank conflict on bank {bank} within one cycle"
+                )
+            seen_banks.add(bank)
+        return [self.read(bank, offset) for bank, offset in requests]
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def stats(self) -> BufferAccessStats:
+        return BufferAccessStats(reads=self.reads, writes=self.writes)
+
+    def occupancy_words(self) -> int:
+        return sum(len(bank) for bank in self._data)
+
+    def clear(self) -> None:
+        """Drop contents (ping-pong swap); access counters are preserved."""
+        for bank in self._data:
+            bank.clear()
+
+    def _check(self, bank: int, offset: int) -> None:
+        if not 0 <= bank < self.banks:
+            raise CapacityError(
+                f"{self.name}: bank {bank} outside {self.banks} banks"
+            )
+        if not 0 <= offset < self.words_per_bank:
+            raise CapacityError(
+                f"{self.name}: offset {offset} outside bank capacity"
+                f" {self.words_per_bank}"
+            )
+
+
+class BufferSet:
+    """FlexFlow's three on-chip buffers as one unit.
+
+    ``neuron_in`` and ``neuron_out`` ping-pong between layers (the results
+    of one layer are written in the *next* layer's IADP format, Section
+    4.5); :meth:`swap` exchanges them at a layer boundary.
+    """
+
+    def __init__(self, neuron_bytes: int, kernel_bytes: int, banks: int,
+                 word_bytes: int = 2) -> None:
+        self.neuron_in = BankedBuffer(neuron_bytes, banks, word_bytes, "neuron-in")
+        self.neuron_out = BankedBuffer(neuron_bytes, banks, word_bytes, "neuron-out")
+        self.kernel = BankedBuffer(kernel_bytes, banks, word_bytes, "kernel")
+
+    def swap(self) -> None:
+        """Ping-pong the two neuron buffers at a layer boundary."""
+        self.neuron_in, self.neuron_out = self.neuron_out, self.neuron_in
+        self.neuron_out.clear()
+
+    def total_reads(self) -> int:
+        return self.neuron_in.reads + self.neuron_out.reads + self.kernel.reads
+
+    def total_writes(self) -> int:
+        return self.neuron_in.writes + self.neuron_out.writes + self.kernel.writes

@@ -1,0 +1,237 @@
+"""Per-PE local stores and the Figure 11 address-generation FSM.
+
+FlexFlow's key micro-architectural change (Section 4.1) is replacing the
+neighbour-to-neighbour FIFOs of prior designs with two *randomly accessed*
+local stores per PE — one for neurons, one for synapses — filled over the
+vertical/horizontal common data buses.  DataFlow2 (Section 4.4) reads them
+with a tiny four-mode address generator:
+
+* ``M0 INIT`` — reset the address for a new computation,
+* ``M1 INCR`` — increase the address by a fixed step,
+* ``M2 HOLD`` — keep the current address (data reuse within a window),
+* ``M3 JUMP`` — jump to the next neuron row.
+
+The modes are sequenced by the four-state FSM of Figure 11: the FSM enters
+``S0`` when a new computation starts, stays in ``S1`` while a computing
+window (of length ``Ti``) is in progress, visits ``S2`` when a window
+completes, and ``S3`` when a whole neuron row completes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import CapacityError, SimulationError
+
+
+class AddressingMode(enum.Enum):
+    """The four reading addressing modes of Section 4.4."""
+
+    INIT = "M0"
+    INCR = "M1"
+    HOLD = "M2"
+    JUMP = "M3"
+
+
+class FSMState(enum.Enum):
+    """States of the Figure 11 control FSM, one per addressing mode."""
+
+    S0 = AddressingMode.INIT
+    S1 = AddressingMode.INCR
+    S2 = AddressingMode.HOLD
+    S3 = AddressingMode.JUMP
+
+    @property
+    def mode(self) -> AddressingMode:
+        return self.value
+
+
+class ControlFSM:
+    """The Figure 11 four-state FSM sequencing local-store addressing.
+
+    Transition rules (paper text): the FSM jumps to ``S0`` when a new
+    computation starts; once one computing window (length ``Ti``) is
+    completed it jumps to ``S2``, otherwise it stays in ``S1``; it
+    transitions to ``S3`` when one neuron row is completed.  ``S2`` and
+    ``S3`` return to ``S1`` on the next step unless another boundary event
+    fires immediately.
+    """
+
+    def __init__(self) -> None:
+        self.state = FSMState.S0
+
+    def start(self) -> FSMState:
+        """A new computation starts: enter ``S0`` (mode INIT)."""
+        self.state = FSMState.S0
+        return self.state
+
+    def step(self, *, window_done: bool = False, row_done: bool = False) -> FSMState:
+        """Advance one cycle given the boundary events observed this cycle.
+
+        ``row_done`` takes precedence over ``window_done`` (a row boundary
+        is also a window boundary).
+        """
+        if row_done:
+            self.state = FSMState.S3
+        elif window_done:
+            self.state = FSMState.S2
+        else:
+            self.state = FSMState.S1
+        return self.state
+
+    @property
+    def mode(self) -> AddressingMode:
+        return self.state.mode
+
+
+@dataclass
+class AddressTrace:
+    """One cycle of an address stream with its classified mode."""
+
+    cycle: int
+    address: int
+    mode: AddressingMode
+
+
+class AddressGenerator:
+    """Generates the local-store read-address stream for one PE.
+
+    Parameters follow Section 4.4: the stream is "regulated by four
+    parameters: feature map size S, kernel size K, the counter step (Tc)
+    and the current PE location within its group".  In this generic form
+    the generator walks windows of ``window_len`` addresses with stride
+    ``step`` inside the window, applies ``hold_repeats`` reuses of each
+    window (HOLD cycles), and jumps by ``row_jump`` at row boundaries every
+    ``windows_per_row`` windows.
+
+    The generator also drives a :class:`ControlFSM` so the emitted mode
+    sequence is exactly the Figure 11 machine's output; tests validate both
+    the addresses and the mode stream.
+    """
+
+    def __init__(
+        self,
+        *,
+        base: int,
+        step: int,
+        window_len: int,
+        windows_per_row: int,
+        row_jump: int,
+        hold_repeats: int = 0,
+    ) -> None:
+        if window_len <= 0 or windows_per_row <= 0:
+            raise SimulationError("window_len and windows_per_row must be positive")
+        if step < 0 or hold_repeats < 0:
+            raise SimulationError("step and hold_repeats cannot be negative")
+        self.base = base
+        self.step = step
+        self.window_len = window_len
+        self.windows_per_row = windows_per_row
+        self.row_jump = row_jump
+        self.hold_repeats = hold_repeats
+        self.fsm = ControlFSM()
+
+    def generate(self, num_rows: int) -> List[AddressTrace]:
+        """The full address/mode stream for ``num_rows`` neuron rows."""
+        if num_rows <= 0:
+            raise SimulationError("num_rows must be positive")
+        trace: List[AddressTrace] = []
+        cycle = 0
+        address = self.base
+        row_base = self.base
+        self.fsm.start()
+        trace.append(AddressTrace(cycle, address, self.fsm.mode))
+        cycle += 1
+        for row in range(num_rows):
+            for window in range(self.windows_per_row):
+                for repeat in range(self.hold_repeats + 1):
+                    for pos in range(self.window_len):
+                        if row == 0 and window == 0 and repeat == 0 and pos == 0:
+                            continue  # emitted by start() above
+                        window_end = pos == self.window_len - 1
+                        row_end = (
+                            window_end
+                            and window == self.windows_per_row - 1
+                            and repeat == self.hold_repeats
+                        )
+                        if pos == 0 and repeat > 0:
+                            # Reuse the window: rewind without re-reading
+                            # sequentially — a HOLD of the window base.
+                            address = row_base + window * self.window_len * self.step
+                            state = self.fsm.step(window_done=False, row_done=False)
+                            trace.append(AddressTrace(cycle, address, AddressingMode.HOLD))
+                        else:
+                            address += self.step
+                            state = self.fsm.step(
+                                window_done=window_end and not row_end,
+                                row_done=row_end and row < num_rows - 1,
+                            )
+                            trace.append(AddressTrace(cycle, address, state.mode))
+                        cycle += 1
+            row_base += self.row_jump
+            address = row_base - self.step  # next INCR lands on the row base
+        return trace
+
+
+class LocalStore:
+    """A capacity-checked, randomly addressable per-PE store.
+
+    Reads of never-written addresses raise :class:`SimulationError` — in
+    hardware that would be consuming garbage, and the functional simulator
+    treats it as a mapping bug.  Writes use the auto-increment mode of
+    Section 4.4 via :meth:`push`, or explicit addresses via :meth:`write`.
+    Access counters feed the power model.
+    """
+
+    def __init__(self, capacity_words: int, name: str = "store") -> None:
+        if capacity_words <= 0:
+            raise CapacityError(f"{name}: capacity must be positive")
+        self.name = name
+        self.capacity_words = capacity_words
+        self._data: Dict[int, float] = {}
+        self._write_ptr = 0
+        self.reads = 0
+        self.writes = 0
+
+    def write(self, address: int, value: float) -> None:
+        self._check_address(address)
+        self._data[address] = value
+        self.writes += 1
+
+    def push(self, value: float) -> int:
+        """Auto-increment write (the Section 4.4 writing mode).
+
+        Returns the address written.  Wraps at capacity, as a circular
+        refill of the store.
+        """
+        address = self._write_ptr
+        self.write(address, value)
+        self._write_ptr = (self._write_ptr + 1) % self.capacity_words
+        return address
+
+    def read(self, address: int) -> float:
+        self._check_address(address)
+        if address not in self._data:
+            raise SimulationError(
+                f"{self.name}: read of unwritten address {address}"
+            )
+        self.reads += 1
+        return self._data[address]
+
+    def reset(self) -> None:
+        """Clear contents and the write pointer (counters are preserved)."""
+        self._data.clear()
+        self._write_ptr = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._data)
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.capacity_words:
+            raise CapacityError(
+                f"{self.name}: address {address} outside capacity"
+                f" {self.capacity_words}"
+            )

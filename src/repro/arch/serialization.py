@@ -1,0 +1,71 @@
+"""Config serialization: ArchConfig / TechnologyModel <-> plain dicts.
+
+Experiments are only reproducible if their configurations are; these
+helpers round-trip both config dataclasses through JSON-compatible dicts
+(used by the CLI's ``--config`` option and by anyone logging sweeps).
+Unknown keys are rejected rather than ignored — a typo'd field name must
+not silently fall back to a default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+from repro.arch.config import ArchConfig
+from repro.arch.technology import TechnologyModel
+from repro.errors import ConfigurationError
+
+
+def technology_to_dict(tech: TechnologyModel) -> Dict[str, Any]:
+    """TechnologyModel as a JSON-compatible dict."""
+    return dataclasses.asdict(tech)
+
+
+def technology_from_dict(data: Dict[str, Any]) -> TechnologyModel:
+    """Rebuild a TechnologyModel, rejecting unknown fields."""
+    known = {f.name for f in dataclasses.fields(TechnologyModel)}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown TechnologyModel fields: {', '.join(sorted(unknown))}"
+        )
+    return TechnologyModel(**data)
+
+
+def config_to_dict(config: ArchConfig) -> Dict[str, Any]:
+    """ArchConfig as a JSON-compatible dict (technology nested)."""
+    data = dataclasses.asdict(config)
+    data["technology"] = technology_to_dict(config.technology)
+    return data
+
+
+def config_from_dict(data: Dict[str, Any]) -> ArchConfig:
+    """Rebuild an ArchConfig, rejecting unknown fields."""
+    known = {f.name for f in dataclasses.fields(ArchConfig)}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown ArchConfig fields: {', '.join(sorted(unknown))}"
+        )
+    payload = dict(data)
+    if "technology" in payload:
+        payload["technology"] = technology_from_dict(payload["technology"])
+    return ArchConfig(**payload)
+
+
+def config_to_json(config: ArchConfig, *, indent: int = 2) -> str:
+    """ArchConfig as a JSON string."""
+    return json.dumps(config_to_dict(config), indent=indent, sort_keys=True)
+
+
+def config_from_json(text: str) -> ArchConfig:
+    """Parse an ArchConfig from JSON text."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid config JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigurationError("config JSON must be an object")
+    return config_from_dict(data)

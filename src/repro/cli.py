@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``workloads`` — list the Table 1 workloads with their compute stats;
+* ``describe <workload>`` — print a workload's layer chain;
+* ``map <workload>`` — run the Section 5 mapper and print the factors;
+* ``run <workload>`` — simulate on one (or all) architectures;
+* ``compile <workload>`` — emit the FlexFlow configuration assembly;
+* ``experiment <id> | all`` — regenerate paper tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.accelerators import make_accelerator
+from repro.arch.config import ArchConfig
+from repro.compiler import ProgramExecutor, compile_network, to_asm
+from repro.dataflow import map_network
+from repro.errors import ReproError
+from repro.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.experiments.common import ARCH_LABELS, ARCH_ORDER
+from repro.nn import WORKLOAD_NAMES, all_workloads, get_workload, parse_network
+from repro.nn.network import Network
+
+
+def _resolve_workload(spec: str) -> Network:
+    """A Table 1 workload name, or a path to a network-description file."""
+    if spec in WORKLOAD_NAMES:
+        return get_workload(spec)
+    import os
+
+    if os.path.exists(spec):
+        with open(spec, encoding="utf-8") as handle:
+            return parse_network(handle.read())
+    from repro.errors import SpecificationError
+
+    raise SpecificationError(
+        f"{spec!r} is neither a known workload"
+        f" ({', '.join(WORKLOAD_NAMES)}) nor an existing description file"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FlexFlow (HPCA 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the Table 1 workloads")
+
+    workload_help = (
+        "a Table 1 workload name or a path to a .net network description"
+    )
+
+    describe = sub.add_parser("describe", help="print a workload's layers")
+    describe.add_argument("workload", help=workload_help)
+
+    map_cmd = sub.add_parser("map", help="run the parallelism-determination mapper")
+    map_cmd.add_argument("workload", help=workload_help)
+    map_cmd.add_argument("--dim", type=int, default=16, help="PE array dimension D")
+
+    run_cmd = sub.add_parser("run", help="simulate a workload on an architecture")
+    run_cmd.add_argument("workload", help=workload_help)
+    run_cmd.add_argument(
+        "--arch",
+        choices=list(ARCH_ORDER) + ["all"],
+        default="flexflow",
+    )
+    run_cmd.add_argument("--dim", type=int, default=16)
+
+    compile_cmd = sub.add_parser("compile", help="emit configuration assembly")
+    compile_cmd.add_argument("workload", help=workload_help)
+    compile_cmd.add_argument("--dim", type=int, default=16)
+    compile_cmd.add_argument(
+        "--execute", action="store_true", help="also interpret the program"
+    )
+
+    experiment = sub.add_parser("experiment", help="regenerate paper artifacts")
+    experiment.add_argument(
+        "experiment_id", choices=list(ALL_EXPERIMENTS) + ["all"]
+    )
+
+    report = sub.add_parser(
+        "report", help="write a Markdown report of all experiments"
+    )
+    report.add_argument(
+        "-o", "--output", default="-", help="output file ('-' for stdout)"
+    )
+    return parser
+
+
+def _cmd_workloads() -> int:
+    print(f"{'workload':<10} {'CONV layers':>11} {'total MACs':>14} {'conv share':>11}")
+    for network in all_workloads():
+        print(
+            f"{network.name:<10} {len(network.conv_layers):>11}"
+            f" {network.total_macs:>14,} {network.conv_fraction():>10.1%}"
+        )
+    return 0
+
+
+def _cmd_describe(workload: str) -> int:
+    print(_resolve_workload(workload).describe())
+    return 0
+
+
+def _cmd_map(workload: str, dim: int) -> int:
+    network = _resolve_workload(workload)
+    mapping = map_network(network, dim)
+    print(f"{network.name} on a {dim}x{dim} convolutional unit:")
+    for lm in mapping.layers:
+        print(
+            f"  {lm.layer.name:<5} {lm.factors.describe():<44}"
+            f" Ut={lm.utilization.ut:.3f}"
+            f" cycles={lm.compute_cycles}"
+            f"{'' if lm.coupled else ' (+re-layout)'}"
+        )
+    print(f"overall utilization: {mapping.overall_utilization:.1%}")
+    return 0
+
+
+def _cmd_run(workload: str, arch: str, dim: int) -> int:
+    config = ArchConfig().scaled_to(dim)
+    kinds = list(ARCH_ORDER) if arch == "all" else [arch]
+    network = _resolve_workload(workload)
+    header = (
+        f"{'architecture':<12} {'util':>6} {'GOPS':>8} {'mW':>7}"
+        f" {'GOPS/W':>7} {'uJ':>9}"
+    )
+    print(header)
+    for kind in kinds:
+        acc = make_accelerator(kind, config, workload_name=network.name)
+        result = acc.simulate_network(network)
+        print(
+            f"{ARCH_LABELS[kind]:<12} {result.overall_utilization:6.2f}"
+            f" {result.gops:8.1f} {result.power_mw:7.0f}"
+            f" {result.gops_per_watt:7.0f} {result.energy_uj:9.2f}"
+        )
+    return 0
+
+
+def _cmd_compile(workload: str, dim: int, execute: bool) -> int:
+    network = _resolve_workload(workload)
+    program = compile_network(network, dim)
+    print(to_asm(program), end="")
+    if execute:
+        report = ProgramExecutor(ArchConfig().scaled_to(dim)).execute(program)
+        print(
+            f"# executed: {report.total_cycles} cycles"
+            f" (compute {report.compute_cycles}, dma {report.dma_cycles},"
+            f" control {report.control_cycles})"
+        )
+    return 0
+
+
+def _cmd_experiment(experiment_id: str) -> int:
+    ids = list(ALL_EXPERIMENTS) if experiment_id == "all" else [experiment_id]
+    for eid in ids:
+        print(run_experiment(eid).format_table())
+        print()
+    return 0
+
+
+def _cmd_report(output: str) -> int:
+    from repro.experiments.report import generate_report
+
+    text = generate_report()
+    if output == "-":
+        print(text)
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "workloads":
+            return _cmd_workloads()
+        if args.command == "describe":
+            return _cmd_describe(args.workload)
+        if args.command == "map":
+            return _cmd_map(args.workload, args.dim)
+        if args.command == "run":
+            return _cmd_run(args.workload, args.arch, args.dim)
+        if args.command == "compile":
+            return _cmd_compile(args.workload, args.dim, args.execute)
+        if args.command == "experiment":
+            return _cmd_experiment(args.experiment_id)
+        if args.command == "report":
+            return _cmd_report(args.output)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover - unreachable with required subcommands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

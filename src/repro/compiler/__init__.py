@@ -1,0 +1,29 @@
+"""The Section 5 compiler: workload analysis, codegen, and assembly."""
+
+from repro.compiler.assembler import assemble, disassemble, parse_asm, to_asm
+from repro.compiler.codegen import compile_network
+from repro.compiler.executor import (
+    BatchReport,
+    ExecutionReport,
+    InstructionTiming,
+    ProgramExecutor,
+)
+from repro.compiler.isa import OPERAND_COUNTS, Instruction, Opcode, decode
+from repro.compiler.program import Program
+
+__all__ = [
+    "ProgramExecutor",
+    "BatchReport",
+    "ExecutionReport",
+    "InstructionTiming",
+    "Instruction",
+    "Opcode",
+    "OPERAND_COUNTS",
+    "decode",
+    "Program",
+    "compile_network",
+    "to_asm",
+    "parse_asm",
+    "assemble",
+    "disassemble",
+]

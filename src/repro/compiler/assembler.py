@@ -1,0 +1,66 @@
+"""Assembler: text <-> Program, plus the binary word-stream round trip.
+
+The text format is one instruction per line (``CFG 8 1 1 2 2 6``), with
+``#`` comments and blank lines ignored — the "assemble language code" the
+Section 5 compiler emits, made human-editable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compiler.isa import Instruction, Opcode, decode
+from repro.compiler.program import Program
+from repro.errors import CompilationError
+
+
+def to_asm(program: Program) -> str:
+    """Render a program as assembly text (with a name header comment)."""
+    lines = [f"# program: {program.name}"]
+    lines.extend(instr.to_asm() for instr in program.instructions)
+    return "\n".join(lines) + "\n"
+
+
+def parse_asm(text: str, *, name: str = "asm") -> Program:
+    """Parse assembly text back into a Program.
+
+    A leading ``# program: <name>`` comment, if present, names the program.
+    """
+    instructions: List[Instruction] = []
+    program_name = name
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip() if "#" in raw else raw.strip()
+        if raw.strip().startswith("# program:"):
+            program_name = raw.split("# program:", 1)[1].strip()
+            continue
+        if not line:
+            continue
+        fields = line.split()
+        mnemonic = fields[0].upper()
+        try:
+            opcode = Opcode[mnemonic]
+        except KeyError:
+            raise CompilationError(
+                f"line {line_no}: unknown mnemonic {fields[0]!r}"
+            ) from None
+        try:
+            operands = tuple(int(f) for f in fields[1:])
+        except ValueError:
+            raise CompilationError(
+                f"line {line_no}: non-integer operand in {line!r}"
+            ) from None
+        instructions.append(Instruction(opcode, operands))
+    if not instructions:
+        raise CompilationError("no instructions in assembly text")
+    return Program(name=program_name, instructions=tuple(instructions))
+
+
+def assemble(text: str, *, name: str = "asm") -> List[int]:
+    """Text -> machine words."""
+    return parse_asm(text, name=name).encode()
+
+
+def disassemble(words: List[int], *, name: str = "bin") -> Program:
+    """Machine words -> Program."""
+    instructions = decode(words)
+    return Program(name=name, instructions=tuple(instructions))

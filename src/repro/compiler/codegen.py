@@ -1,0 +1,111 @@
+"""Code generation: network -> FlexFlow configuration program.
+
+The Section 5 compiler pass: run the workload analyzer (the mapper), then
+emit, per CONV layer,
+
+* ``CFG`` with the chosen unrolling factors,
+* ``LDK`` for the layer's kernels (always from external memory),
+* ``LDN`` for the first layer's inputs, or ``SWP`` to ping-pong the
+  neuron buffers for later layers (IADP wrote the previous layer's
+  results in this layer's format already),
+* ``RLY`` when the mapper broke inter-layer coupling,
+* ``CONV`` with the layer's compute cycles,
+* ``POOL`` when a POOL layer follows,
+
+and a final ``WB`` + ``HLT``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler.isa import Instruction, Opcode
+from repro.compiler.program import Program
+from repro.dataflow.mapper import NetworkMapping, map_network
+from repro.nn.layers import ConvLayer, PoolLayer
+from repro.nn.network import Network
+
+
+def compile_network(
+    network: Network,
+    array_dim: int = 16,
+    *,
+    mapping: Optional[NetworkMapping] = None,
+    kernel_buffer_words: Optional[int] = None,
+) -> Program:
+    """Compile a network's CONV/POOL pipeline into a Program.
+
+    Args:
+        network: the workload.
+        array_dim: the target convolutional unit's ``D``.
+        mapping: reuse a precomputed mapping (otherwise the DP mapper runs).
+        kernel_buffer_words: when given, layers whose kernel tensors exceed
+            the buffer are *tiled*: the kernel load is split into
+            buffer-sized ``LDK`` chunks interleaved with proportional
+            ``CONV`` slices, so the executor can overlap streaming with
+            compute instead of modelling one monolithic load.
+    """
+    net_mapping = mapping or map_network(network, array_dim)
+    by_name = net_mapping.by_layer_name()
+
+    instructions = []
+    first_conv = True
+    for layer in network.layers:
+        if isinstance(layer, ConvLayer):
+            lm = by_name[layer.name]
+            f = lm.factors
+            instructions.append(
+                Instruction(
+                    Opcode.CFG, (f.tm, f.tn, f.tr, f.tc, f.ti, f.tj)
+                )
+            )
+            if first_conv:
+                instructions.append(
+                    Instruction(Opcode.LDN, (layer.num_input_words,))
+                )
+                first_conv = False
+            else:
+                instructions.append(Instruction(Opcode.SWP))
+            if lm.relayout_cycles:
+                instructions.append(
+                    Instruction(Opcode.RLY, (lm.relayout_cycles,))
+                )
+            instructions.extend(
+                _kernel_and_conv_chunks(
+                    layer.num_kernel_words,
+                    lm.compute_cycles,
+                    kernel_buffer_words,
+                )
+            )
+        elif isinstance(layer, PoolLayer):
+            instructions.append(
+                Instruction(Opcode.POOL, (layer.window, layer.ops))
+            )
+    last_conv = network.conv_layers[-1]
+    instructions.append(Instruction(Opcode.WB, (last_conv.num_output_words,)))
+    instructions.append(Instruction(Opcode.HLT))
+    return Program(name=network.name, instructions=tuple(instructions))
+
+
+def _kernel_and_conv_chunks(
+    kernel_words: int, compute_cycles: int, buffer_words: Optional[int]
+):
+    """LDK/CONV stream for one layer, tiled when the kernels do not fit.
+
+    Chunk boundaries follow the m-tile order: each buffer-full of kernels
+    serves a proportional share of the layer's compute.
+    """
+    if buffer_words is None or kernel_words <= buffer_words:
+        yield Instruction(Opcode.LDK, (kernel_words,))
+        yield Instruction(Opcode.CONV, (compute_cycles,))
+        return
+    chunks = -(-kernel_words // buffer_words)
+    words_left = kernel_words
+    cycles_left = compute_cycles
+    for index in range(chunks):
+        words = min(buffer_words, words_left)
+        cycles = cycles_left // (chunks - index)
+        yield Instruction(Opcode.LDK, (words,))
+        yield Instruction(Opcode.CONV, (cycles,))
+        words_left -= words
+        cycles_left -= cycles

@@ -1,0 +1,114 @@
+"""The FlexFlow configuration instruction set.
+
+Section 5: "We have developed a specialized compiler including a workload
+analyzer, which determines the unrolling factors for each layer and
+produces assemble language code to configure the FlexFlow."  This module
+defines that assembly language.
+
+The ISA is a configuration stream, not a compute ISA: the convolutional
+unit is hardwired, and instructions set up factors, move data between
+external memory / buffers / the array, and launch layer executions.
+
+========  ==========================================  =================
+opcode    operands                                    meaning
+========  ==========================================  =================
+``CFG``   tm tn tr tc ti tj                           set unrolling factors
+``LDK``   words                                       DMA kernels in (IADP format)
+``LDN``   words                                       DMA input neurons in
+``RLY``   words                                       re-layout neuron buffer
+``CONV``  cycles                                      run the conv unit
+``POOL``  window ops                                  run the pooling unit
+``SWP``   (none)                                      ping-pong neuron buffers
+``WB``    words                                       DMA outputs back out
+``HLT``   (none)                                      end of program
+========  ==========================================  =================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import CompilationError
+
+
+class Opcode(enum.Enum):
+    """Instruction opcodes with their fixed binary encodings."""
+
+    CFG = 0x1
+    LDK = 0x2
+    LDN = 0x3
+    RLY = 0x4
+    CONV = 0x5
+    POOL = 0x6
+    SWP = 0x7
+    WB = 0x8
+    HLT = 0xF
+
+
+#: Operand arity of each opcode.
+OPERAND_COUNTS: Dict[Opcode, int] = {
+    Opcode.CFG: 6,
+    Opcode.LDK: 1,
+    Opcode.LDN: 1,
+    Opcode.RLY: 1,
+    Opcode.CONV: 1,
+    Opcode.POOL: 2,
+    Opcode.SWP: 0,
+    Opcode.WB: 1,
+    Opcode.HLT: 0,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction: an opcode and its operand tuple."""
+
+    opcode: Opcode
+    operands: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        expected = OPERAND_COUNTS[self.opcode]
+        if len(self.operands) != expected:
+            raise CompilationError(
+                f"{self.opcode.name} takes {expected} operands,"
+                f" got {len(self.operands)}"
+            )
+        for value in self.operands:
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise CompilationError(
+                    f"{self.opcode.name}: operands must be non-negative ints,"
+                    f" got {value!r}"
+                )
+
+    def encode(self) -> List[int]:
+        """Binary form: ``[opcode, *operands]`` as machine words."""
+        return [self.opcode.value, *self.operands]
+
+    def to_asm(self) -> str:
+        """Assembly text form, e.g. ``CFG 8 1 1 2 2 6``."""
+        if not self.operands:
+            return self.opcode.name
+        return f"{self.opcode.name} {' '.join(str(v) for v in self.operands)}"
+
+
+def decode(words: List[int]) -> List[Instruction]:
+    """Decode a machine-word stream back into instructions."""
+    instructions: List[Instruction] = []
+    index = 0
+    by_value = {op.value: op for op in Opcode}
+    while index < len(words):
+        value = words[index]
+        opcode = by_value.get(value)
+        if opcode is None:
+            raise CompilationError(f"unknown opcode {value:#x} at word {index}")
+        arity = OPERAND_COUNTS[opcode]
+        operands = words[index + 1:index + 1 + arity]
+        if len(operands) != arity:
+            raise CompilationError(
+                f"truncated {opcode.name} at word {index}: needs {arity} operands"
+            )
+        instructions.append(Instruction(opcode, tuple(operands)))
+        index += 1 + arity
+    return instructions

@@ -1,0 +1,91 @@
+"""Program container: a validated instruction sequence with summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.compiler.isa import Instruction, Opcode
+from repro.errors import CompilationError
+
+
+@dataclass(frozen=True)
+class Program:
+    """An executable FlexFlow configuration program.
+
+    Structural invariants checked at construction:
+
+    * ends with exactly one ``HLT`` (and none earlier),
+    * every ``CONV`` is preceded by a ``CFG`` (factors must be set),
+    * factors stay set between layers (a later ``CONV`` may reuse them).
+    """
+
+    name: str
+    instructions: Tuple[Instruction, ...]
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise CompilationError(f"program {self.name!r} is empty")
+        if self.instructions[-1].opcode is not Opcode.HLT:
+            raise CompilationError(f"program {self.name!r} must end with HLT")
+        configured = False
+        for position, instr in enumerate(self.instructions):
+            if instr.opcode is Opcode.HLT and position != len(self.instructions) - 1:
+                raise CompilationError(
+                    f"program {self.name!r}: HLT before end (at {position})"
+                )
+            if instr.opcode is Opcode.CFG:
+                configured = True
+            if instr.opcode is Opcode.CONV and not configured:
+                raise CompilationError(
+                    f"program {self.name!r}: CONV at {position} before any CFG"
+                )
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    # -- summaries -------------------------------------------------------------
+
+    def opcode_histogram(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for instr in self.instructions:
+            counts[instr.opcode.name] = counts.get(instr.opcode.name, 0) + 1
+        return counts
+
+    @property
+    def conv_cycles(self) -> int:
+        """Total compute cycles declared by CONV instructions."""
+        return sum(
+            i.operands[0] for i in self.instructions if i.opcode is Opcode.CONV
+        )
+
+    @property
+    def relayout_cycles(self) -> int:
+        return sum(
+            i.operands[0] for i in self.instructions if i.opcode is Opcode.RLY
+        )
+
+    @property
+    def dma_words(self) -> int:
+        """Words moved by LDK/LDN/WB (the program's DRAM traffic)."""
+        return sum(
+            i.operands[0]
+            for i in self.instructions
+            if i.opcode in (Opcode.LDK, Opcode.LDN, Opcode.WB)
+        )
+
+    def layer_factors(self) -> List[Tuple[int, ...]]:
+        """The CFG operand tuples in program order (one per layer)."""
+        return [
+            i.operands for i in self.instructions if i.opcode is Opcode.CFG
+        ]
+
+    def encode(self) -> List[int]:
+        """Flatten to the machine-word stream."""
+        words: List[int] = []
+        for instr in self.instructions:
+            words.extend(instr.encode())
+        return words

@@ -1,0 +1,132 @@
+"""Logical PE grouping and the Section 4.3 data-mapping rules.
+
+The complementary-parallelism principle divides the ``D x D`` PE array into
+``Tm x Tn`` logical groups of ``(Tr*Tc) rows x (Ti*Tj) columns`` each.
+Within the active region:
+
+* PE **row** index encodes the output-neuron coordinates:
+  ``row = (m % Tm)*Tr*Tc + (r % Tr)*Tc + (c % Tc)``;
+* PE **column** index encodes the (input map, synapse) coordinates:
+  ``col = (n % Tn)*Ti*Tj + (i % Ti)*Tj + (j % Tj)``;
+* kernel ``K(m, n)`` belongs to group ``(m % Tm, n % Tn)`` and each synapse
+  is broadcast to *all* PEs of its group (RA replicates whole kernels);
+* input neurons have *column sharing* (all rows of a column receive the
+  same broadcast) and synapses have *block sharing* (one word per group).
+
+These pure index functions are the contract between the mapper, the IADP
+buffer placement, and the functional simulator; the simulator's numerical
+correctness test is what validates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.dataflow.unrolling import UnrollingFactors
+from repro.errors import MappingError
+
+
+@dataclass(frozen=True)
+class GroupGeometry:
+    """The logical group layout induced by a set of unrolling factors."""
+
+    factors: UnrollingFactors
+    array_dim: int
+
+    def __post_init__(self) -> None:
+        f = self.factors
+        if f.column_occupancy > self.array_dim or f.row_occupancy > self.array_dim:
+            raise MappingError(
+                f"factors {f.describe()} do not fit a {self.array_dim}x"
+                f"{self.array_dim} array"
+            )
+
+    # -- group structure ----------------------------------------------------
+
+    @property
+    def rows_per_group(self) -> int:
+        """PE rows per group: ``Tr * Tc``."""
+        return self.factors.tr * self.factors.tc
+
+    @property
+    def cols_per_group(self) -> int:
+        """PE columns per group: ``Ti * Tj``."""
+        return self.factors.ti * self.factors.tj
+
+    @property
+    def group_grid(self) -> Tuple[int, int]:
+        """``(Tm, Tn)`` — groups along rows and columns."""
+        return (self.factors.tm, self.factors.tn)
+
+    @property
+    def active_rows(self) -> int:
+        return self.factors.column_occupancy
+
+    @property
+    def active_cols(self) -> int:
+        return self.factors.row_occupancy
+
+    def groups(self) -> Iterator[Tuple[int, int]]:
+        """All ``(gm, gn)`` group coordinates."""
+        for gm in range(self.factors.tm):
+            for gn in range(self.factors.tn):
+                yield (gm, gn)
+
+    def group_rows(self, gm: int) -> range:
+        """PE row indices belonging to row-group ``gm``."""
+        self._check_group(gm, 0)
+        start = gm * self.rows_per_group
+        return range(start, start + self.rows_per_group)
+
+    def group_cols(self, gn: int) -> range:
+        """PE column indices belonging to column-group ``gn``."""
+        self._check_group(0, gn)
+        start = gn * self.cols_per_group
+        return range(start, start + self.cols_per_group)
+
+    # -- Section 4.3 index functions -----------------------------------------
+
+    def row_for_output(self, m: int, r: int, c: int) -> int:
+        """PE row owning output neuron ``O^(m)(r, c)``."""
+        f = self.factors
+        return (
+            (m % f.tm) * f.tr * f.tc + (r % f.tr) * f.tc + (c % f.tc)
+        )
+
+    def col_for_input(self, n: int, i: int, j: int) -> int:
+        """PE column owning input-map ``n``'s window offset ``(i, j)``."""
+        f = self.factors
+        return (n % f.tn) * f.ti * f.tj + (i % f.ti) * f.tj + (j % f.tj)
+
+    def group_for_kernel(self, m: int, n: int) -> Tuple[int, int]:
+        """Logical group ``(gm, gn)`` holding kernel ``K(m, n)``."""
+        f = self.factors
+        return (m % f.tm, n % f.tn)
+
+    # -- inverse decompositions (used by the simulator) --------------------------
+
+    def decompose_row(self, row: int) -> Tuple[int, int, int]:
+        """``row -> (dm, dr, dc)`` offsets within the current tile."""
+        if not 0 <= row < self.active_rows:
+            raise MappingError(f"row {row} outside active rows {self.active_rows}")
+        f = self.factors
+        dm, rest = divmod(row, f.tr * f.tc)
+        dr, dc = divmod(rest, f.tc)
+        return (dm, dr, dc)
+
+    def decompose_col(self, col: int) -> Tuple[int, int, int]:
+        """``col -> (dn, di, dj)`` offsets within the current tile."""
+        if not 0 <= col < self.active_cols:
+            raise MappingError(f"col {col} outside active cols {self.active_cols}")
+        f = self.factors
+        dn, rest = divmod(col, f.ti * f.tj)
+        di, dj = divmod(rest, f.tj)
+        return (dn, di, dj)
+
+    def _check_group(self, gm: int, gn: int) -> None:
+        f = self.factors
+        if not (0 <= gm < f.tm and 0 <= gn < f.tn):
+            raise MappingError(
+                f"group ({gm},{gn}) outside {f.tm}x{f.tn} group grid"
+            )

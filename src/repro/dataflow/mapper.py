@@ -1,0 +1,328 @@
+"""Parallelism determination (Section 5): picking the unrolling factors.
+
+Given a CONV layer and a ``D x D`` convolutional unit, the feasible-factor
+space is Eq. 1 and the objective is maximal utilization — equivalently
+minimal cycles, since ``Ut = MACs / (cycles * D^2)`` and the MAC count is
+fixed.  Two properties make the search fast:
+
+1. The intra-row triple ``(Tn, Ti, Tj)`` and inter-row triple
+   ``(Tm, Tr, Tc)`` contribute *independently* to the cycle count
+   (``cycles = f_in * f_out``), so each side is enumerated separately.
+2. Only Pareto-useful factor values matter (``unrolling.useful_values``).
+
+**Inter-layer coupling.**  IADP writes layer ``i``'s outputs in layer
+``i+1``'s buffer format, which works for free only when layer ``i+1``'s
+``(Tn, Ti, Tj)`` equals layer ``i``'s ``(Tm, Tr, Tc)`` (Section 5).
+Breaking the coupling is allowed but costs a buffer re-layout pass.  The
+network mapper is a dynamic program over the per-layer output triples that
+minimizes total cycles including re-layout penalties; this joint
+optimization is what reproduces Table 4's seemingly sub-optimal per-layer
+choices (e.g. LeNet-5 C1's ``Tc = 5`` instead of a perfectly-packed
+``(2, 2, 4)``: the latter would strand C3 at 52 % row utilization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataflow.styles import ProcessingStyle, classify
+from repro.dataflow.unrolling import (
+    UnrollingFactors,
+    ceil_div,
+    iter_triples,
+)
+from repro.dataflow.utilization import UtilizationReport, utilization_report
+from repro.errors import MappingError
+from repro.nn.layers import ConvLayer
+from repro.nn.network import Network
+
+Triple = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """The chosen unrolling of one CONV layer onto the array."""
+
+    layer: ConvLayer
+    factors: UnrollingFactors
+    array_dim: int
+    utilization: UtilizationReport
+    compute_cycles: int
+    #: Cycles spent re-laying out this layer's *input* in the buffer when
+    #: the coupling with the previous layer was broken (0 when coupled).
+    relayout_cycles: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.compute_cycles + self.relayout_cycles
+
+    @property
+    def style(self) -> ProcessingStyle:
+        return classify(self.factors)
+
+    @property
+    def coupled(self) -> bool:
+        return self.relayout_cycles == 0
+
+
+@dataclass(frozen=True)
+class NetworkMapping:
+    """Per-layer mappings for every CONV layer of a network."""
+
+    network_name: str
+    array_dim: int
+    layers: Tuple[LayerMapping, ...]
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(m.total_cycles for m in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(m.layer.macs for m in self.layers)
+
+    @property
+    def overall_utilization(self) -> float:
+        """MAC-weighted utilization: total MACs / (total cycles * D^2)."""
+        cycles = self.total_cycles
+        if cycles == 0:
+            return 0.0
+        return self.total_macs / (cycles * self.array_dim**2)
+
+    def by_layer_name(self) -> Dict[str, LayerMapping]:
+        return {m.layer.name: m for m in self.layers}
+
+
+# -- per-side candidate enumeration -------------------------------------------
+
+
+def input_candidates(layer: ConvLayer, array_dim: int) -> List[Triple]:
+    """Feasible ``(Tn, Ti, Tj)`` triples (Eq. 1 intra-row side)."""
+    dims = (layer.in_maps, layer.kernel, layer.kernel)
+    caps = (layer.in_maps, layer.kernel, layer.kernel)
+    return sorted(set(iter_triples(dims, array_dim, caps)))
+
+
+def output_candidates(
+    layer: ConvLayer, array_dim: int, tr_tc_bound: Optional[int] = None
+) -> List[Triple]:
+    """Feasible ``(Tm, Tr, Tc)`` triples (Eq. 1 inter-row side)."""
+    bound = layer.out_size if tr_tc_bound is None else min(layer.out_size, tr_tc_bound)
+    dims = (layer.out_maps, layer.out_size, layer.out_size)
+    caps = (layer.out_maps, bound, bound)
+    return sorted(set(iter_triples(dims, array_dim, caps)))
+
+
+def _input_steps(layer: ConvLayer, triple: Triple) -> int:
+    tn, ti, tj = triple
+    return (
+        ceil_div(layer.in_maps, tn)
+        * ceil_div(layer.kernel, ti)
+        * ceil_div(layer.kernel, tj)
+    )
+
+
+def _output_steps(layer: ConvLayer, triple: Triple) -> int:
+    tm, tr, tc = triple
+    return (
+        ceil_div(layer.out_maps, tm)
+        * ceil_div(layer.out_size, tr)
+        * ceil_div(layer.out_size, tc)
+    )
+
+
+def coupled_input_triple(
+    prev_output: Triple, layer: ConvLayer, array_dim: int
+) -> Optional[Triple]:
+    """Layer ``i+1``'s coupled ``(Tn, Ti, Tj)`` given layer ``i``'s output triple.
+
+    The coupled triple is the previous ``(Tm, Tr, Tc)`` clamped to this
+    layer's dimension bounds; returns ``None`` when the clamped triple
+    still violates the ``<= D`` packing constraint (coupling infeasible).
+    """
+    tn = min(prev_output[0], layer.in_maps)
+    ti = min(prev_output[1], layer.kernel)
+    tj = min(prev_output[2], layer.kernel)
+    if tn * ti * tj > array_dim:
+        return None
+    return (tn, ti, tj)
+
+
+def relayout_penalty_cycles(layer: ConvLayer, array_dim: int) -> int:
+    """Cycles to re-arrange a layer's input in the neuron buffer.
+
+    Breaking the IADP coupling means the previous layer's results sit in
+    the wrong bank format; re-placing them costs one pass of the input
+    volume through the ``D``-banked buffer (read + write, ``D`` words per
+    cycle).
+    """
+    words = layer.num_input_words
+    return 2 * ceil_div(words, array_dim)
+
+
+# -- single-layer mapping -----------------------------------------------------
+
+
+def map_layer(
+    layer: ConvLayer,
+    array_dim: int,
+    *,
+    tr_tc_bound: Optional[int] = None,
+    fixed_input_triple: Optional[Triple] = None,
+) -> LayerMapping:
+    """Best mapping of one layer in isolation (greedy, no inter-layer DP).
+
+    Args:
+        layer: the CONV layer.
+        array_dim: ``D``.
+        tr_tc_bound: Eq. 1's ``P * K'`` bound, if the layer has a successor.
+        fixed_input_triple: force ``(Tn, Ti, Tj)`` (used to honour coupling
+            with a predecessor).
+    """
+    if fixed_input_triple is None:
+        ins = input_candidates(layer, array_dim)
+        best_in = min(ins, key=lambda t: (_input_steps(layer, t), t))
+    else:
+        best_in = fixed_input_triple
+        tn, ti, tj = best_in
+        if tn * ti * tj > array_dim:
+            raise MappingError(
+                f"{layer.name}: fixed input triple {best_in} exceeds D={array_dim}"
+            )
+    outs = output_candidates(layer, array_dim, tr_tc_bound)
+    # Tie-break equal-cycle choices toward larger Tm: fewer output-map tile
+    # groups means each input word is re-broadcast fewer times.
+    best_out = min(
+        outs,
+        key=lambda t: (_output_steps(layer, t), ceil_div(layer.out_maps, t[0]), t),
+    )
+    factors = UnrollingFactors(
+        tm=best_out[0], tn=best_in[0], tr=best_out[1], tc=best_out[2],
+        ti=best_in[1], tj=best_in[2],
+    )
+    factors.check(layer, array_dim, tr_tc_bound=tr_tc_bound)
+    return LayerMapping(
+        layer=layer,
+        factors=factors,
+        array_dim=array_dim,
+        utilization=utilization_report(layer, factors, array_dim),
+        compute_cycles=factors.outer_iterations(layer),
+    )
+
+
+# -- whole-network mapping (the Section 5 compiler pass) -----------------------
+
+
+def map_network(network: Network, array_dim: int) -> NetworkMapping:
+    """Jointly map every CONV layer, minimizing total cycles.
+
+    Dynamic program over each layer's output triple.  The transition from
+    layer ``i`` (output triple ``P``) to layer ``i+1`` chooses between
+
+    * the *coupled* input triple derived from ``P`` (no penalty), and
+    * the best *free* input triple plus a buffer re-layout penalty,
+
+    whichever yields fewer total cycles.  Transitions are bucketed by the
+    coupled triple's step count, so the DP is ``O(layers * |outs| * |steps|)``
+    rather than quadratic in the candidate sets.
+    """
+    contexts = network.conv_contexts()
+    if not contexts:
+        raise MappingError(f"network {network.name!r} has no CONV layers")
+
+    # Per-layer candidate sets and their step counts.
+    layer_outs: List[List[Triple]] = []
+    for ctx in contexts:
+        outs = output_candidates(ctx.layer, array_dim, ctx.tr_tc_bound)
+        layer_outs.append(outs)
+
+    # DP state: best (cost, trace) for each output triple of the current
+    # layer.  ``trace`` records, per layer, (input_triple, output_triple,
+    # relayout_cycles) for reconstruction.
+    first = contexts[0].layer
+    free_in_first = min(
+        input_candidates(first, array_dim), key=lambda t: (_input_steps(first, t), t)
+    )
+    fin_first = _input_steps(first, free_in_first)
+
+    best: Dict[Triple, Tuple[int, tuple]] = {}
+    for out in layer_outs[0]:
+        cost = _output_steps(first, out) * fin_first
+        entry = (cost, ((free_in_first, out, 0),))
+        current = best.get(out)
+        if current is None or cost < current[0]:
+            best[out] = entry
+
+    for idx in range(1, len(contexts)):
+        layer = contexts[idx].layer
+        # Free-choice option: best input triple regardless of predecessor.
+        free_in = min(
+            input_candidates(layer, array_dim),
+            key=lambda t: (_input_steps(layer, t), t),
+        )
+        fin_free = _input_steps(layer, free_in)
+        penalty = relayout_penalty_cycles(layer, array_dim)
+
+        # Bucket predecessors by their coupled input triple for this layer.
+        coupled_buckets: Dict[Optional[Triple], Tuple[int, tuple]] = {}
+        best_prev_any: Optional[Tuple[int, tuple]] = None
+        for prev_out, (prev_cost, prev_trace) in best.items():
+            coupled = coupled_input_triple(prev_out, layer, array_dim)
+            bucket = coupled_buckets.get(coupled)
+            if bucket is None or prev_cost < bucket[0]:
+                coupled_buckets[coupled] = (prev_cost, prev_trace)
+            if best_prev_any is None or prev_cost < best_prev_any[0]:
+                best_prev_any = (prev_cost, prev_trace)
+        assert best_prev_any is not None
+
+        new_best: Dict[Triple, Tuple[int, tuple]] = {}
+        for out in layer_outs[idx]:
+            fout = _output_steps(layer, out)
+            # Option A: stay coupled with the best-matching predecessor.
+            candidate: Optional[Tuple[int, tuple]] = None
+            for coupled, (prev_cost, prev_trace) in coupled_buckets.items():
+                if coupled is None:
+                    continue
+                cost = prev_cost + fout * _input_steps(layer, coupled)
+                if candidate is None or cost < candidate[0]:
+                    candidate = (cost, prev_trace + ((coupled, out, 0),))
+            # Option B: break coupling, pay the re-layout penalty.
+            prev_cost, prev_trace = best_prev_any
+            free_cost = prev_cost + fout * fin_free + penalty
+            if candidate is None or free_cost < candidate[0]:
+                candidate = (free_cost, prev_trace + ((free_in, out, penalty),))
+            new_best[out] = candidate
+        best = new_best
+
+    last_layer = contexts[-1].layer
+    final_cost, final_trace = min(
+        best.items(),
+        key=lambda item: (
+            item[1][0],
+            ceil_div(last_layer.out_maps, item[0][0]),
+            item[0],
+        ),
+    )[1]
+    mappings: List[LayerMapping] = []
+    for ctx, (in_triple, out_triple, relayout) in zip(contexts, final_trace):
+        factors = UnrollingFactors(
+            tm=out_triple[0], tn=in_triple[0], tr=out_triple[1],
+            tc=out_triple[2], ti=in_triple[1], tj=in_triple[2],
+        )
+        factors.check(ctx.layer, array_dim, tr_tc_bound=ctx.tr_tc_bound)
+        mappings.append(
+            LayerMapping(
+                layer=ctx.layer,
+                factors=factors,
+                array_dim=array_dim,
+                utilization=utilization_report(ctx.layer, factors, array_dim),
+                compute_cycles=factors.outer_iterations(ctx.layer),
+                relayout_cycles=relayout,
+            )
+        )
+    result = NetworkMapping(
+        network_name=network.name, array_dim=array_dim, layers=tuple(mappings)
+    )
+    assert result.total_cycles == final_cost, "DP cost must match reconstruction"
+    return result

@@ -1,0 +1,94 @@
+"""PE-array occupancy maps: Figure 8 as data (and ASCII art).
+
+For a given layer mapping, every active PE is labelled by what it
+computes — which logical group it belongs to, which output neuron its row
+serves, and which (input-map, synapse) residue its column carries.  The
+paper's Figure 8 conveys the complementary-parallelism idea with exactly
+this picture; here it is a queryable structure used by tests (idle PEs
+must match ``1 - Ut`` spatial packing) and by the dataflow-visualization
+example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.dataflow.grouping import GroupGeometry
+from repro.dataflow.mapper import LayerMapping
+
+
+@dataclass(frozen=True)
+class PERole:
+    """What one active PE does during a tile."""
+
+    row: int
+    col: int
+    group: Tuple[int, int]
+    output_offsets: Tuple[int, int, int]  # (dm, dr, dc)
+    input_offsets: Tuple[int, int, int]  # (dn, di, dj)
+
+
+@dataclass(frozen=True)
+class OccupancyMap:
+    """Active-PE layout of one mapping on a ``D x D`` array."""
+
+    array_dim: int
+    roles: Tuple[PERole, ...]
+
+    @property
+    def active_pes(self) -> int:
+        return len(self.roles)
+
+    @property
+    def total_pes(self) -> int:
+        return self.array_dim**2
+
+    @property
+    def spatial_occupancy(self) -> float:
+        """Fraction of PEs doing work each cycle (full tiles)."""
+        return self.active_pes / self.total_pes
+
+    def role_at(self, row: int, col: int) -> Optional[PERole]:
+        for role in self.roles:
+            if role.row == row and role.col == col:
+                return role
+        return None
+
+    def render(self) -> str:
+        """ASCII rendering: group ids for active PEs, '.' for idle ones.
+
+        Groups are labelled ``a``, ``b``, ... in (gm, gn) raster order, so
+        the logical-group tiling of Figure 8 is visible at a glance.
+        """
+        grid = [["." for _ in range(self.array_dim)] for _ in range(self.array_dim)]
+        labels = {}
+        for role in self.roles:
+            if role.group not in labels:
+                labels[role.group] = chr(ord("a") + (len(labels) % 26))
+            grid[role.row][role.col] = labels[role.group]
+        lines = ["".join(row) for row in grid]
+        legend = ", ".join(
+            f"{label}=group{group}" for group, label in sorted(labels.items())
+        )
+        return "\n".join(lines) + ("\n" + legend if legend else "")
+
+
+def occupancy_map(mapping: LayerMapping) -> OccupancyMap:
+    """Build the occupancy map for a layer mapping (full-tile view)."""
+    geometry = GroupGeometry(mapping.factors, mapping.array_dim)
+    roles: List[PERole] = []
+    for row in range(geometry.active_rows):
+        dm, dr, dc = geometry.decompose_row(row)
+        for col in range(geometry.active_cols):
+            dn, di, dj = geometry.decompose_col(col)
+            roles.append(
+                PERole(
+                    row=row,
+                    col=col,
+                    group=(dm % mapping.factors.tm, dn % mapping.factors.tn),
+                    output_offsets=(dm, dr, dc),
+                    input_offsets=(dn, di, dj),
+                )
+            )
+    return OccupancyMap(array_dim=mapping.array_dim, roles=tuple(roles))

@@ -1,0 +1,236 @@
+"""IADP buffer placement and IPDR replication (DataFlow3, Section 4.5).
+
+**In-Advance Data Placement (IADP)** lays data out across buffer banks so
+the per-cycle parallel reads never conflict:
+
+* The *neuron* buffer is split into ``Tn`` groups, each group into ``Ti``
+  subgroups of ``Tj`` banks (Figure 13).  Input map ``n`` lives in group
+  ``n % Tn``; neuron row ``r`` in subgroup ``r % Ti``; column ``c`` in
+  bank ``c % Tj``.  One word per bank per cycle then feeds the matching
+  PE columns over the vertical buses.
+* The *kernel* buffer is split into ``Tm`` groups, each group into ``Tr``
+  subgroups of ``Tc`` banks (Figure 12).  Kernel ``K(m, n)`` is row-major
+  within group ``m % Tm``, striped across the group's banks so the
+  reading controller pulls one word per group per cycle.
+
+**In-Place Data Replication (IPDR)** exploits the kernel broadcast's free
+horizontal-bus bandwidth: each word read from a kernel group is replicated
+``Tr * Tc`` times so every PE row of the group receives it without extra
+internal wiring (Figure 12b/c).
+
+Both placements are bijections from data coordinates to (bank, offset)
+pairs — property tests assert this — and raise :class:`CapacityError`
+when a tile does not fit the configured buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.dataflow.unrolling import UnrollingFactors, ceil_div
+from repro.errors import CapacityError, MappingError
+from repro.nn.layers import ConvLayer
+
+
+@dataclass(frozen=True)
+class NeuronPlacement:
+    """IADP layout of one layer's input feature maps in a neuron buffer.
+
+    Args:
+        factors: the layer's unrolling factors (``Tn``/``Ti``/``Tj`` shape
+            the bank grid).
+        in_maps: number of input feature maps (``N``).
+        in_size: input feature-map side length.
+    """
+
+    factors: UnrollingFactors
+    in_maps: int
+    in_size: int
+
+    @property
+    def num_banks(self) -> int:
+        """``Tn * Ti * Tj`` banks carry the placement."""
+        return self.factors.tn * self.factors.ti * self.factors.tj
+
+    @property
+    def words_per_bank(self) -> int:
+        """Deepest bank occupancy for this layer's input volume."""
+        f = self.factors
+        return (
+            ceil_div(self.in_maps, f.tn)
+            * ceil_div(self.in_size, f.ti)
+            * ceil_div(self.in_size, f.tj)
+        )
+
+    @property
+    def total_words(self) -> int:
+        return self.in_maps * self.in_size * self.in_size
+
+    def locate(self, n: int, r: int, c: int) -> Tuple[int, int]:
+        """``(bank, offset)`` of input neuron ``I^(n)(r, c)``."""
+        self._check_coords(n, r, c)
+        f = self.factors
+        bank = (n % f.tn) * f.ti * f.tj + (r % f.ti) * f.tj + (c % f.tj)
+        rows = ceil_div(self.in_size, f.ti)
+        cols = ceil_div(self.in_size, f.tj)
+        offset = (n // f.tn) * rows * cols + (r // f.ti) * cols + (c // f.tj)
+        return (bank, offset)
+
+    def invert(self, bank: int, offset: int) -> Tuple[int, int, int]:
+        """Inverse of :meth:`locate` (raises for empty slots)."""
+        f = self.factors
+        if not 0 <= bank < self.num_banks:
+            raise MappingError(f"bank {bank} outside {self.num_banks}")
+        gn, rest = divmod(bank, f.ti * f.tj)
+        si, sj = divmod(rest, f.tj)
+        rows = ceil_div(self.in_size, f.ti)
+        cols = ceil_div(self.in_size, f.tj)
+        qn, rest = divmod(offset, rows * cols)
+        qr, qc = divmod(rest, cols)
+        n = qn * f.tn + gn
+        r = qr * f.ti + si
+        c = qc * f.tj + sj
+        self._check_coords(n, r, c)
+        return (n, r, c)
+
+    def check_fits(self, buffer_words: int, banks: int) -> None:
+        """Raise :class:`CapacityError` unless the layout fits the buffer."""
+        if self.num_banks > banks:
+            raise CapacityError(
+                f"placement needs {self.num_banks} banks, buffer has {banks}"
+            )
+        per_bank_capacity = buffer_words // banks
+        if self.words_per_bank > per_bank_capacity:
+            raise CapacityError(
+                f"placement needs {self.words_per_bank} words/bank, buffer"
+                f" provides {per_bank_capacity}"
+            )
+
+    def _check_coords(self, n: int, r: int, c: int) -> None:
+        if not (0 <= n < self.in_maps and 0 <= r < self.in_size and 0 <= c < self.in_size):
+            raise MappingError(
+                f"neuron ({n},{r},{c}) outside {self.in_maps}@{self.in_size}x"
+                f"{self.in_size}"
+            )
+
+
+@dataclass(frozen=True)
+class KernelPlacement:
+    """IADP layout of one layer's kernels in the kernel buffer.
+
+    Kernels are row-major within their group (Figure 12a); consecutive
+    synapses of one kernel stripe across the group's ``Tr * Tc`` banks so
+    the reading controller can stream one word per group per cycle.
+    """
+
+    factors: UnrollingFactors
+    out_maps: int
+    in_maps: int
+    kernel: int
+
+    @property
+    def num_groups(self) -> int:
+        return self.factors.tm
+
+    @property
+    def banks_per_group(self) -> int:
+        return self.factors.tr * self.factors.tc
+
+    @property
+    def num_banks(self) -> int:
+        return self.num_groups * self.banks_per_group
+
+    @property
+    def total_words(self) -> int:
+        return self.out_maps * self.in_maps * self.kernel * self.kernel
+
+    @property
+    def words_per_bank(self) -> int:
+        f = self.factors
+        kernels_per_group = ceil_div(self.out_maps, f.tm) * self.in_maps
+        words_per_kernel_stripe = ceil_div(self.kernel * self.kernel, self.banks_per_group)
+        return kernels_per_group * words_per_kernel_stripe
+
+    def locate(self, m: int, n: int, i: int, j: int) -> Tuple[int, int]:
+        """``(bank, offset)`` of synapse ``K(m, n)(i, j)``."""
+        self._check_coords(m, n, i, j)
+        f = self.factors
+        group = m % f.tm
+        flat = i * self.kernel + j
+        # ``flat % banks`` picks the bank; ``flat // banks`` the stripe row.
+        bank_in_group = flat % self.banks_per_group
+        stripe = flat // self.banks_per_group
+        stripes_per_kernel = ceil_div(self.kernel * self.kernel, self.banks_per_group)
+        kernel_index = (m // f.tm) * self.in_maps + n
+        offset = kernel_index * stripes_per_kernel + stripe
+        return (group * self.banks_per_group + bank_in_group, offset)
+
+    def invert(self, bank: int, offset: int) -> Tuple[int, int, int, int]:
+        """Inverse of :meth:`locate`."""
+        f = self.factors
+        if not 0 <= bank < self.num_banks:
+            raise MappingError(f"bank {bank} outside {self.num_banks}")
+        group, bank_in_group = divmod(bank, self.banks_per_group)
+        stripes_per_kernel = ceil_div(self.kernel * self.kernel, self.banks_per_group)
+        kernel_index, stripe = divmod(offset, stripes_per_kernel)
+        qm, n = divmod(kernel_index, self.in_maps)
+        m = qm * f.tm + group
+        flat = stripe * self.banks_per_group + bank_in_group
+        i, j = divmod(flat, self.kernel)
+        self._check_coords(m, n, i, j)
+        return (m, n, i, j)
+
+    def check_fits(self, buffer_words: int, banks: int) -> None:
+        if self.num_banks > banks:
+            raise CapacityError(
+                f"placement needs {self.num_banks} banks, buffer has {banks}"
+            )
+        per_bank_capacity = buffer_words // banks
+        if self.words_per_bank > per_bank_capacity:
+            raise CapacityError(
+                f"placement needs {self.words_per_bank} words/bank, buffer"
+                f" provides {per_bank_capacity}"
+            )
+
+    def _check_coords(self, m: int, n: int, i: int, j: int) -> None:
+        if not (
+            0 <= m < self.out_maps
+            and 0 <= n < self.in_maps
+            and 0 <= i < self.kernel
+            and 0 <= j < self.kernel
+        ):
+            raise MappingError(
+                f"synapse ({m},{n},{i},{j}) outside kernel tensor"
+                f" ({self.out_maps},{self.in_maps},{self.kernel},{self.kernel})"
+            )
+
+
+def ipdr_replication_factor(factors: UnrollingFactors) -> int:
+    """IPDR's per-word replication count: ``Tr * Tc`` copies per kernel read.
+
+    Every word the kernel-buffer reading controller pulls is replicated to
+    all ``Tr * Tc`` PE rows of its group over the free horizontal buses.
+    """
+    return factors.tr * factors.tc
+
+
+def neuron_placement_for_layer(
+    layer: ConvLayer, factors: UnrollingFactors
+) -> NeuronPlacement:
+    """IADP neuron placement for a layer's input volume."""
+    return NeuronPlacement(
+        factors=factors, in_maps=layer.in_maps, in_size=layer.in_size
+    )
+
+
+def kernel_placement_for_layer(
+    layer: ConvLayer, factors: UnrollingFactors
+) -> KernelPlacement:
+    """IADP kernel placement for a layer's kernel tensor."""
+    return KernelPlacement(
+        factors=factors,
+        out_maps=layer.out_maps,
+        in_maps=layer.in_maps,
+        kernel=layer.kernel,
+    )

@@ -1,0 +1,169 @@
+"""Per-cycle data-transmission schedules (DataFlow3, Figures 12-13).
+
+For a layer mapping, this module generates the cycle-by-cycle buffer
+access pattern the reading controllers issue:
+
+* **neuron schedule** — each cycle, one word per active neuron-buffer
+  bank, the ``(Tn * Ti * Tj)``-wide residue grid at the tile's base
+  coordinates, fed to the matching PE columns over the vertical buses;
+* **kernel schedule** — each cycle, one word per kernel-buffer group,
+  IPDR-replicated ``Tr * Tc`` times onto the horizontal buses.
+
+The schedules are *checkable*: :func:`verify_conflict_free` replays one
+against a :class:`~repro.arch.buffers.BankedBuffer` populated by the IADP
+placement and proves every cycle's reads hit distinct banks — the static
+guarantee that motivates In-Advance Data Placement in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.arch.buffers import BankedBuffer
+from repro.dataflow.placement import (
+    kernel_placement_for_layer,
+    neuron_placement_for_layer,
+)
+from repro.dataflow.unrolling import UnrollingFactors
+from repro.errors import MappingError
+from repro.nn.layers import ConvLayer
+
+
+@dataclass(frozen=True)
+class CycleReads:
+    """One cycle of buffer reads: ``(bank, offset)`` pairs."""
+
+    cycle: int
+    requests: Tuple[Tuple[int, int], ...]
+
+
+def neuron_schedule(
+    layer: ConvLayer, factors: UnrollingFactors, *, max_cycles: int = 0
+) -> Iterator[CycleReads]:
+    """The neuron-buffer read schedule for a layer mapping.
+
+    Walks the outer loop nest; each cycle reads the residue grid of input
+    words at the current tile base (clipped at layer edges).  ``max_cycles``
+    truncates the stream for tests (0 = full layer).
+    """
+    placement = neuron_placement_for_layer(layer, factors)
+    f = factors
+    stride = layer.stride
+    cycle = 0
+    for m0 in range(0, layer.out_maps, f.tm):
+        for r0 in range(0, layer.out_size, f.tr):
+            for c0 in range(0, layer.out_size, f.tc):
+                for n0 in range(0, layer.in_maps, f.tn):
+                    for i0 in range(0, layer.kernel, f.ti):
+                        for j0 in range(0, layer.kernel, f.tj):
+                            requests = []
+                            seen = set()
+                            for dn in range(min(f.tn, layer.in_maps - n0)):
+                                for di in range(min(f.ti, layer.kernel - i0)):
+                                    for dj in range(min(f.tj, layer.kernel - j0)):
+                                        n = n0 + dn
+                                        r = r0 * stride + i0 + di
+                                        c = c0 * stride + j0 + dj
+                                        if r >= layer.in_size or c >= layer.in_size:
+                                            continue
+                                        slot = placement.locate(n, r, c)
+                                        if slot[0] in seen:
+                                            raise MappingError(
+                                                f"{layer.name}: IADP bank"
+                                                f" collision in one cycle"
+                                            )
+                                        seen.add(slot[0])
+                                        requests.append(slot)
+                            yield CycleReads(cycle, tuple(requests))
+                            cycle += 1
+                            if max_cycles and cycle >= max_cycles:
+                                return
+
+
+def kernel_schedule(
+    layer: ConvLayer, factors: UnrollingFactors, *, max_cycles: int = 0
+) -> Iterator[CycleReads]:
+    """The kernel-buffer read schedule: one word per group per cycle.
+
+    Group ``gm`` streams kernel ``(m0 + gm, n)`` synapse ``(i, j)`` during
+    the tile at bases ``(m0, n0, i0, j0)``; within a tile the controller
+    walks the ``Ti x Tj`` residue window one word per cycle per group
+    (IPDR replicates each word to the group's ``Tr * Tc`` rows for free).
+    """
+    placement = kernel_placement_for_layer(layer, factors)
+    f = factors
+    cycle = 0
+    for m0 in range(0, layer.out_maps, f.tm):
+        for n0 in range(0, layer.in_maps, f.tn):
+            for i0 in range(0, layer.kernel, f.ti):
+                for j0 in range(0, layer.kernel, f.tj):
+                    for dn in range(min(f.tn, layer.in_maps - n0)):
+                        for di in range(min(f.ti, layer.kernel - i0)):
+                            for dj in range(min(f.tj, layer.kernel - j0)):
+                                requests = []
+                                seen = set()
+                                for dm in range(min(f.tm, layer.out_maps - m0)):
+                                    slot = placement.locate(
+                                        m0 + dm, n0 + dn, i0 + di, j0 + dj
+                                    )
+                                    if slot[0] in seen:
+                                        raise MappingError(
+                                            f"{layer.name}: kernel bank"
+                                            f" collision in one cycle"
+                                        )
+                                    seen.add(slot[0])
+                                    requests.append(slot)
+                                yield CycleReads(cycle, tuple(requests))
+                                cycle += 1
+                                if max_cycles and cycle >= max_cycles:
+                                    return
+
+
+def verify_conflict_free(
+    layer: ConvLayer,
+    factors: UnrollingFactors,
+    *,
+    buffer_words: int = 16 * 1024,
+    max_cycles: int = 256,
+) -> int:
+    """Replay both schedules against real banked buffers.
+
+    Populates the buffers via the IADP placements, then issues each
+    cycle's reads through :meth:`BankedBuffer.read_cycle`, which raises on
+    any same-cycle bank conflict.  Returns the number of cycles verified.
+    """
+    n_placement = neuron_placement_for_layer(layer, factors)
+    k_placement = kernel_placement_for_layer(layer, factors)
+
+    neuron_buffer = BankedBuffer(
+        capacity_bytes=buffer_words * 2,
+        banks=max(n_placement.num_banks, 1),
+        name="neuron",
+    )
+    for n in range(layer.in_maps):
+        for r in range(layer.in_size):
+            for c in range(layer.in_size):
+                bank, offset = n_placement.locate(n, r, c)
+                neuron_buffer.write(bank, offset, 1.0)
+
+    kernel_buffer = BankedBuffer(
+        capacity_bytes=buffer_words * 2,
+        banks=max(k_placement.num_banks, 1),
+        name="kernel",
+    )
+    for m in range(layer.out_maps):
+        for n in range(layer.in_maps):
+            for i in range(layer.kernel):
+                for j in range(layer.kernel):
+                    bank, offset = k_placement.locate(m, n, i, j)
+                    kernel_buffer.write(bank, offset, 1.0)
+
+    verified = 0
+    for reads in neuron_schedule(layer, factors, max_cycles=max_cycles):
+        neuron_buffer.read_cycle(list(reads.requests))
+        verified += 1
+    for reads in kernel_schedule(layer, factors, max_cycles=max_cycles):
+        kernel_buffer.read_cycle(list(reads.requests))
+        verified += 1
+    return verified

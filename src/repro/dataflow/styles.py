@@ -1,0 +1,75 @@
+"""The eight processing styles of Section 2.2.
+
+Unrolling one or more loops of each parallelism dimension places an
+architecture in one of eight styles, named by whether it processes
+Single/Multiple Feature maps, Single/Multiple Neurons, and Single/Multiple
+Synapses per cycle.  Prior architectures cover three of the eight
+(Table 2); FlexFlow's MFMNMS covers them all.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+from repro.dataflow.unrolling import UnrollingFactors
+
+
+class ProcessingStyle(enum.Enum):
+    """All eight Section 2.2 styles, value = (multi_fp, multi_np, multi_sp)."""
+
+    SFSNSS = (False, False, False)
+    SFSNMS = (False, False, True)
+    SFMNSS = (False, True, False)
+    SFMNMS = (False, True, True)
+    MFSNSS = (True, False, False)
+    MFSNMS = (True, False, True)
+    MFMNSS = (True, True, False)
+    MFMNMS = (True, True, True)
+
+    @property
+    def multi_feature_map(self) -> bool:
+        return self.value[0]
+
+    @property
+    def multi_neuron(self) -> bool:
+        return self.value[1]
+
+    @property
+    def multi_synapse(self) -> bool:
+        return self.value[2]
+
+    @property
+    def parallelism_types(self) -> Tuple[str, ...]:
+        """The parallelism kinds this style exploits (subset of FP/NP/SP)."""
+        kinds = []
+        if self.multi_feature_map:
+            kinds.append("FP")
+        if self.multi_neuron:
+            kinds.append("NP")
+        if self.multi_synapse:
+            kinds.append("SP")
+        return tuple(kinds)
+
+
+def classify(factors: UnrollingFactors) -> ProcessingStyle:
+    """The processing style realized by a set of unrolling factors.
+
+    A dimension counts as "Multiple" when either of its two loops is
+    unrolled beyond 1 (Section 2.2's definition).
+    """
+    key = (
+        factors.tm > 1 or factors.tn > 1,
+        factors.tr > 1 or factors.tc > 1,
+        factors.ti > 1 or factors.tj > 1,
+    )
+    return ProcessingStyle(key)
+
+
+#: The style each representative prior architecture realizes (Table 2).
+ARCHITECTURE_STYLES = {
+    "systolic": ProcessingStyle.SFSNMS,   # DC-CNN, CNP, Neuflow
+    "mapping2d": ProcessingStyle.SFMNSS,  # DianNao-class 2D mapping, ShiDianNao
+    "tiling": ProcessingStyle.MFSNSS,     # DianNao/DaDianNao tiling
+    "flexflow": ProcessingStyle.MFMNMS,
+}

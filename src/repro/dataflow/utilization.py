@@ -1,0 +1,67 @@
+"""Computing-resource utilization: Equations 2 and 3.
+
+The paper measures utilization in *PE cycles*: the ratio of PE cycles
+doing useful MACs to total PE cycles.  It factors into a row utilization
+``Ur`` (how full each PE row's ``D`` columns are, on average over the
+sequential intra-row iterations) and a column utilization ``Uc`` (how full
+the ``D`` rows are over the inter-row iterations); ``Ut = Ur * Uc``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataflow.unrolling import UnrollingFactors
+from repro.errors import MappingError
+from repro.nn.layers import ConvLayer
+
+
+def row_utilization(layer: ConvLayer, factors: UnrollingFactors, array_dim: int) -> float:
+    """Eq. 2: ``Ur = N*K*K / (⌈N/Tn⌉ * ⌈K/Ti⌉ * ⌈K/Tj⌉ * D)``."""
+    if array_dim <= 0:
+        raise MappingError(f"array_dim must be positive, got {array_dim}")
+    work = layer.in_maps * layer.kernel * layer.kernel
+    steps = factors.input_iterations(layer)
+    return work / (steps * array_dim)
+
+
+def column_utilization(
+    layer: ConvLayer, factors: UnrollingFactors, array_dim: int
+) -> float:
+    """Eq. 3: ``Uc = M*S*S / (⌈M/Tm⌉ * ⌈S/Tr⌉ * ⌈S/Tc⌉ * D)``."""
+    if array_dim <= 0:
+        raise MappingError(f"array_dim must be positive, got {array_dim}")
+    work = layer.out_maps * layer.out_size * layer.out_size
+    steps = factors.output_iterations(layer)
+    return work / (steps * array_dim)
+
+
+def total_utilization(
+    layer: ConvLayer, factors: UnrollingFactors, array_dim: int
+) -> float:
+    """``Ut = Ur * Uc`` — equivalently, MACs / (cycles * D^2)."""
+    return row_utilization(layer, factors, array_dim) * column_utilization(
+        layer, factors, array_dim
+    )
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """The three Eq. 2/3 numbers for one mapping."""
+
+    ur: float
+    uc: float
+
+    @property
+    def ut(self) -> float:
+        return self.ur * self.uc
+
+
+def utilization_report(
+    layer: ConvLayer, factors: UnrollingFactors, array_dim: int
+) -> UtilizationReport:
+    """Bundle Ur/Uc/Ut for one layer mapping."""
+    return UtilizationReport(
+        ur=row_utilization(layer, factors, array_dim),
+        uc=column_utilization(layer, factors, array_dim),
+    )

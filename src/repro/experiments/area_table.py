@@ -1,0 +1,42 @@
+"""Section 6.2.1: layout area of the four baselines at the 16x16 scale."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.area import all_area_reports
+from repro.arch.config import ArchConfig
+from repro.experiments.common import ARCH_LABELS, ARCH_ORDER, ExperimentResult
+
+#: The published totals (mm^2).
+PAPER_AREAS = {
+    "systolic": 3.52,
+    "mapping2d": 3.46,
+    "tiling": 3.21,
+    "flexflow": 3.89,
+}
+
+
+def run(config: Optional[ArchConfig] = None) -> ExperimentResult:
+    config = config or ArchConfig()
+    reports = all_area_reports(config)
+    rows = []
+    for kind in ARCH_ORDER:
+        report = reports[kind]
+        rows.append(
+            {
+                "architecture": ARCH_LABELS[kind],
+                "area_mm2": report.total_mm2,
+                "paper_mm2": PAPER_AREAS[kind],
+                "pe_array_mm2": report.components["pe_array"],
+                "buffers_mm2": report.components["neuron_buffers"]
+                + report.components["kernel_buffer"],
+                "interconnect_mm2": report.components["interconnect"],
+            }
+        )
+    return ExperimentResult(
+        experiment_id="area",
+        title="Layout area at the 16x16 scale (mm^2, TSMC 65nm model)",
+        rows=rows,
+        notes="Wiring lengths calibrated at this scale; growth is modelled.",
+    )

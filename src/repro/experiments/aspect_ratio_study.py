@@ -1,0 +1,57 @@
+"""Extension study: rectangular PE arrays at a fixed 256-PE budget.
+
+The paper's square 16x16 unit splits Eq. 1's two packing constraints
+evenly; this study asks whether any ``rows x cols`` factorization of the
+same 256-PE budget maps each workload better, and by how much — i.e. how
+much utilization the square shape leaves on the table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.arch.config import ArchConfig
+from repro.dataflow.rectangular import best_aspect_ratio, map_layer_rect
+from repro.experiments.common import ExperimentResult
+from repro.nn.workloads import WORKLOAD_NAMES, get_workload
+
+
+def run(
+    workloads: Sequence[str] = tuple(WORKLOAD_NAMES),
+    pe_budget: int = 256,
+    config: Optional[ArchConfig] = None,
+) -> ExperimentResult:
+    rows = []
+    square_dim = int(pe_budget**0.5)
+    for name in workloads:
+        network = get_workload(name)
+        square_util = 0.0
+        total_macs = 0
+        total_cycles = 0
+        for ctx in network.conv_contexts():
+            mapping = map_layer_rect(
+                ctx.layer, square_dim, square_dim, tr_tc_bound=ctx.tr_tc_bound
+            )
+            total_macs += ctx.layer.macs
+            total_cycles += mapping.compute_cycles
+        square_util = total_macs / (total_cycles * pe_budget)
+        (best_rows, best_cols), best_util = best_aspect_ratio(network, pe_budget)
+        rows.append(
+            {
+                "workload": name,
+                "square_util": square_util,
+                "best_shape": f"{best_rows}x{best_cols}",
+                "best_util": best_util,
+                "gain": best_util / square_util if square_util else float("inf"),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="aspect",
+        title=f"Rectangular-array study at a {pe_budget}-PE budget",
+        rows=rows,
+        notes=(
+            "square_util uses greedy per-layer mapping on the square shape"
+            " (same optimizer as the rectangular sweep, so the comparison"
+            " isolates the shape)."
+        ),
+    )

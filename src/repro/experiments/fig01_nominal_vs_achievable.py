@@ -1,0 +1,52 @@
+"""Figure 1: nominal vs. achievable performance of the rigid baselines.
+
+The paper's motivating figure runs LeNet-5 on the three representative
+architectures and shows achieved GOPS as a fraction of the nominal peak —
+"it's not uncommon that merely 10 % GOPS is achieved in practice".  We
+regenerate the bars (plus FlexFlow for contrast, which the paper's later
+figures provide).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.config import ArchConfig
+from repro.experiments.common import (
+    ARCH_LABELS,
+    ARCH_ORDER,
+    ExperimentResult,
+    run_all_architectures,
+)
+from repro.metrics.performance import achievable_fraction, nominal_gops
+from repro.nn.workloads import get_workload
+
+
+def run(
+    workload: str = "LeNet-5", config: Optional[ArchConfig] = None
+) -> ExperimentResult:
+    config = config or ArchConfig()
+    network = get_workload(workload)
+    results = run_all_architectures(network, config)
+    nominal = nominal_gops(config.num_pes, config.technology.frequency_hz)
+    rows = []
+    for kind in ARCH_ORDER:
+        result = results[kind]
+        rows.append(
+            {
+                "architecture": ARCH_LABELS[kind],
+                "nominal_gops": nominal,
+                "achievable_gops": result.gops,
+                "achievable_fraction": achievable_fraction(result),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="fig01",
+        title=f"Nominal vs. achievable performance ({workload})",
+        rows=rows,
+        notes=(
+            "Paper reports the three rigid baselines; FlexFlow row added"
+            " for contrast. The paper's headline: some baselines achieve"
+            " ~10 % of nominal."
+        ),
+    )

@@ -1,0 +1,44 @@
+"""Figure 16: achieved performance (GOPS at 1 GHz) of the four baselines.
+
+The paper: FlexFlow constantly above 420 GOPS; >2x over Systolic and
+2D-Mapping and up to 10x over Tiling on the small workloads; Systolic
+additionally pays its deep-pipeline fill.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.arch.config import ArchConfig
+from repro.experiments.common import (
+    ARCH_LABELS,
+    ARCH_ORDER,
+    ExperimentResult,
+    run_matrix,
+)
+from repro.metrics.performance import speedup_matrix
+from repro.nn.workloads import WORKLOAD_NAMES
+
+
+def run(
+    workloads: Sequence[str] = tuple(WORKLOAD_NAMES),
+    config: Optional[ArchConfig] = None,
+) -> ExperimentResult:
+    matrix = run_matrix(workloads, config)
+    rows = []
+    for name in workloads:
+        results = matrix[name]
+        row = {"workload": name}
+        for kind in ARCH_ORDER:
+            row[f"{ARCH_LABELS[kind]}_gops"] = results[kind].gops
+        speedups = speedup_matrix(results)
+        row["speedup_vs_systolic"] = speedups["systolic"]
+        row["speedup_vs_2d"] = speedups["mapping2d"]
+        row["speedup_vs_tiling"] = speedups["tiling"]
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="fig16",
+        title="Performance (GOPS @ 1 GHz) and FlexFlow speedups",
+        rows=rows,
+        notes="Paper: FlexFlow >420 GOPS; 2-10x speedups over baselines.",
+    )

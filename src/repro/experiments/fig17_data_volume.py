@@ -1,0 +1,41 @@
+"""Figure 17: total volume of data transmitted (the reusability proxy).
+
+Words crossing the on-chip-buffer boundary per workload.  The paper's
+ordering: FlexFlow least everywhere; Tiling worst by far (no reuse at
+all); Systolic slightly better than 2D-Mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.arch.config import ArchConfig
+from repro.experiments.common import (
+    ARCH_LABELS,
+    ARCH_ORDER,
+    ExperimentResult,
+    run_matrix,
+)
+from repro.metrics.traffic import transmission_volume_kb
+from repro.nn.workloads import WORKLOAD_NAMES
+
+
+def run(
+    workloads: Sequence[str] = tuple(WORKLOAD_NAMES),
+    config: Optional[ArchConfig] = None,
+) -> ExperimentResult:
+    matrix = run_matrix(workloads, config)
+    rows = []
+    for name in workloads:
+        row = {"workload": name}
+        for kind in ARCH_ORDER:
+            row[f"{ARCH_LABELS[kind]}_kb"] = transmission_volume_kb(
+                matrix[name][kind]
+            )
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="fig17",
+        title="Data transmission volume (KB, on-chip buffer boundary)",
+        rows=rows,
+        notes="Paper ordering: FlexFlow < Systolic <= 2D-Mapping << Tiling.",
+    )

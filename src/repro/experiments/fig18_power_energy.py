@@ -1,0 +1,52 @@
+"""Figure 18: power efficiency (a), energy (b), and power (c).
+
+The paper's trio of claims: FlexFlow gets the best GOPS/W (1.5-2.5x over
+Systolic/2D-Mapping, up to ~10x over Tiling), the lowest energy, and the
+*highest* raw power (high utilization + local stores).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.arch.config import ArchConfig
+from repro.experiments.common import (
+    ARCH_LABELS,
+    ARCH_ORDER,
+    ExperimentResult,
+    run_matrix,
+)
+from repro.metrics.energy import efficiency_ratio_matrix
+from repro.nn.workloads import WORKLOAD_NAMES
+
+
+def run(
+    workloads: Sequence[str] = tuple(WORKLOAD_NAMES),
+    config: Optional[ArchConfig] = None,
+) -> ExperimentResult:
+    matrix = run_matrix(workloads, config)
+    rows = []
+    for name in workloads:
+        results = matrix[name]
+        row = {"workload": name}
+        for kind in ARCH_ORDER:
+            label = ARCH_LABELS[kind]
+            row[f"{label}_gops_per_w"] = results[kind].gops_per_watt
+        for kind in ARCH_ORDER:
+            row[f"{ARCH_LABELS[kind]}_uj"] = results[kind].energy_uj
+        for kind in ARCH_ORDER:
+            row[f"{ARCH_LABELS[kind]}_mw"] = results[kind].power_mw
+        ratios = efficiency_ratio_matrix(results)
+        row["eff_vs_systolic"] = ratios["systolic"]
+        row["eff_vs_2d"] = ratios["mapping2d"]
+        row["eff_vs_tiling"] = ratios["tiling"]
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="fig18",
+        title="Power efficiency (GOPS/W), energy (uJ), power (mW)",
+        rows=rows,
+        notes=(
+            "Paper: FlexFlow best efficiency and lowest energy despite the"
+            " highest power."
+        ),
+    )

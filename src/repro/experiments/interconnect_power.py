@@ -1,0 +1,59 @@
+"""Section 6.2.5's interconnect study: routing-network power share vs. scale.
+
+The paper: "the power percent of routing network gradually declines with
+the increasing of PE scale: 28.34 % for 16x16, 25.97 % for 32x32, and
+21.32 % for 64x64" — because the CDB routing complexity grows only
+sub-quadratically while the (fully utilized) compute engine grows with
+the PE count.
+
+The main power results (Table 6 / Figure 18) charge only data movement,
+i.e. the "ideal routing network"; this experiment adds the practical
+pipelined-bus implementation
+(:func:`~repro.arch.interconnect.practical_routing_energy_per_cycle_pj`)
+and reports its share of the total.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.accelerators import FlexFlowAccelerator
+from repro.arch.config import ArchConfig
+from repro.arch.interconnect import practical_routing_energy_per_cycle_pj
+from repro.experiments.common import ExperimentResult
+from repro.nn.workloads import get_workload
+
+#: The paper's published shares per scale.
+PAPER_SHARES = {16: 28.34, 32: 25.97, 64: 21.32}
+
+
+def run(
+    workload: str = "AlexNet",
+    scales: Sequence[int] = (16, 32, 64),
+    config: Optional[ArchConfig] = None,
+) -> ExperimentResult:
+    base = config or ArchConfig()
+    network = get_workload(workload)
+    rows = []
+    for dim in scales:
+        cfg = base.scaled_to(dim)
+        result = FlexFlowAccelerator(cfg).simulate_network(network)
+        chip_pj_per_cycle = (
+            result.power_report().total_energy_pj / result.total_cycles
+        )
+        routing_pj = practical_routing_energy_per_cycle_pj(dim)
+        share = 100.0 * routing_pj / (routing_pj + chip_pj_per_cycle)
+        rows.append(
+            {
+                "scale": f"{dim}x{dim}",
+                "routing_pj_per_cycle": routing_pj,
+                "interconnect_share_pct": share,
+                "paper_share_pct": PAPER_SHARES.get(dim, float("nan")),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="intercon",
+        title="FlexFlow practical routing-network power share vs. engine scale",
+        rows=rows,
+        notes="Paper: the share declines with scale (28.3 -> 21.3 %).",
+    )

@@ -1,0 +1,59 @@
+"""Table 6: FlexFlow power breakdown by component.
+
+Per workload: the input-neuron buffer (``P_nein``), output-neuron buffer
+(``P_neout``), kernel buffer (``P_kerin``), and the computing engine
+(``P_com`` — MACs, control, local stores).  The paper's shape: buffers
+under 20 % combined, the computing engine ~80-86 %.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.accelerators import FlexFlowAccelerator
+from repro.arch.config import ArchConfig
+from repro.experiments.common import ExperimentResult
+from repro.nn.workloads import WORKLOAD_NAMES, get_workload
+
+#: Table 6 as published: workload -> (P_nein, P_neout, P_kerin, P_com) mW.
+PAPER_TABLE6 = {
+    "PV": (48, 66, 15, 711),
+    "FR": (61, 75, 25, 847),
+    "LeNet-5": (49, 72, 28, 779),
+    "HG": (54, 94, 79, 900),
+    "AlexNet": (58, 75, 27, 958),
+    "VGG-11": (50, 86, 23, 860),
+}
+
+
+def run(
+    workloads: Sequence[str] = tuple(WORKLOAD_NAMES),
+    config: Optional[ArchConfig] = None,
+) -> ExperimentResult:
+    config = config or ArchConfig()
+    rows = []
+    for name in workloads:
+        result = FlexFlowAccelerator(config).simulate_network(get_workload(name))
+        table6 = result.power_report().table6_row()
+        total = sum(table6.values())
+        paper = PAPER_TABLE6[name]
+        rows.append(
+            {
+                "workload": name,
+                "P_nein_mw": table6["P_nein"],
+                "P_neout_mw": table6["P_neout"],
+                "P_kerin_mw": table6["P_kerin"],
+                "P_com_mw": table6["P_com"],
+                "P_com_pct": 100.0 * table6["P_com"] / total if total else 0.0,
+                "paper_P_com_pct": 100.0 * paper[3] / sum(paper),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table06",
+        title="FlexFlow power breakdown by component (mW)",
+        rows=rows,
+        notes=(
+            "Paper: buffers <20 % of power, computing engine dominates;"
+            " our leaner buffer traffic model pushes P_com slightly higher."
+        ),
+    )

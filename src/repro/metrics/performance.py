@@ -1,0 +1,42 @@
+"""Performance metrics: GOPS, nominal-vs-achievable, speedup matrices."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.accelerators.base import NetworkResult
+from repro.errors import ConfigurationError
+
+
+def nominal_gops(num_pes: int, frequency_hz: float) -> float:
+    """Peak throughput: 2 ops per PE per cycle (the Figure 1/16 ceiling)."""
+    if num_pes <= 0 or frequency_hz <= 0:
+        raise ConfigurationError("num_pes and frequency must be positive")
+    return 2.0 * num_pes * frequency_hz / 1e9
+
+
+def achievable_fraction(result: NetworkResult) -> float:
+    """Achieved / nominal performance — the Figure 1 metric.
+
+    For architectures whose physical PE count differs from the shared
+    budget (Systolic's 7 x 36 = 252), the nominal is still the shared
+    256-PE budget, matching the paper's equal-scale comparison.
+    """
+    nominal = nominal_gops(
+        result.config.num_pes, result.config.technology.frequency_hz
+    )
+    return result.gops / nominal
+
+
+def speedup_matrix(
+    results: Mapping[str, NetworkResult], reference: str = "flexflow"
+) -> Dict[str, float]:
+    """``reference`` architecture's speedup over each other architecture."""
+    if reference not in results:
+        raise ConfigurationError(f"reference {reference!r} not in results")
+    ref_gops = results[reference].gops
+    return {
+        kind: ref_gops / result.gops if result.gops else float("inf")
+        for kind, result in results.items()
+        if kind != reference
+    }

@@ -1,0 +1,83 @@
+"""Bandwidth sensitivity: where compiled networks sit on the roofline.
+
+The paper assumes sufficient external bandwidth; this analysis quantifies
+how much is actually needed.  Each compiled program runs through the
+:class:`~repro.compiler.executor.ProgramExecutor` across a sweep of DMA
+bandwidths; the knee where total time stops being DMA-bound is the
+workload's bandwidth requirement at the given engine scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.arch.config import ArchConfig
+from repro.compiler.codegen import compile_network
+from repro.compiler.executor import ProgramExecutor
+from repro.errors import ConfigurationError
+from repro.nn.network import Network
+
+#: Bandwidths swept, in 16-bit words per engine cycle (1 word/cycle at
+#: 1 GHz = 2 GB/s).
+DEFAULT_BANDWIDTHS = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Execution at one bandwidth."""
+
+    words_per_cycle: int
+    total_cycles: int
+    compute_cycles: int
+    dma_cycles: int
+
+    @property
+    def dma_bound(self) -> bool:
+        return self.dma_cycles > self.compute_cycles
+
+    @property
+    def efficiency(self) -> float:
+        """Compute cycles / total cycles — 1.0 means DMA fully amortized."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.compute_cycles / self.total_cycles
+
+
+def bandwidth_sweep(
+    network: Network,
+    array_dim: int = 16,
+    bandwidths: Sequence[int] = DEFAULT_BANDWIDTHS,
+    config: Optional[ArchConfig] = None,
+) -> List[RooflinePoint]:
+    """Execute the compiled network across the bandwidth sweep."""
+    if not bandwidths:
+        raise ConfigurationError("bandwidths must be non-empty")
+    cfg = config or ArchConfig().scaled_to(array_dim)
+    program = compile_network(network, array_dim)
+    points = []
+    for words in bandwidths:
+        report = ProgramExecutor(cfg, dma_words_per_cycle=words).execute(program)
+        points.append(
+            RooflinePoint(
+                words_per_cycle=words,
+                total_cycles=report.total_cycles,
+                compute_cycles=report.compute_cycles,
+                dma_cycles=report.dma_cycles,
+            )
+        )
+    return points
+
+
+def required_bandwidth(points: Sequence[RooflinePoint], threshold: float = 0.9) -> int:
+    """Smallest swept bandwidth reaching the efficiency threshold.
+
+    Returns the largest swept bandwidth if none reaches it (the caller
+    should widen the sweep).
+    """
+    if not points:
+        raise ConfigurationError("points must be non-empty")
+    for point in sorted(points, key=lambda p: p.words_per_cycle):
+        if point.efficiency >= threshold:
+            return point.words_per_cycle
+    return max(points, key=lambda p: p.words_per_cycle).words_per_cycle

@@ -1,0 +1,75 @@
+"""Scalability metrics: utilization / power / area vs. engine scale (Fig 19)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.accelerators import make_accelerator
+from repro.arch.area import area_report
+from repro.arch.config import ArchConfig
+from repro.errors import ConfigurationError
+from repro.nn.network import Network
+
+#: The paper's Figure 19 sweep points.
+DEFAULT_SCALES = (8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One (architecture, scale) measurement of the Figure 19 sweep."""
+
+    kind: str
+    array_dim: int
+    utilization: float
+    power_mw: float
+    area_mm2: float
+    gops: float
+
+
+def scalability_sweep(
+    network: Network,
+    kinds: Sequence[str] = ("systolic", "mapping2d", "tiling", "flexflow"),
+    scales: Sequence[int] = DEFAULT_SCALES,
+    base_config: ArchConfig = None,
+) -> List[ScalePoint]:
+    """Run the network at each scale on each architecture.
+
+    The paper uses AlexNet ("the most complicated in the benchmarks").
+    Buffers scale linearly with ``D`` via :meth:`ArchConfig.scaled_to`.
+    """
+    if not scales:
+        raise ConfigurationError("scales must be non-empty")
+    base = base_config or ArchConfig()
+    points: List[ScalePoint] = []
+    for dim in scales:
+        config = base.scaled_to(dim)
+        for kind in kinds:
+            acc = make_accelerator(kind, config, workload_name=network.name)
+            result = acc.simulate_network(network)
+            points.append(
+                ScalePoint(
+                    kind=kind,
+                    array_dim=dim,
+                    utilization=result.overall_utilization,
+                    power_mw=result.power_mw,
+                    area_mm2=area_report(kind, config).total_mm2,
+                    gops=result.gops,
+                )
+            )
+    return points
+
+
+def utilization_sensitivity(points: Sequence[ScalePoint], kind: str) -> float:
+    """Utilization drop from the smallest to the largest scale.
+
+    The paper's scalability criterion: "the computing resource utilization
+    ratio of a scalable architecture should be insensitive to the scale".
+    Lower is better; FlexFlow's should be near zero.
+    """
+    own = sorted(
+        (p for p in points if p.kind == kind), key=lambda p: p.array_dim
+    )
+    if len(own) < 2:
+        raise ConfigurationError(f"need at least two scales for {kind!r}")
+    return own[0].utilization - own[-1].utilization

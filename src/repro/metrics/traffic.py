@@ -1,0 +1,46 @@
+"""Data-movement metrics: transmission volume and DRAM accesses per op."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.accelerators.base import NetworkResult
+
+
+def transmission_volume_words(result: NetworkResult) -> int:
+    """Figure 17's metric: words crossing the on-chip-buffer boundary.
+
+    The paper uses this volume as the inverse proxy for data reusability —
+    an architecture that re-reads the same word many times moves more.
+    """
+    return result.buffer_traffic_words
+
+
+def transmission_volume_kb(result: NetworkResult) -> float:
+    word_bytes = result.config.technology.word_bytes
+    return result.buffer_traffic_words * word_bytes / 1024.0
+
+
+def dram_accesses_per_op(result: NetworkResult) -> float:
+    """Table 7's DRAM Acc/Op metric."""
+    return result.dram_accesses_per_op
+
+
+def reuse_factor(result: NetworkResult) -> float:
+    """MACs per buffer word moved — higher means better reuse."""
+    words = result.buffer_traffic_words
+    if words == 0:
+        return float("inf")
+    return result.total_macs / words
+
+
+def volume_ratio_matrix(
+    results: Mapping[str, NetworkResult], reference: str = "flexflow"
+) -> Dict[str, float]:
+    """How many times more data each architecture moves vs. ``reference``."""
+    ref = results[reference].buffer_traffic_words
+    return {
+        kind: result.buffer_traffic_words / ref if ref else float("inf")
+        for kind, result in results.items()
+        if kind != reference
+    }

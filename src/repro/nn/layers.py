@@ -1,0 +1,318 @@
+"""Layer specifications for CNN workloads.
+
+The paper characterizes a CONV layer with four object-related parameters
+(Section 2.1, Figure 3):
+
+* ``M`` — number of output feature maps,
+* ``N`` — number of input feature maps,
+* ``S`` — output feature-map size (maps are square, ``S x S`` neurons),
+* ``K`` — kernel size (kernels are square, ``K x K`` synapses).
+
+These specs are *shape-only*: they carry no weights or activations. All of
+the paper's evaluation metrics (cycles, utilization, traffic, energy) are
+functions of shapes alone, so shape specs are the common currency between
+the workload substrate, the dataflow mapper, and the accelerator models.
+The functional simulators attach real tensors separately (``repro.nn.reference``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import SpecificationError
+
+#: Number of arithmetic operations counted per multiply-accumulate.  The
+#: paper reports GOPS counting a MAC as two operations (multiply + add).
+OPS_PER_MAC = 2
+
+
+def _require_positive(name: str, value: int) -> None:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise SpecificationError(f"{name} must be an int, got {value!r}")
+    if value <= 0:
+        raise SpecificationError(f"{name} must be positive, got {value}")
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """A convolutional layer specification.
+
+    Parameters mirror the paper's notation.  ``stride`` defaults to 1 as in
+    all Table 1 workloads (AlexNet C1 uses stride 4; the table's layer sizes
+    already reflect the stride, and we keep the stride explicit so the
+    reference model computes the right output size).
+
+    The output size relation is ``S = (S_in - K) // stride + 1`` for valid
+    (padding-free) convolution, which is what every Table 1 layer uses.
+    """
+
+    name: str
+    in_maps: int  # N
+    out_maps: int  # M
+    out_size: int  # S
+    kernel: int  # K
+    stride: int = 1
+    #: Explicit input side length.  ``None`` means valid (padding-free)
+    #: convolution, ``in_size = (S-1)*stride + K``.  A smaller explicit value
+    #: models zero-padding (AlexNet's padded 3x3/5x5 layers).
+    explicit_in_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _require_positive("in_maps (N)", self.in_maps)
+        _require_positive("out_maps (M)", self.out_maps)
+        _require_positive("out_size (S)", self.out_size)
+        _require_positive("kernel (K)", self.kernel)
+        _require_positive("stride", self.stride)
+        if self.explicit_in_size is not None:
+            _require_positive("explicit_in_size", self.explicit_in_size)
+            valid = (self.out_size - 1) * self.stride + self.kernel
+            if self.explicit_in_size > valid:
+                raise SpecificationError(
+                    f"{self.name}: explicit_in_size {self.explicit_in_size} exceeds"
+                    f" the valid-convolution input size {valid}; the output would"
+                    f" not cover the input"
+                )
+
+    # -- shape relations ---------------------------------------------------
+
+    @property
+    def in_size(self) -> int:
+        """Input feature-map side length.
+
+        Valid convolution unless :attr:`explicit_in_size` overrides it (in
+        which case the difference is implied zero-padding).
+        """
+        if self.explicit_in_size is not None:
+            return self.explicit_in_size
+        return (self.out_size - 1) * self.stride + self.kernel
+
+    @property
+    def padding(self) -> int:
+        """Total implied zero-padding across one spatial dimension."""
+        return (self.out_size - 1) * self.stride + self.kernel - self.in_size
+
+    @property
+    def output_shape(self) -> Tuple[int, int, int]:
+        """``(M, S, S)`` — output maps and their spatial extent."""
+        return (self.out_maps, self.out_size, self.out_size)
+
+    @property
+    def input_shape(self) -> Tuple[int, int, int]:
+        """``(N, S_in, S_in)`` — input maps and their spatial extent."""
+        return (self.in_maps, self.in_size, self.in_size)
+
+    @property
+    def kernel_shape(self) -> Tuple[int, int, int, int]:
+        """``(M, N, K, K)`` — the full kernel tensor shape."""
+        return (self.out_maps, self.in_maps, self.kernel, self.kernel)
+
+    # -- work and footprint ------------------------------------------------
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulates for one inference of this layer."""
+        return (
+            self.out_maps
+            * self.in_maps
+            * self.out_size
+            * self.out_size
+            * self.kernel
+            * self.kernel
+        )
+
+    @property
+    def ops(self) -> int:
+        """Total arithmetic ops (2 per MAC), the paper's GOPS numerator."""
+        return OPS_PER_MAC * self.macs
+
+    @property
+    def num_input_words(self) -> int:
+        """Unique input neurons (words) read by the layer."""
+        return self.in_maps * self.in_size * self.in_size
+
+    @property
+    def num_output_words(self) -> int:
+        """Unique output neurons (words) produced by the layer."""
+        return self.out_maps * self.out_size * self.out_size
+
+    @property
+    def num_kernel_words(self) -> int:
+        """Unique synapses (words) in the layer's kernel tensor."""
+        return self.out_maps * self.in_maps * self.kernel * self.kernel
+
+    def describe(self) -> str:
+        """Human-readable one-liner in the paper's ``NxM@KxK -> M@SxS`` style."""
+        return (
+            f"{self.name}: {self.in_maps}x{self.out_maps}@{self.kernel}x{self.kernel}"
+            f" -> {self.out_maps}@{self.out_size}x{self.out_size}"
+        )
+
+
+@dataclass(frozen=True)
+class PoolLayer:
+    """A pooling (subsampling) layer specification.
+
+    The paper's pooling unit is a 1-D array of lightweight ALUs subsampling
+    the convolution results (Section 4).  ``window`` is the paper's ``P``,
+    which bounds the next CONV layer's ``Tr``/``Tc`` in Eq. 1.
+
+    ``in_size`` and ``out_size`` are both explicit because Table 1's
+    workloads use truncating pooling (e.g. PV pools 45x45 down to 22x22,
+    discarding the odd border row/column) and AlexNet uses overlapped
+    3x3/stride-2 pooling; requiring ``in_size == out_size * window`` would
+    reject both.  The only structural requirements are that the window fits
+    and the output subsamples the input.
+    """
+
+    name: str
+    maps: int
+    in_size: int
+    out_size: int
+    window: int = 2
+    mode: str = "max"  # "max" or "avg"
+
+    def __post_init__(self) -> None:
+        _require_positive("maps", self.maps)
+        _require_positive("in_size", self.in_size)
+        _require_positive("out_size", self.out_size)
+        _require_positive("window (P)", self.window)
+        if self.mode not in ("max", "avg"):
+            raise SpecificationError(
+                f"pool mode must be 'max' or 'avg', got {self.mode!r}"
+            )
+        if self.window > self.in_size:
+            raise SpecificationError(
+                f"{self.name}: window {self.window} exceeds input size"
+                f" {self.in_size}"
+            )
+        if self.out_size > self.in_size:
+            raise SpecificationError(
+                f"{self.name}: pooling cannot enlarge maps"
+                f" ({self.in_size} -> {self.out_size})"
+            )
+
+    @property
+    def stride(self) -> int:
+        """Pooling stride implied by the in/out sizes (at least 1)."""
+        if self.out_size == 1:
+            return self.in_size
+        return max(1, (self.in_size - self.window) // (self.out_size - 1))
+
+    @property
+    def output_shape(self) -> Tuple[int, int, int]:
+        return (self.maps, self.out_size, self.out_size)
+
+    @property
+    def input_shape(self) -> Tuple[int, int, int]:
+        return (self.maps, self.in_size, self.in_size)
+
+    @property
+    def ops(self) -> int:
+        """Comparison/add operations: window size per output element."""
+        return self.maps * self.out_size * self.out_size * self.window * self.window
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: pool {self.window}x{self.window} ({self.mode})"
+            f" {self.maps}@{self.in_size}x{self.in_size}"
+            f" -> {self.maps}@{self.out_size}x{self.out_size}"
+        )
+
+
+@dataclass(frozen=True)
+class JoinLayer:
+    """A zero-compute re-grouping of feature maps between layers.
+
+    Models AlexNet's two-tower concatenation: Table 1 lists one of the two
+    identical halves, and layer C5 consumes both halves (256 = 2 x 128 input
+    maps).  A ``JoinLayer`` makes that re-grouping explicit so the network
+    chain stays shape-checked without inventing compute.
+    """
+
+    name: str
+    in_maps: int
+    out_maps: int
+    size: int
+
+    def __post_init__(self) -> None:
+        _require_positive("in_maps", self.in_maps)
+        _require_positive("out_maps", self.out_maps)
+        _require_positive("size", self.size)
+
+    @property
+    def ops(self) -> int:
+        return 0
+
+    @property
+    def output_shape(self) -> Tuple[int, int, int]:
+        return (self.out_maps, self.size, self.size)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: join {self.in_maps} -> {self.out_maps} maps"
+            f" @{self.size}x{self.size}"
+        )
+
+
+@dataclass(frozen=True)
+class FCLayer:
+    """A fully-connected (classifier) layer specification.
+
+    An FC layer is equivalent to a CONV layer whose kernel covers the whole
+    input (``K = S_in``, ``S = 1``); :meth:`as_conv` performs that standard
+    reduction so FC layers can ride the same dataflow machinery.
+    """
+
+    name: str
+    in_neurons: int
+    out_neurons: int
+
+    def __post_init__(self) -> None:
+        _require_positive("in_neurons", self.in_neurons)
+        _require_positive("out_neurons", self.out_neurons)
+
+    @property
+    def macs(self) -> int:
+        return self.in_neurons * self.out_neurons
+
+    @property
+    def ops(self) -> int:
+        return OPS_PER_MAC * self.macs
+
+    def as_conv(self) -> ConvLayer:
+        """Reduce to an equivalent 1x1-output CONV layer.
+
+        Each input neuron becomes a 1x1 input feature map and each output
+        neuron a 1x1 output feature map with a 1x1 kernel, which preserves
+        the MAC count and data volumes exactly.
+        """
+        return ConvLayer(
+            name=f"{self.name}(as-conv)",
+            in_maps=self.in_neurons,
+            out_maps=self.out_neurons,
+            out_size=1,
+            kernel=1,
+        )
+
+    def describe(self) -> str:
+        return f"{self.name}: fc {self.in_neurons} -> {self.out_neurons}"
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """The network's input plane: ``maps`` images of ``size x size`` pixels."""
+
+    maps: int
+    size: int
+
+    def __post_init__(self) -> None:
+        _require_positive("maps", self.maps)
+        _require_positive("size", self.size)
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return (self.maps, self.size, self.size)
+
+    def describe(self) -> str:
+        return f"input: {self.maps}@{self.size}x{self.size}"

@@ -1,0 +1,218 @@
+"""A small textual network-description format with shape inference.
+
+Downstream users should not have to compute every layer's output size by
+hand; this format lets them write::
+
+    network MyNet
+    input 1 32
+    conv C1 maps 6 kernel 5
+    pool S2 window 2
+    conv C3 maps 16 kernel 5
+    pool S4 window 2
+    fc F5 out 120
+    fc OUT out 10
+
+and get a fully shape-checked :class:`~repro.nn.network.Network`: conv
+output sizes follow from the running spatial size (optionally with
+``stride N`` / ``pad same``), pool outputs default to ``floor(size /
+window)`` (override with ``out N`` for truncating/overlapped pools), and
+FC input sizes are inferred from the flattened running shape.  ``join``
+models tower concatenation (``join J maps 256``).
+
+``#`` starts a comment; keyword arguments may appear in any order.
+:func:`to_description` serializes any Network back to this format, and
+the two round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SpecificationError
+from repro.nn.layers import ConvLayer, FCLayer, InputSpec, JoinLayer, PoolLayer
+from repro.nn.network import Network
+
+
+def _parse_kwargs(fields: List[str], line_no: int) -> Dict[str, str]:
+    if len(fields) % 2 != 0:
+        raise SpecificationError(
+            f"line {line_no}: expected 'key value' pairs, got {' '.join(fields)!r}"
+        )
+    return {fields[i]: fields[i + 1] for i in range(0, len(fields), 2)}
+
+
+def _int_field(kwargs: Dict[str, str], key: str, line_no: int, default=None) -> int:
+    if key not in kwargs:
+        if default is not None:
+            return default
+        raise SpecificationError(f"line {line_no}: missing required field {key!r}")
+    try:
+        return int(kwargs[key])
+    except ValueError:
+        raise SpecificationError(
+            f"line {line_no}: field {key!r} must be an int, got {kwargs[key]!r}"
+        ) from None
+
+
+def parse_network(text: str) -> Network:
+    """Parse a network description into a shape-checked Network."""
+    name = "unnamed"
+    input_spec: Optional[InputSpec] = None
+    layers: List = []
+    maps: Optional[int] = None
+    size: Optional[int] = None
+    conv_count = 0
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        keyword = fields[0].lower()
+
+        if keyword == "network":
+            if len(fields) < 2:
+                raise SpecificationError(f"line {line_no}: network needs a name")
+            name = " ".join(fields[1:])
+            continue
+
+        if keyword == "input":
+            if len(fields) != 3:
+                raise SpecificationError(
+                    f"line {line_no}: input takes '<maps> <size>'"
+                )
+            input_spec = InputSpec(maps=int(fields[1]), size=int(fields[2]))
+            maps, size = input_spec.maps, input_spec.size
+            continue
+
+        if input_spec is None:
+            raise SpecificationError(
+                f"line {line_no}: '{keyword}' before the input declaration"
+            )
+        assert maps is not None and size is not None
+
+        if keyword == "conv":
+            layer_name, kwargs = _layer_name_and_kwargs(fields, line_no, "conv")
+            out_maps = _int_field(kwargs, "maps", line_no)
+            kernel = _int_field(kwargs, "kernel", line_no)
+            stride = _int_field(kwargs, "stride", line_no, default=1)
+            pad_same = kwargs.get("pad", "valid") == "same"
+            if pad_same:
+                # Same-padding default; an explicit ``out N`` overrides it
+                # (e.g. AlexNet C1's 224 -> 55 with partial padding).
+                out_size = _int_field(
+                    kwargs, "out", line_no, default=-(-size // stride)
+                )
+                explicit = size
+            else:
+                if size < kernel:
+                    raise SpecificationError(
+                        f"line {line_no}: kernel {kernel} larger than current"
+                        f" size {size}"
+                    )
+                out_size = _int_field(
+                    kwargs, "out", line_no, default=(size - kernel) // stride + 1
+                )
+                explicit = None
+            conv_count += 1
+            layers.append(
+                ConvLayer(
+                    layer_name or f"C{conv_count}",
+                    in_maps=maps,
+                    out_maps=out_maps,
+                    out_size=out_size,
+                    kernel=kernel,
+                    stride=stride,
+                    explicit_in_size=explicit,
+                )
+            )
+            maps, size = out_maps, out_size
+        elif keyword == "pool":
+            layer_name, kwargs = _layer_name_and_kwargs(fields, line_no, "pool")
+            window = _int_field(kwargs, "window", line_no, default=2)
+            out_size = _int_field(kwargs, "out", line_no, default=size // window)
+            mode = kwargs.get("mode", "max")
+            layers.append(
+                PoolLayer(
+                    layer_name or f"P{len(layers) + 1}",
+                    maps=maps,
+                    in_size=size,
+                    out_size=out_size,
+                    window=window,
+                    mode=mode,
+                )
+            )
+            size = out_size
+        elif keyword == "join":
+            layer_name, kwargs = _layer_name_and_kwargs(fields, line_no, "join")
+            out_maps = _int_field(kwargs, "maps", line_no)
+            layers.append(
+                JoinLayer(
+                    layer_name or f"J{len(layers) + 1}",
+                    in_maps=maps,
+                    out_maps=out_maps,
+                    size=size,
+                )
+            )
+            maps = out_maps
+        elif keyword == "fc":
+            layer_name, kwargs = _layer_name_and_kwargs(fields, line_no, "fc")
+            out_neurons = _int_field(kwargs, "out", line_no)
+            previous_fc = next(
+                (l for l in reversed(layers) if isinstance(l, FCLayer)), None
+            )
+            if previous_fc is not None:
+                in_neurons = previous_fc.out_neurons
+            else:
+                in_neurons = maps * size * size
+            layers.append(
+                FCLayer(
+                    layer_name or f"F{len(layers) + 1}",
+                    in_neurons=in_neurons,
+                    out_neurons=out_neurons,
+                )
+            )
+        else:
+            raise SpecificationError(
+                f"line {line_no}: unknown keyword {keyword!r}"
+            )
+
+    if input_spec is None:
+        raise SpecificationError("description has no input declaration")
+    return Network(name, input_spec, layers)
+
+
+def _layer_name_and_kwargs(
+    fields: List[str], line_no: int, keyword: str
+) -> Tuple[Optional[str], Dict[str, str]]:
+    """``conv C1 maps 6 ...`` — the name is optional (absent when the
+    token after the keyword is itself a known key)."""
+    known_keys = {"maps", "kernel", "stride", "pad", "window", "out", "mode"}
+    rest = fields[1:]
+    if rest and rest[0] not in known_keys:
+        return rest[0], _parse_kwargs(rest[1:], line_no)
+    return None, _parse_kwargs(rest, line_no)
+
+
+def to_description(network: Network) -> str:
+    """Serialize a Network back to the description format."""
+    lines = [f"network {network.name}"]
+    lines.append(f"input {network.input_spec.maps} {network.input_spec.size}")
+    for layer in network.layers:
+        if isinstance(layer, ConvLayer):
+            parts = [f"conv {layer.name} maps {layer.out_maps} kernel {layer.kernel}"]
+            if layer.stride != 1:
+                parts.append(f"stride {layer.stride}")
+            if layer.explicit_in_size is not None:
+                parts.append(f"pad same out {layer.out_size}")
+            lines.append(" ".join(parts))
+        elif isinstance(layer, PoolLayer):
+            lines.append(
+                f"pool {layer.name} window {layer.window} out {layer.out_size}"
+                + (f" mode {layer.mode}" if layer.mode != "max" else "")
+            )
+        elif isinstance(layer, JoinLayer):
+            lines.append(f"join {layer.name} maps {layer.out_maps}")
+        elif isinstance(layer, FCLayer):
+            lines.append(f"fc {layer.name} out {layer.out_neurons}")
+    return "\n".join(lines) + "\n"

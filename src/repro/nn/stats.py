@@ -1,0 +1,107 @@
+"""Workload statistics: operation counts, footprints, and parallelism mix.
+
+These are the quantities the paper's introduction and Section 3 reason
+about: how much compute each layer carries, how large its data objects are,
+and which parallelism dimension (feature map / neuron / synapse) dominates
+— the "dominant parallel type varies dramatically" observation that
+motivates FlexFlow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.nn.layers import ConvLayer
+from repro.nn.network import Network
+
+
+@dataclass(frozen=True)
+class LayerFootprint:
+    """Word counts for one CONV layer's data objects (16-bit words)."""
+
+    name: str
+    input_words: int
+    output_words: int
+    kernel_words: int
+    macs: int
+
+    @property
+    def total_words(self) -> int:
+        return self.input_words + self.output_words + self.kernel_words
+
+    def bytes(self, word_bytes: int = 2) -> int:
+        """Footprint in bytes for the given word width (default 16-bit)."""
+        return self.total_words * word_bytes
+
+
+def conv_footprint(layer: ConvLayer) -> LayerFootprint:
+    """Footprint of a single CONV layer."""
+    return LayerFootprint(
+        name=layer.name,
+        input_words=layer.num_input_words,
+        output_words=layer.num_output_words,
+        kernel_words=layer.num_kernel_words,
+        macs=layer.macs,
+    )
+
+
+def network_footprints(network: Network) -> List[LayerFootprint]:
+    """Per-CONV-layer footprints for a whole network."""
+    return [conv_footprint(layer) for layer in network.conv_layers]
+
+
+@dataclass(frozen=True)
+class ParallelismProfile:
+    """The sizes of the three parallelism dimensions for one CONV layer.
+
+    ``feature_map`` is ``M x N`` (how many (input, output) map pairs exist),
+    ``neuron`` is ``S^2`` (neurons per output map), ``synapse`` is ``K^2``
+    (synapses per kernel).  The *dominant* dimension is the largest; the
+    paper's Figure 1 argument is that it flips between layers.
+    """
+
+    name: str
+    feature_map: int
+    neuron: int
+    synapse: int
+
+    @property
+    def dominant(self) -> str:
+        ranked = sorted(
+            (
+                ("FP", self.feature_map),
+                ("NP", self.neuron),
+                ("SP", self.synapse),
+            ),
+            key=lambda pair: pair[1],
+            reverse=True,
+        )
+        return ranked[0][0]
+
+
+def parallelism_profile(layer: ConvLayer) -> ParallelismProfile:
+    """Quantify the FP/NP/SP dimensions of one CONV layer."""
+    return ParallelismProfile(
+        name=layer.name,
+        feature_map=layer.out_maps * layer.in_maps,
+        neuron=layer.out_size * layer.out_size,
+        synapse=layer.kernel * layer.kernel,
+    )
+
+
+def dominant_parallelism_by_layer(network: Network) -> Dict[str, str]:
+    """Map each CONV layer name to its dominant parallelism type."""
+    return {
+        layer.name: parallelism_profile(layer).dominant
+        for layer in network.conv_layers
+    }
+
+
+def conv_compute_share(network: Network) -> float:
+    """Share of the network's MACs spent in CONV layers.
+
+    Supports the paper's ">90 % of the computation volume" claim for the
+    workloads that include FC layers.
+    """
+    return network.conv_fraction()

@@ -1,0 +1,100 @@
+"""Run-artifact export: save simulation/execution results as JSON.
+
+Reproducibility plumbing: a functional-simulation or accelerator run can
+be frozen to a JSON document (configuration + per-layer numbers + event
+counters) and reloaded for comparison — the artifact a CI job or a paper
+artifact-evaluation committee wants next to the code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.accelerators.base import NetworkResult
+from repro.arch.serialization import config_to_dict
+from repro.errors import ConfigurationError
+from repro.sim.trace import SimTrace
+
+#: Schema version for forward compatibility.
+SCHEMA_VERSION = 1
+
+
+def network_result_to_dict(result: NetworkResult) -> Dict[str, Any]:
+    """Freeze an accelerator run (config, per-layer rows, totals)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": result.kind,
+        "network": result.network_name,
+        "config": config_to_dict(result.config),
+        "layers": [
+            {
+                "name": layer.layer.name,
+                "cycles": layer.cycles,
+                "utilization": layer.utilization,
+                "macs": layer.macs,
+                "buffer_words": layer.counts.buffer_words_total,
+                "dram_words": layer.counts.dram_accesses,
+            }
+            for layer in result.layers
+        ],
+        "totals": {
+            "cycles": result.total_cycles,
+            "macs": result.total_macs,
+            "utilization": result.overall_utilization,
+            "gops": result.gops,
+            "power_mw": result.power_mw,
+            "energy_uj": result.energy_uj,
+            "gops_per_watt": result.gops_per_watt,
+            "buffer_words": result.buffer_traffic_words,
+            "dram_accesses_per_op": result.dram_accesses_per_op,
+        },
+    }
+
+
+def network_result_to_json(result: NetworkResult, *, indent: int = 2) -> str:
+    return json.dumps(network_result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def sim_trace_to_dict(trace: SimTrace) -> Dict[str, Any]:
+    """Freeze a functional-simulation trace's counters."""
+    data = trace.as_dict()
+    data["schema"] = SCHEMA_VERSION
+    return data
+
+
+def load_run(text: str) -> Dict[str, Any]:
+    """Parse a frozen run, checking the schema version."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid run JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigurationError("run JSON must be an object")
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported run schema {data.get('schema')!r};"
+            f" expected {SCHEMA_VERSION}"
+        )
+    return data
+
+
+def compare_runs(old: Dict[str, Any], new: Dict[str, Any], *, rel_tol: float = 1e-9) -> Dict[str, Any]:
+    """Field-by-field diff of two frozen runs' totals.
+
+    Returns ``{field: (old, new)}`` for every total that moved by more
+    than ``rel_tol`` relatively — the regression check a CI pipeline runs
+    against a committed baseline.
+    """
+    drifted: Dict[str, Any] = {}
+    old_totals = old.get("totals", {})
+    new_totals = new.get("totals", {})
+    for field in sorted(set(old_totals) | set(new_totals)):
+        a, b = old_totals.get(field), new_totals.get(field)
+        if a is None or b is None:
+            drifted[field] = (a, b)
+            continue
+        scale = max(abs(a), abs(b), 1e-30)
+        if abs(a - b) / scale > rel_tol:
+            drifted[field] = (a, b)
+    return drifted

@@ -1,0 +1,243 @@
+"""Functional cycle-level simulation of the FlexFlow PE array.
+
+This simulator executes a CONV layer exactly the way Section 4 describes:
+
+* the PE array is logically grouped by the unrolling factors
+  (:class:`~repro.dataflow.grouping.GroupGeometry`);
+* every PE owns a neuron local store and a kernel local store
+  (:class:`~repro.arch.local_store.LocalStore`), demand-filled over
+  vertical (neuron) and horizontal (kernel) common data buses with
+  per-cycle broadcast sharing (RA/RS);
+* each cycle, every active PE row sums ``Tn * Ti * Tj`` products through
+  its adder tree into the row's output-neuron accumulator;
+* one unrolled tile executes per cycle, so the simulated cycle count must
+  equal ``factors.outer_iterations(layer)`` — an invariant the tests pin.
+
+The result is numerically compared against the NumPy golden model; this is
+the executable proof that the Section 4.3 mapping formulas, the RA synapse
+reordering, and the local-store addressing are mutually consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.config import ArchConfig
+from repro.arch.local_store import LocalStore
+from repro.dataflow.grouping import GroupGeometry
+from repro.dataflow.mapper import map_layer
+from repro.dataflow.unrolling import UnrollingFactors
+from repro.errors import SimulationError, SpecificationError
+from repro.nn.layers import ConvLayer
+from repro.nn.reference import pad_input
+from repro.sim.trace import SimTrace
+
+
+class CoordStore:
+    """A local store addressed by data coordinates.
+
+    Wraps :class:`LocalStore`'s circular auto-increment writes with a
+    coordinate -> address map, evicting the overwritten coordinate — so a
+    word evicted before reuse must be re-broadcast, making the observed
+    traffic capacity-aware.
+    """
+
+    def __init__(self, capacity_words: int, name: str) -> None:
+        self.store = LocalStore(capacity_words, name=name)
+        self._address_of: Dict[Hashable, int] = {}
+        self._coord_at: Dict[int, Hashable] = {}
+
+    def contains(self, coord: Hashable) -> bool:
+        return coord in self._address_of
+
+    def write(self, coord: Hashable, value: float) -> None:
+        address = self.store.push(value)
+        stale = self._coord_at.get(address)
+        if stale is not None:
+            del self._address_of[stale]
+        self._coord_at[address] = coord
+        self._address_of[coord] = address
+
+    def read(self, coord: Hashable) -> float:
+        address = self._address_of.get(coord)
+        if address is None:
+            raise SimulationError(f"{self.store.name}: {coord} not resident")
+        return self.store.read(address)
+
+    @property
+    def reads(self) -> int:
+        return self.store.reads
+
+    @property
+    def writes(self) -> int:
+        return self.store.writes
+
+
+@dataclass
+class _PE:
+    """One processing element: two coordinate-addressed local stores."""
+
+    neuron_store: CoordStore
+    kernel_store: CoordStore
+
+
+class FlexFlowFunctionalSim:
+    """Cycle-level functional model of the FlexFlow convolutional unit."""
+
+    def __init__(
+        self,
+        config: Optional[ArchConfig] = None,
+        *,
+        factors: Optional[UnrollingFactors] = None,
+    ) -> None:
+        self.config = config or ArchConfig(array_dim=4)
+        self.factors = factors
+
+    def run_layer(
+        self,
+        layer: ConvLayer,
+        inputs: np.ndarray,
+        kernels: np.ndarray,
+    ) -> Tuple[np.ndarray, SimTrace]:
+        """Execute one CONV layer; returns ``(outputs, trace)``.
+
+        Args:
+            layer: the layer spec (defines shapes and the mapping).
+            inputs: ``(N, in_size, in_size)`` input feature maps.
+            kernels: ``(M, N, K, K)`` kernel tensor.
+        """
+        if tuple(inputs.shape) != layer.input_shape:
+            raise SpecificationError(
+                f"inputs shape {inputs.shape} != {layer.input_shape}"
+            )
+        if tuple(kernels.shape) != layer.kernel_shape:
+            raise SpecificationError(
+                f"kernels shape {kernels.shape} != {layer.kernel_shape}"
+            )
+        dim = self.config.array_dim
+        factors = self.factors or map_layer(layer, dim).factors
+        factors.check(layer, dim)
+        geometry = GroupGeometry(factors, dim)
+
+        padded = pad_input(inputs, layer.padding)
+        stride = layer.stride
+        m_total, s_total, k_total = layer.out_maps, layer.out_size, layer.kernel
+        n_total = layer.in_maps
+
+        pes = [
+            [
+                _PE(
+                    neuron_store=CoordStore(
+                        self.config.neuron_store_words, f"ns({row},{col})"
+                    ),
+                    kernel_store=CoordStore(
+                        self.config.kernel_store_words, f"ks({row},{col})"
+                    ),
+                )
+                for col in range(geometry.active_cols)
+            ]
+            for row in range(geometry.active_rows)
+        ]
+
+        outputs = np.zeros((m_total, s_total, s_total))
+        trace = SimTrace()
+        f = factors
+
+        for m0 in range(0, m_total, f.tm):
+            for r0 in range(0, s_total, f.tr):
+                for c0 in range(0, s_total, f.tc):
+                    accumulators = np.zeros(geometry.active_rows)
+                    row_targets = {}
+                    for row in range(geometry.active_rows):
+                        dm, dr, dc = geometry.decompose_row(row)
+                        m, r, c = m0 + dm, r0 + dr, c0 + dc
+                        if m < m_total and r < s_total and c < s_total:
+                            row_targets[row] = (m, r, c)
+                    for n0 in range(0, n_total, f.tn):
+                        for i0 in range(0, k_total, f.ti):
+                            for j0 in range(0, k_total, f.tj):
+                                trace.cycles += 1
+                                self._execute_cycle(
+                                    pes,
+                                    geometry,
+                                    padded,
+                                    kernels,
+                                    accumulators,
+                                    row_targets,
+                                    trace,
+                                    bases=(m0, n0, r0, c0, i0, j0),
+                                    layer_dims=(m_total, n_total, s_total, k_total),
+                                    stride=stride,
+                                )
+                    for row, (m, r, c) in row_targets.items():
+                        outputs[m, r, c] = accumulators[row]
+                        trace.neuron_buffer_writes += 1
+        return outputs, trace
+
+    def _execute_cycle(
+        self,
+        pes,
+        geometry: GroupGeometry,
+        padded: np.ndarray,
+        kernels: np.ndarray,
+        accumulators: np.ndarray,
+        row_targets,
+        trace: SimTrace,
+        *,
+        bases,
+        layer_dims,
+        stride: int,
+    ) -> None:
+        """One unrolled tile: demand-fill stores, then all-PE MAC + trees."""
+        m0, n0, r0, c0, i0, j0 = bases
+        m_total, n_total, s_total, k_total = layer_dims
+        f = geometry.factors
+
+        # Per-cycle broadcast sharing: a word already driven onto a bus
+        # this cycle is free for every other PE on that bus (RA/RS).
+        neuron_bus_words = [set() for _ in range(geometry.active_cols)]
+        kernel_group_words: Dict[Tuple[int, int], set] = {}
+
+        for row, target in row_targets.items():
+            dm = geometry.decompose_row(row)[0]
+            _, r, c = target
+            m = target[0]
+            tree_sum = 0.0
+            for col in range(geometry.active_cols):
+                dn, di, dj = geometry.decompose_col(col)
+                n, i, j = n0 + dn, i0 + di, j0 + dj
+                if n >= n_total or i >= k_total or j >= k_total:
+                    continue
+                in_r = r * stride + i
+                in_c = c * stride + j
+                pe = pes[row][col]
+                neuron_coord = (n, in_r, in_c)
+                if not pe.neuron_store.contains(neuron_coord):
+                    if neuron_coord not in neuron_bus_words[col]:
+                        trace.neuron_buffer_reads += 1
+                        trace.bus_transfers += 1
+                        neuron_bus_words[col].add(neuron_coord)
+                    pe.neuron_store.write(
+                        neuron_coord, padded[n, in_r, in_c]
+                    )
+                    trace.local_store_writes += 1
+                kernel_coord = (m, n, i, j)
+                if not pe.kernel_store.contains(kernel_coord):
+                    group = geometry.group_for_kernel(m, n)
+                    words = kernel_group_words.setdefault(group, set())
+                    if kernel_coord not in words:
+                        trace.kernel_buffer_reads += 1
+                        trace.bus_transfers += 1
+                        words.add(kernel_coord)
+                    pe.kernel_store.write(kernel_coord, kernels[m, n, i, j])
+                    trace.local_store_writes += 1
+                neuron = pe.neuron_store.read(neuron_coord)
+                synapse = pe.kernel_store.read(kernel_coord)
+                trace.local_store_reads += 2
+                tree_sum += neuron * synapse
+                trace.mac_ops += 1
+            accumulators[row] += tree_sum
+            trace.register_accesses += 2  # accumulator read + write

@@ -1,0 +1,129 @@
+"""Full-network functional simulation on the FlexFlow machine.
+
+Chains the cycle-level simulators through a whole CNN: CONV layers run on
+the :class:`~repro.sim.flexflow_sim.FlexFlowFunctionalSim` PE array with
+the network's jointly-optimized unrolling factors, POOL layers on the 1-D
+:class:`~repro.sim.pooling_sim.PoolingUnitSim`, JOIN layers re-group maps,
+and FC layers execute on the PE array via the standard FC-as-1x1-CONV
+reduction.  The final activations are compared against the golden
+whole-network runner (:mod:`repro.nn.execution`) — an end-to-end proof
+that the mapping, grouping, and addressing machinery compose across
+layers, not just within one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.config import ArchConfig
+from repro.dataflow.mapper import map_network
+from repro.errors import SpecificationError
+from repro.nn.execution import make_network_inputs, run_join_layer
+from repro.nn.layers import ConvLayer, FCLayer, JoinLayer, PoolLayer
+from repro.nn.network import Network
+from repro.nn.reference import make_fc_weights, make_kernels
+from repro.sim.flexflow_sim import FlexFlowFunctionalSim
+from repro.sim.pooling_sim import PoolingUnitSim
+from repro.sim.trace import SimTrace
+
+
+@dataclass
+class NetworkSimResult:
+    """Outcome of a full-network functional run."""
+
+    network_name: str
+    final_output: np.ndarray
+    activations: Dict[str, np.ndarray]
+    conv_trace: SimTrace
+    pool_trace: SimTrace
+    layer_cycles: Dict[str, int]
+
+    @property
+    def total_conv_cycles(self) -> int:
+        return self.conv_trace.cycles
+
+
+class FlexFlowNetworkSim:
+    """Execute a whole network, layer by layer, on the functional machine."""
+
+    def __init__(self, config: Optional[ArchConfig] = None) -> None:
+        self.config = config or ArchConfig(array_dim=8)
+
+    def run_network(
+        self, network: Network, inputs: Optional[np.ndarray] = None
+    ) -> NetworkSimResult:
+        current = inputs if inputs is not None else make_network_inputs(network)
+        if tuple(current.shape) != network.input_spec.shape:
+            raise SpecificationError(
+                f"{network.name}: inputs shape {current.shape} !="
+                f" {network.input_spec.shape}"
+            )
+        dim = self.config.array_dim
+        if network.conv_layers:
+            mapping = map_network(network, dim).by_layer_name()
+        else:
+            mapping = {}
+        pooling = PoolingUnitSim(num_alus=dim)
+
+        conv_trace = SimTrace()
+        pool_trace = SimTrace()
+        activations: Dict[str, np.ndarray] = {}
+        layer_cycles: Dict[str, int] = {}
+
+        for layer in network.layers:
+            if isinstance(layer, ConvLayer):
+                factors = mapping[layer.name].factors
+                sim = FlexFlowFunctionalSim(self.config, factors=factors)
+                kernels = make_kernels(layer)
+                current, trace = sim.run_layer(layer, current, kernels)
+                _merge(conv_trace, trace)
+                layer_cycles[layer.name] = trace.cycles
+            elif isinstance(layer, PoolLayer):
+                current, trace = pooling.run_layer(layer, current)
+                _merge(pool_trace, trace)
+                layer_cycles[layer.name] = trace.cycles
+            elif isinstance(layer, JoinLayer):
+                current = run_join_layer(layer, current)
+                layer_cycles[layer.name] = 0
+            elif isinstance(layer, FCLayer):
+                current, cycles = self._run_fc(layer, current, conv_trace)
+                layer_cycles[layer.name] = cycles
+            else:  # pragma: no cover
+                raise SpecificationError(
+                    f"unsupported layer {type(layer).__name__}"
+                )
+            activations[layer.name] = current
+        return NetworkSimResult(
+            network_name=network.name,
+            final_output=current,
+            activations=activations,
+            conv_trace=conv_trace,
+            pool_trace=pool_trace,
+            layer_cycles=layer_cycles,
+        )
+
+    def _run_fc(
+        self, layer: FCLayer, inputs: np.ndarray, conv_trace: SimTrace
+    ) -> Tuple[np.ndarray, int]:
+        """FC on the PE array via the 1x1-CONV reduction.
+
+        The equivalent CONV has N = in_neurons 1x1 input maps and
+        M = out_neurons 1x1 outputs; its kernel tensor is the FC weight
+        matrix reshaped, so numerics match :func:`run_fc_layer` exactly.
+        """
+        conv = layer.as_conv()
+        weights = make_fc_weights(layer)
+        kernels = weights.reshape(layer.out_neurons, layer.in_neurons, 1, 1)
+        conv_inputs = inputs.reshape(layer.in_neurons, 1, 1)
+        sim = FlexFlowFunctionalSim(self.config)
+        outputs, trace = sim.run_layer(conv, conv_inputs, kernels)
+        _merge(conv_trace, trace)
+        return outputs.reshape(layer.out_neurons), trace.cycles
+
+
+def _merge(total: SimTrace, part: SimTrace) -> None:
+    for field in vars(part):
+        setattr(total, field, getattr(total, field) + getattr(part, field))

@@ -1,0 +1,129 @@
+"""Tests for the shared accelerator interface and result records."""
+
+import pytest
+
+from repro.accelerators import dram_words_with_reload, make_accelerator
+from repro.accelerators.base import LayerResult, NetworkResult
+from repro.arch import ActivityCounts, ArchConfig, DEFAULT_CONFIG
+from repro.errors import ConfigurationError
+from repro.nn import ConvLayer, get_workload
+
+
+def toy_layer():
+    return ConvLayer("c", in_maps=2, out_maps=4, out_size=6, kernel=3)
+
+
+def toy_result(cycles=100, macs=None):
+    layer = toy_layer()
+    macs = macs if macs is not None else layer.macs
+    return LayerResult(
+        kind="flexflow",
+        layer=layer,
+        cycles=cycles,
+        utilization=0.5,
+        counts=ActivityCounts(cycles=cycles, mac_ops=macs, active_pe_cycles=macs),
+    )
+
+
+class TestLayerResult:
+    def test_gops(self):
+        result = toy_result(cycles=100)
+        expected = toy_layer().ops / (100e-9) / 1e9
+        assert result.gops(1e9) == pytest.approx(expected)
+
+    def test_zero_cycles_zero_gops(self):
+        assert toy_result(cycles=0).gops(1e9) == 0.0
+
+    def test_macs_and_ops(self):
+        result = toy_result()
+        assert result.ops == 2 * result.macs
+
+
+class TestNetworkResult:
+    def make(self):
+        acc = make_accelerator("flexflow", DEFAULT_CONFIG)
+        return acc.simulate_network(get_workload("LeNet-5"))
+
+    def test_totals_sum_layers(self):
+        result = self.make()
+        assert result.total_cycles == sum(r.cycles for r in result.layers)
+        assert result.total_macs == sum(r.macs for r in result.layers)
+
+    def test_counts_aggregate(self):
+        result = self.make()
+        assert result.counts.mac_ops == result.total_macs
+
+    def test_utilization_definition(self):
+        result = self.make()
+        assert result.overall_utilization == pytest.approx(
+            result.total_macs / (result.total_cycles * 256)
+        )
+
+    def test_gops_consistent_with_runtime(self):
+        result = self.make()
+        assert result.gops == pytest.approx(
+            result.total_ops / result.runtime_s / 1e9
+        )
+
+    def test_power_and_efficiency_positive(self):
+        result = self.make()
+        assert result.power_mw > 0
+        assert result.energy_uj > 0
+        assert result.gops_per_watt > 0
+
+    def test_by_layer_name(self):
+        result = self.make()
+        assert set(result.by_layer_name()) == {"C1", "C3"}
+
+    def test_dram_per_op(self):
+        result = self.make()
+        assert result.dram_accesses_per_op == pytest.approx(
+            result.dram_accesses / result.total_ops
+        )
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", ["systolic", "mapping2d", "tiling", "flexflow"])
+    def test_known_kinds(self, kind):
+        acc = make_accelerator(kind, DEFAULT_CONFIG)
+        assert acc.kind == kind
+
+    def test_systolic_sized_for_alexnet(self):
+        acc = make_accelerator("systolic", DEFAULT_CONFIG, workload_name="AlexNet")
+        assert acc.array_size == 11
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_accelerator("tpu")
+
+
+class TestDramReload:
+    def test_fits_in_buffer_single_pass(self):
+        layer = toy_layer()
+        words = dram_words_with_reload(layer, DEFAULT_CONFIG)
+        assert words == (
+            layer.num_input_words + layer.num_kernel_words + layer.num_output_words
+        )
+
+    def test_input_reread_factor(self):
+        layer = toy_layer()
+        once = dram_words_with_reload(layer, DEFAULT_CONFIG)
+        thrice = dram_words_with_reload(layer, DEFAULT_CONFIG, input_reread_factor=3)
+        assert thrice == once + 2 * layer.num_input_words
+
+    def test_kernel_overflow_charges_reload(self):
+        # VGG-11 C12: 512*512*9 = 2.36M kernel words >> 16K buffer words.
+        layer = ConvLayer("c", in_maps=512, out_maps=512, out_size=6, kernel=3)
+        words = dram_words_with_reload(layer, DEFAULT_CONFIG)
+        unique = (
+            layer.num_input_words + layer.num_kernel_words + layer.num_output_words
+        )
+        assert words > unique
+
+    def test_pool_ops_attributed_to_preceding_conv(self):
+        acc = make_accelerator("flexflow", DEFAULT_CONFIG)
+        result = acc.simulate_network(get_workload("LeNet-5"))
+        by_name = result.by_layer_name()
+        # LeNet-5 S2 pools C1's output, S4 pools C3's.
+        assert by_name["C1"].counts.pool_ops > 0
+        assert by_name["C3"].counts.pool_ops > 0

@@ -1,0 +1,48 @@
+"""Tests for FC-layer execution on the accelerator models."""
+
+import pytest
+
+from repro.accelerators import make_accelerator
+from repro.arch import DEFAULT_CONFIG
+from repro.nn import FCLayer, get_workload
+
+
+class TestSimulateFC:
+    def test_macs_preserved_by_reduction(self):
+        fc = FCLayer("f", in_neurons=400, out_neurons=120)
+        result = make_accelerator("flexflow", DEFAULT_CONFIG).simulate_fc_layer(fc)
+        assert result.macs == fc.macs
+
+    def test_flexflow_high_utilization_on_large_fc(self):
+        fc = FCLayer("f", in_neurons=4096, out_neurons=4096)
+        result = make_accelerator("flexflow", DEFAULT_CONFIG).simulate_fc_layer(fc)
+        assert result.utilization > 0.9
+
+    def test_np_only_baseline_collapses_on_fc(self):
+        # 2D-Mapping has nothing to unroll on 1x1 maps: one PE active.
+        fc = FCLayer("f", in_neurons=400, out_neurons=120)
+        result = make_accelerator("mapping2d", DEFAULT_CONFIG).simulate_fc_layer(fc)
+        assert result.utilization < 0.01
+
+    def test_tiling_strong_on_fc(self):
+        fc = FCLayer("f", in_neurons=256, out_neurons=256)
+        result = make_accelerator("tiling", DEFAULT_CONFIG).simulate_fc_layer(fc)
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_include_fc_extends_network_result(self):
+        net = get_workload("LeNet-5")
+        acc = make_accelerator("flexflow", DEFAULT_CONFIG)
+        conv_only = acc.simulate_network(net)
+        with_fc = acc.simulate_network(net, include_fc=True)
+        assert len(with_fc.layers) == len(conv_only.layers) + 3
+        assert with_fc.total_macs == net.total_macs
+        assert with_fc.total_cycles > conv_only.total_cycles
+
+    def test_fc_experiment_shape(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("fc")
+        for row in result.rows:
+            assert row["FlexFlow_util"] > 0.8
+            assert row["2D-Mapping_util"] < 0.05
+            assert row["Systolic_util"] < 0.05

@@ -1,0 +1,78 @@
+"""Tests for the 2D-Mapping baseline against Section 3.2 / Table 3."""
+
+import pytest
+
+from repro.accelerators import Mapping2DAccelerator
+from repro.arch import DEFAULT_CONFIG
+from repro.errors import ConfigurationError
+from repro.nn import ConvLayer, get_workload
+
+
+class TestSpatialUtilization:
+    """Table 3's 2D-Mapping column: S^2 / (ceil(S/B)^2 * B^2)."""
+
+    def test_pv_c3_on_c1_opt(self):
+        # C1-optimized block = 45; C3's S=20 -> 400/2025 = 19.8 %.
+        acc = Mapping2DAccelerator(block_size=45)
+        c3 = get_workload("PV").conv_layers[1]
+        assert acc.spatial_utilization(c3) == pytest.approx(400 / 2025)
+
+    def test_pv_c1_on_c3_opt(self):
+        # C3-optimized block = 20; C1's S=45 -> 2025/3600 = 56 %.
+        acc = Mapping2DAccelerator(block_size=20)
+        c1 = get_workload("PV").conv_layers[0]
+        assert acc.spatial_utilization(c1) == pytest.approx(2025 / 3600)
+
+    def test_fr_c3_on_c1_opt(self):
+        acc = Mapping2DAccelerator(block_size=28)
+        c3 = get_workload("FR").conv_layers[1]
+        assert acc.spatial_utilization(c3) == pytest.approx(100 / 784)
+
+    def test_fr_c1_on_c3_opt(self):
+        acc = Mapping2DAccelerator(block_size=10)
+        c1 = get_workload("FR").conv_layers[0]
+        assert acc.spatial_utilization(c1) == pytest.approx(784 / 900)
+
+
+class TestSimulation:
+    def test_cycles_formula(self):
+        acc = Mapping2DAccelerator(DEFAULT_CONFIG)
+        layer = ConvLayer("c", in_maps=2, out_maps=3, out_size=16, kernel=3)
+        result = acc.simulate_layer(layer)
+        # M * blocks * (N*K^2 + block switch) = 3 * 1 * (18 + 16).
+        assert result.cycles == 3 * (2 * 9 + 16)
+
+    def test_edge_blocks_waste_resources(self):
+        acc = Mapping2DAccelerator(DEFAULT_CONFIG)
+        # S=17 needs 4 blocks of a 16x16 array: utilization collapses.
+        big = ConvLayer("c", in_maps=1, out_maps=1, out_size=17, kernel=3)
+        aligned = ConvLayer("c", in_maps=1, out_maps=1, out_size=16, kernel=3)
+        assert (
+            acc.simulate_layer(big).utilization
+            < acc.simulate_layer(aligned).utilization / 2
+        )
+
+    def test_inputs_reread_per_output_map(self):
+        acc = Mapping2DAccelerator(DEFAULT_CONFIG)
+        one = ConvLayer("c", in_maps=2, out_maps=1, out_size=14, kernel=3)
+        four = ConvLayer("c", in_maps=2, out_maps=4, out_size=14, kernel=3)
+        assert (
+            acc.simulate_layer(four).counts.neuron_buffer_reads
+            == 4 * acc.simulate_layer(one).counts.neuron_buffer_reads
+        )
+
+    def test_synapse_broadcast_once_per_cycle_per_kernel(self):
+        acc = Mapping2DAccelerator(DEFAULT_CONFIG)
+        layer = ConvLayer("c", in_maps=2, out_maps=3, out_size=14, kernel=3)
+        counts = acc.simulate_layer(layer).counts
+        assert counts.kernel_buffer_reads == 3 * 2 * 9
+
+    def test_fifo_traffic_scales_with_cycles(self):
+        acc = Mapping2DAccelerator(DEFAULT_CONFIG)
+        layer = ConvLayer("c", in_maps=2, out_maps=3, out_size=14, kernel=3)
+        result = acc.simulate_layer(layer)
+        assert result.counts.fifo_accesses == 2 * result.cycles * 14
+
+    def test_invalid_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Mapping2DAccelerator(block_size=0)

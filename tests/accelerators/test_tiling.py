@@ -1,0 +1,74 @@
+"""Tests for the Tiling baseline against Section 3.3 / Table 3."""
+
+import pytest
+
+from repro.accelerators import TilingAccelerator
+from repro.arch import DEFAULT_CONFIG
+from repro.errors import ConfigurationError
+from repro.nn import ConvLayer, get_workload
+
+
+class TestSpatialUtilization:
+    """Table 3's Tiling column: M*N / (ceil(M/Tm)*ceil(N/Tn)*Tm*Tn)."""
+
+    def test_pv_c3_on_c1_opt(self):
+        # C1-optimized <Tm=8, Tn=1>; C3 (M=12, N=8): 96/(2*8*8) = 75 %.
+        acc = TilingAccelerator(tm=8, tn=1)
+        c3 = get_workload("PV").conv_layers[1]
+        assert acc.spatial_utilization(c3) == pytest.approx(0.75)
+
+    def test_pv_c1_on_c3_opt(self):
+        # C3-optimized <Tm=12, Tn=8>; C1 (M=8, N=1): 8/96 = 8.3 %.
+        acc = TilingAccelerator(tm=12, tn=8)
+        c1 = get_workload("PV").conv_layers[0]
+        assert acc.spatial_utilization(c1) == pytest.approx(8 / 96)
+
+    def test_fr_c3_on_c1_opt_is_full(self):
+        # C1-optimized <Tm=4, Tn=1>; C3 (M=16, N=4): 64/(4*4*4) = 100 %.
+        acc = TilingAccelerator(tm=4, tn=1)
+        c3 = get_workload("FR").conv_layers[1]
+        assert acc.spatial_utilization(c3) == pytest.approx(1.0)
+
+    def test_fr_c1_on_c3_opt(self):
+        # C3-optimized <Tm=16, Tn=4>; C1 (M=4, N=1): 4/64 = 6.2 %.
+        acc = TilingAccelerator(tm=16, tn=4)
+        c1 = get_workload("FR").conv_layers[0]
+        assert acc.spatial_utilization(c1) == pytest.approx(4 / 64)
+
+
+class TestSimulation:
+    def test_cycles_formula(self):
+        acc = TilingAccelerator(DEFAULT_CONFIG)  # Tm = Tn = 16
+        layer = ConvLayer("c", in_maps=32, out_maps=32, out_size=4, kernel=3)
+        result = acc.simulate_layer(layer)
+        assert result.cycles == 2 * 2 * 16 * 9
+
+    def test_synapse_traffic_equals_macs(self):
+        # The architecture's signature: zero synapse reuse.
+        acc = TilingAccelerator(DEFAULT_CONFIG)
+        layer = get_workload("PV").conv_layers[0]
+        counts = acc.simulate_layer(layer).counts
+        assert counts.kernel_buffer_reads == layer.macs
+
+    def test_partial_sums_round_trip_when_n_exceeds_tn(self):
+        acc = TilingAccelerator(DEFAULT_CONFIG)
+        deep = ConvLayer("c", in_maps=32, out_maps=4, out_size=4, kernel=3)
+        shallow = ConvLayer("c", in_maps=16, out_maps=4, out_size=4, kernel=3)
+        assert acc.simulate_layer(deep).counts.neuron_buffer_partial_reads > 0
+        assert acc.simulate_layer(shallow).counts.neuron_buffer_partial_reads == 0
+
+    def test_low_utilization_on_few_maps(self):
+        acc = TilingAccelerator(DEFAULT_CONFIG)
+        layer = get_workload("FR").conv_layers[0]  # M=4, N=1
+        result = acc.simulate_layer(layer)
+        assert result.utilization == pytest.approx(4 / 256)
+
+    def test_high_utilization_on_vgg_layers(self):
+        # 512x512 layers divide evenly by 16: full tiling occupancy.
+        acc = TilingAccelerator(DEFAULT_CONFIG)
+        layer = get_workload("VGG-11").conv_layers[-1]
+        assert acc.simulate_layer(layer).utilization == pytest.approx(1.0)
+
+    def test_invalid_tiles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TilingAccelerator(tm=0)

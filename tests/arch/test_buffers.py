@@ -1,0 +1,94 @@
+"""Tests for banked on-chip buffers."""
+
+import pytest
+
+from repro.arch import BankedBuffer, BufferSet
+from repro.errors import CapacityError, SimulationError
+
+
+class TestBankedBuffer:
+    def test_write_read_roundtrip(self):
+        buf = BankedBuffer(capacity_bytes=64, banks=4)
+        buf.write(2, 3, 7.0)
+        assert buf.read(2, 3) == 7.0
+
+    def test_words_per_bank(self):
+        buf = BankedBuffer(capacity_bytes=64, banks=4, word_bytes=2)
+        assert buf.words_per_bank == 8
+
+    def test_unwritten_read_raises(self):
+        buf = BankedBuffer(capacity_bytes=64, banks=4)
+        with pytest.raises(SimulationError):
+            buf.read(0, 0)
+
+    def test_bank_bounds(self):
+        buf = BankedBuffer(capacity_bytes=64, banks=4)
+        with pytest.raises(CapacityError):
+            buf.write(4, 0, 1.0)
+        with pytest.raises(CapacityError):
+            buf.write(0, 8, 1.0)
+
+    def test_cycle_read_parallel_banks(self):
+        buf = BankedBuffer(capacity_bytes=64, banks=4)
+        for bank in range(4):
+            buf.write(bank, 0, float(bank))
+        values = buf.read_cycle([(b, 0) for b in range(4)])
+        assert values == [0.0, 1.0, 2.0, 3.0]
+
+    def test_cycle_read_conflict_raises(self):
+        buf = BankedBuffer(capacity_bytes=64, banks=4)
+        buf.write(1, 0, 1.0)
+        buf.write(1, 1, 2.0)
+        with pytest.raises(SimulationError, match="conflict"):
+            buf.read_cycle([(1, 0), (1, 1)])
+
+    def test_stats_count_accesses(self):
+        buf = BankedBuffer(capacity_bytes=64, banks=4)
+        buf.write(0, 0, 1.0)
+        buf.read(0, 0)
+        buf.read(0, 0)
+        stats = buf.stats()
+        assert stats.writes == 1
+        assert stats.reads == 2
+        assert stats.total == 3
+
+    def test_clear_preserves_counters(self):
+        buf = BankedBuffer(capacity_bytes=64, banks=4)
+        buf.write(0, 0, 1.0)
+        buf.clear()
+        assert buf.occupancy_words() == 0
+        assert buf.writes == 1
+
+    def test_too_small_for_banks_rejected(self):
+        with pytest.raises(CapacityError):
+            BankedBuffer(capacity_bytes=4, banks=4, word_bytes=2)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(CapacityError):
+            BankedBuffer(capacity_bytes=0, banks=1)
+        with pytest.raises(CapacityError):
+            BankedBuffer(capacity_bytes=64, banks=0)
+
+
+class TestBufferSet:
+    def test_swap_exchanges_neuron_buffers(self):
+        buffers = BufferSet(neuron_bytes=64, kernel_bytes=64, banks=4)
+        buffers.neuron_out.write(0, 0, 5.0)
+        old_out = buffers.neuron_out
+        buffers.swap()
+        assert buffers.neuron_in is old_out
+        assert buffers.neuron_in.read(0, 0) == 5.0
+
+    def test_swap_clears_new_out(self):
+        buffers = BufferSet(neuron_bytes=64, kernel_bytes=64, banks=4)
+        buffers.neuron_in.write(0, 0, 1.0)
+        buffers.swap()
+        assert buffers.neuron_out.occupancy_words() == 0
+
+    def test_totals_aggregate_three_buffers(self):
+        buffers = BufferSet(neuron_bytes=64, kernel_bytes=64, banks=4)
+        buffers.neuron_in.write(0, 0, 1.0)
+        buffers.kernel.write(0, 0, 2.0)
+        buffers.neuron_in.read(0, 0)
+        assert buffers.total_writes() == 2
+        assert buffers.total_reads() == 1

@@ -1,0 +1,100 @@
+"""Tests for interconnect functional models and wiring inventories."""
+
+import pytest
+
+from repro.arch import CommonDataBus, FifoLink, WIRING_MODELS, wiring_model
+from repro.errors import ConfigurationError, SimulationError
+
+
+class TestCommonDataBus:
+    def test_broadcast_returns_value(self):
+        bus = CommonDataBus("v0", num_stops=16)
+        assert bus.broadcast(3.5, [0, 5, 9]) == 3.5
+
+    def test_hops_counted_to_farthest_target(self):
+        bus = CommonDataBus("v0", num_stops=16)
+        bus.broadcast(1.0, [2, 7])
+        assert bus.word_hops == 8
+        assert bus.transfers == 1
+
+    def test_empty_targets_rejected(self):
+        bus = CommonDataBus("v0", num_stops=16)
+        with pytest.raises(SimulationError):
+            bus.broadcast(1.0, [])
+
+    def test_out_of_range_target_rejected(self):
+        bus = CommonDataBus("v0", num_stops=4)
+        with pytest.raises(SimulationError):
+            bus.broadcast(1.0, [4])
+
+    def test_zero_stops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommonDataBus("v0", num_stops=0)
+
+
+class TestFifoLink:
+    def test_fifo_order(self):
+        fifo = FifoLink(depth=3)
+        fifo.push(1.0)
+        fifo.push(2.0)
+        assert fifo.pop() == 1.0
+        assert fifo.pop() == 2.0
+
+    def test_overflow_raises(self):
+        fifo = FifoLink(depth=1)
+        fifo.push(1.0)
+        with pytest.raises(SimulationError):
+            fifo.push(2.0)
+
+    def test_underflow_raises(self):
+        fifo = FifoLink(depth=1)
+        with pytest.raises(SimulationError):
+            fifo.pop()
+
+    def test_flags_and_len(self):
+        fifo = FifoLink(depth=2)
+        assert fifo.empty and not fifo.full
+        fifo.push(1.0)
+        fifo.push(2.0)
+        assert fifo.full and len(fifo) == 2
+
+    def test_counters(self):
+        fifo = FifoLink(depth=4)
+        fifo.push(1.0)
+        fifo.pop()
+        assert fifo.pushes == 1 and fifo.pops == 1
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FifoLink(depth=0)
+
+
+class TestWiringModels:
+    def test_all_architectures_present(self):
+        assert set(WIRING_MODELS) == {
+            "systolic",
+            "mapping2d",
+            "tiling",
+            "flexflow",
+            "rowstationary",
+        }
+
+    def test_base_length_at_reference_scale(self):
+        for model in WIRING_MODELS.values():
+            assert model.wire_mm(16) == pytest.approx(model.base_mm_at_16)
+
+    def test_flexflow_grows_slowest_among_flexible_archs(self):
+        # Figure 19(c): FlexFlow area grows slower than 2D-Mapping/Tiling.
+        growth = {
+            kind: WIRING_MODELS[kind].wire_mm(64) / WIRING_MODELS[kind].wire_mm(16)
+            for kind in WIRING_MODELS
+        }
+        assert growth["flexflow"] < growth["mapping2d"] < growth["tiling"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            wiring_model("gpu")
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ConfigurationError):
+            wiring_model("flexflow").wire_mm(0)

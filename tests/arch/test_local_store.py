@@ -1,0 +1,157 @@
+"""Tests for local stores and the Figure 11 addressing FSM."""
+
+import pytest
+
+from repro.arch import (
+    AddressGenerator,
+    AddressingMode,
+    ControlFSM,
+    FSMState,
+    LocalStore,
+)
+from repro.errors import CapacityError, SimulationError
+
+
+class TestControlFSM:
+    def test_starts_in_s0(self):
+        fsm = ControlFSM()
+        assert fsm.start() is FSMState.S0
+        assert fsm.mode is AddressingMode.INIT
+
+    def test_plain_step_is_incr(self):
+        fsm = ControlFSM()
+        fsm.start()
+        assert fsm.step() is FSMState.S1
+        assert fsm.mode is AddressingMode.INCR
+
+    def test_window_done_holds(self):
+        fsm = ControlFSM()
+        fsm.start()
+        assert fsm.step(window_done=True) is FSMState.S2
+        assert fsm.mode is AddressingMode.HOLD
+
+    def test_row_done_jumps_and_beats_window_done(self):
+        fsm = ControlFSM()
+        fsm.start()
+        assert fsm.step(window_done=True, row_done=True) is FSMState.S3
+        assert fsm.mode is AddressingMode.JUMP
+
+    def test_returns_to_incr_after_boundary(self):
+        fsm = ControlFSM()
+        fsm.start()
+        fsm.step(row_done=True)
+        assert fsm.step() is FSMState.S1
+
+    def test_restart_resets(self):
+        fsm = ControlFSM()
+        fsm.step()
+        assert fsm.start() is FSMState.S0
+
+
+class TestAddressGenerator:
+    def test_simple_row_walk(self):
+        gen = AddressGenerator(
+            base=0, step=1, window_len=3, windows_per_row=2, row_jump=10
+        )
+        trace = gen.generate(num_rows=2)
+        modes = [t.mode for t in trace]
+        assert modes[0] is AddressingMode.INIT
+        assert AddressingMode.INCR in modes
+        # one HOLD per in-row window boundary (2 rows x 1 interior
+        # boundary), one JUMP per interior row boundary
+        assert modes.count(AddressingMode.JUMP) == 1
+        assert modes.count(AddressingMode.HOLD) == 2
+
+    def test_addresses_follow_step(self):
+        gen = AddressGenerator(
+            base=0, step=2, window_len=4, windows_per_row=1, row_jump=8
+        )
+        trace = gen.generate(num_rows=1)
+        assert [t.address for t in trace] == [0, 2, 4, 6]
+
+    def test_row_jump_moves_base(self):
+        gen = AddressGenerator(
+            base=0, step=1, window_len=2, windows_per_row=1, row_jump=10
+        )
+        trace = gen.generate(num_rows=2)
+        assert [t.address for t in trace] == [0, 1, 10, 11]
+
+    def test_modes_only_from_figure11_set(self):
+        gen = AddressGenerator(
+            base=5, step=1, window_len=3, windows_per_row=3, row_jump=9,
+            hold_repeats=1,
+        )
+        for t in gen.generate(num_rows=3):
+            assert t.mode in AddressingMode
+
+    def test_hold_repeats_reuse_window(self):
+        gen = AddressGenerator(
+            base=0, step=1, window_len=2, windows_per_row=1, row_jump=5,
+            hold_repeats=1,
+        )
+        trace = gen.generate(num_rows=1)
+        addresses = [t.address for t in trace]
+        assert addresses == [0, 1, 0, 1]
+        assert trace[2].mode is AddressingMode.HOLD
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(SimulationError):
+            AddressGenerator(
+                base=0, step=1, window_len=0, windows_per_row=1, row_jump=1
+            )
+        with pytest.raises(SimulationError):
+            AddressGenerator(
+                base=0, step=-1, window_len=1, windows_per_row=1, row_jump=1
+            )
+        gen = AddressGenerator(
+            base=0, step=1, window_len=1, windows_per_row=1, row_jump=1
+        )
+        with pytest.raises(SimulationError):
+            gen.generate(num_rows=0)
+
+
+class TestLocalStore:
+    def test_write_then_read(self):
+        store = LocalStore(capacity_words=8)
+        store.write(3, 1.5)
+        assert store.read(3) == 1.5
+
+    def test_read_unwritten_raises(self):
+        store = LocalStore(capacity_words=8)
+        with pytest.raises(SimulationError):
+            store.read(0)
+
+    def test_out_of_capacity_raises(self):
+        store = LocalStore(capacity_words=8)
+        with pytest.raises(CapacityError):
+            store.write(8, 1.0)
+        with pytest.raises(CapacityError):
+            store.read(-1)
+
+    def test_push_auto_increments_and_wraps(self):
+        store = LocalStore(capacity_words=2)
+        assert store.push(1.0) == 0
+        assert store.push(2.0) == 1
+        assert store.push(3.0) == 0  # circular refill
+        assert store.read(0) == 3.0
+
+    def test_counters(self):
+        store = LocalStore(capacity_words=4)
+        store.push(1.0)
+        store.push(2.0)
+        store.read(0)
+        assert store.writes == 2
+        assert store.reads == 1
+
+    def test_reset_clears_data_keeps_counters(self):
+        store = LocalStore(capacity_words=4)
+        store.push(1.0)
+        store.reset()
+        assert store.occupancy == 0
+        assert store.writes == 1
+        with pytest.raises(SimulationError):
+            store.read(0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            LocalStore(capacity_words=0)

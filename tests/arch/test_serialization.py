@@ -1,0 +1,67 @@
+"""Tests for config serialization."""
+
+import pytest
+
+from repro.arch import ArchConfig, DEFAULT_CONFIG, TechnologyModel
+from repro.arch.serialization import (
+    config_from_dict,
+    config_from_json,
+    config_to_dict,
+    config_to_json,
+    technology_from_dict,
+    technology_to_dict,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTechnologyRoundtrip:
+    def test_roundtrip_default(self):
+        tech = TechnologyModel()
+        assert technology_from_dict(technology_to_dict(tech)) == tech
+
+    def test_roundtrip_custom(self):
+        tech = TechnologyModel(frequency_hz=2e9, mult_energy_pj=0.9)
+        recovered = technology_from_dict(technology_to_dict(tech))
+        assert recovered.frequency_hz == 2e9
+        assert recovered.mult_energy_pj == 0.9
+
+    def test_unknown_field_rejected(self):
+        data = technology_to_dict(TechnologyModel())
+        data["voltage"] = 1.0
+        with pytest.raises(ConfigurationError, match="voltage"):
+            technology_from_dict(data)
+
+
+class TestConfigRoundtrip:
+    def test_roundtrip_default(self):
+        recovered = config_from_dict(config_to_dict(DEFAULT_CONFIG))
+        assert recovered == DEFAULT_CONFIG
+
+    def test_roundtrip_scaled(self):
+        config = DEFAULT_CONFIG.scaled_to(32)
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_json_roundtrip(self):
+        config = ArchConfig(array_dim=8, neuron_store_bytes=128)
+        recovered = config_from_json(config_to_json(config))
+        assert recovered == config
+
+    def test_unknown_field_rejected(self):
+        data = config_to_dict(DEFAULT_CONFIG)
+        data["pe_count"] = 512
+        with pytest.raises(ConfigurationError, match="pe_count"):
+            config_from_dict(data)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="invalid config JSON"):
+            config_from_json("{not json")
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="object"):
+            config_from_json("[1, 2, 3]")
+
+    def test_invalid_values_still_validated(self):
+        data = config_to_dict(DEFAULT_CONFIG)
+        data["array_dim"] = 0
+        with pytest.raises(ConfigurationError):
+            config_from_dict(data)

@@ -1,0 +1,55 @@
+"""Tests for double-buffered batch execution."""
+
+import pytest
+
+from repro.arch import DEFAULT_CONFIG
+from repro.compiler import ProgramExecutor, compile_network
+from repro.errors import ConfigurationError
+from repro.nn import get_workload
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_network(get_workload("LeNet-5"), 16)
+
+
+class TestExecuteBatch:
+    def test_batch_one_equals_single(self, program):
+        executor = ProgramExecutor(DEFAULT_CONFIG)
+        single = executor.execute(program)
+        batch = executor.execute_batch(program, 1)
+        assert batch.total_cycles == single.total_cycles
+        assert batch.single_cycles == single.total_cycles
+
+    def test_overlap_beats_serial(self, program):
+        executor = ProgramExecutor(DEFAULT_CONFIG)
+        report = executor.execute_batch(program, 16)
+        assert report.speedup_over_serial > 1.0
+        assert report.total_cycles < 16 * report.single_cycles
+
+    def test_steady_state_is_max_of_compute_and_dma(self, program):
+        executor = ProgramExecutor(DEFAULT_CONFIG)
+        single = executor.execute(program)
+        report = executor.execute_batch(program, 8)
+        busy = (
+            single.compute_cycles + single.relayout_cycles + single.control_cycles
+        )
+        assert report.steady_state_cycles == max(busy, single.dma_cycles)
+
+    def test_amortized_cost_approaches_steady_state(self, program):
+        executor = ProgramExecutor(DEFAULT_CONFIG)
+        big = executor.execute_batch(program, 1000)
+        assert big.cycles_per_inference == pytest.approx(
+            big.steady_state_cycles, rel=0.01
+        )
+
+    def test_dma_bound_batch_limited_by_bandwidth(self, program):
+        # At 1 word/cycle LeNet-5 is DMA-bound: steady state == dma time.
+        executor = ProgramExecutor(DEFAULT_CONFIG, dma_words_per_cycle=1)
+        single = executor.execute(program)
+        report = executor.execute_batch(program, 4)
+        assert report.steady_state_cycles == single.dma_cycles
+
+    def test_invalid_batch_rejected(self, program):
+        with pytest.raises(ConfigurationError):
+            ProgramExecutor(DEFAULT_CONFIG).execute_batch(program, 0)

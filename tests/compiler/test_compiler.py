@@ -1,0 +1,231 @@
+"""Tests for the ISA, program container, codegen, and assembler."""
+
+import pytest
+
+from repro.compiler import (
+    Instruction,
+    Opcode,
+    Program,
+    assemble,
+    compile_network,
+    decode,
+    disassemble,
+    parse_asm,
+    to_asm,
+)
+from repro.arch import DEFAULT_CONFIG
+from repro.dataflow import map_network
+from repro.errors import CompilationError
+from repro.nn import get_workload
+
+
+def minimal_program():
+    return Program(
+        "toy",
+        (
+            Instruction(Opcode.CFG, (1, 1, 1, 1, 1, 1)),
+            Instruction(Opcode.LDK, (10,)),
+            Instruction(Opcode.LDN, (20,)),
+            Instruction(Opcode.CONV, (100,)),
+            Instruction(Opcode.WB, (5,)),
+            Instruction(Opcode.HLT),
+        ),
+    )
+
+
+class TestInstruction:
+    def test_arity_enforced(self):
+        with pytest.raises(CompilationError):
+            Instruction(Opcode.CFG, (1, 2, 3))
+        with pytest.raises(CompilationError):
+            Instruction(Opcode.HLT, (1,))
+
+    def test_negative_operand_rejected(self):
+        with pytest.raises(CompilationError):
+            Instruction(Opcode.CONV, (-1,))
+
+    def test_to_asm(self):
+        assert Instruction(Opcode.CFG, (8, 1, 1, 2, 2, 6)).to_asm() == "CFG 8 1 1 2 2 6"
+        assert Instruction(Opcode.HLT).to_asm() == "HLT"
+
+    def test_encode_decode_roundtrip(self):
+        instr = Instruction(Opcode.POOL, (2, 1234))
+        assert decode(instr.encode()) == [instr]
+
+    def test_decode_unknown_opcode(self):
+        with pytest.raises(CompilationError, match="unknown opcode"):
+            decode([0x9])
+
+    def test_decode_truncated(self):
+        with pytest.raises(CompilationError, match="truncated"):
+            decode([Opcode.CONV.value])
+
+
+class TestProgram:
+    def test_valid_program(self):
+        program = minimal_program()
+        assert len(program) == 6
+        assert program.conv_cycles == 100
+        assert program.dma_words == 35
+
+    def test_requires_hlt(self):
+        with pytest.raises(CompilationError, match="HLT"):
+            Program("bad", (Instruction(Opcode.CONV, (1,)),))
+
+    def test_hlt_only_at_end(self):
+        with pytest.raises(CompilationError, match="before end"):
+            Program(
+                "bad",
+                (
+                    Instruction(Opcode.HLT),
+                    Instruction(Opcode.HLT),
+                ),
+            )
+
+    def test_conv_requires_cfg(self):
+        with pytest.raises(CompilationError, match="before any CFG"):
+            Program(
+                "bad",
+                (
+                    Instruction(Opcode.CONV, (1,)),
+                    Instruction(Opcode.HLT),
+                ),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompilationError):
+            Program("bad", ())
+
+    def test_histogram(self):
+        hist = minimal_program().opcode_histogram()
+        assert hist["CONV"] == 1 and hist["HLT"] == 1
+
+    def test_layer_factors(self):
+        assert minimal_program().layer_factors() == [(1, 1, 1, 1, 1, 1)]
+
+
+class TestCodegen:
+    def test_lenet_program_structure(self):
+        program = compile_network(get_workload("LeNet-5"), 16)
+        hist = program.opcode_histogram()
+        assert hist["CFG"] == 2  # two CONV layers
+        assert hist["CONV"] == 2
+        assert hist["LDN"] == 1  # only the first layer loads from DRAM
+        assert hist["SWP"] == 1  # the second ping-pongs
+        assert hist["POOL"] == 2
+        assert hist["WB"] == 1 and hist["HLT"] == 1
+
+    def test_conv_cycles_match_mapping(self):
+        net = get_workload("LeNet-5")
+        program = compile_network(net, 16)
+        mapping = map_network(net, 16)
+        assert program.conv_cycles == sum(m.compute_cycles for m in mapping.layers)
+
+    def test_cfg_operands_are_mapping_factors(self):
+        net = get_workload("PV")
+        program = compile_network(net, 16)
+        mapping = map_network(net, 16)
+        expected = [
+            (m.factors.tm, m.factors.tn, m.factors.tr, m.factors.tc,
+             m.factors.ti, m.factors.tj)
+            for m in mapping.layers
+        ]
+        assert program.layer_factors() == expected
+
+    def test_reuses_precomputed_mapping(self):
+        net = get_workload("HG")
+        mapping = map_network(net, 16)
+        program = compile_network(net, 16, mapping=mapping)
+        assert program.conv_cycles == sum(m.compute_cycles for m in mapping.layers)
+
+    @pytest.mark.parametrize("name", ["PV", "FR", "LeNet-5", "HG", "AlexNet", "VGG-11"])
+    def test_all_workloads_compile(self, name):
+        program = compile_network(get_workload(name), 16)
+        assert program.instructions[-1].opcode is Opcode.HLT
+
+
+class TestAssembler:
+    def test_text_roundtrip(self):
+        program = compile_network(get_workload("LeNet-5"), 16)
+        text = to_asm(program)
+        parsed = parse_asm(text)
+        assert parsed.instructions == program.instructions
+        assert parsed.name == program.name
+
+    def test_binary_roundtrip(self):
+        program = compile_network(get_workload("FR"), 16)
+        words = program.encode()
+        recovered = disassemble(words, name=program.name)
+        assert recovered.instructions == program.instructions
+
+    def test_assemble_text_to_words(self):
+        text = "CFG 1 1 1 1 1 1\nCONV 10\nHLT\n"
+        words = assemble(text)
+        assert words[0] == Opcode.CFG.value
+        assert words[-1] == Opcode.HLT.value
+
+    def test_comments_and_blanks_ignored(self):
+        text = """
+        # program: commented
+        CFG 1 1 1 1 1 1  # factors
+        CONV 5
+
+        HLT
+        """
+        program = parse_asm(text)
+        assert program.name == "commented"
+        assert len(program) == 3
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(CompilationError, match="unknown mnemonic"):
+            parse_asm("NOP\nHLT")
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(CompilationError, match="non-integer"):
+            parse_asm("CONV ten\nHLT")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(CompilationError):
+            parse_asm("# just a comment")
+
+    def test_case_insensitive_mnemonics(self):
+        program = parse_asm("cfg 1 1 1 1 1 1\nconv 5\nhlt")
+        assert program.instructions[0].opcode is Opcode.CFG
+
+
+class TestTiledCodegen:
+    def test_small_kernels_untouched(self):
+        net = get_workload("LeNet-5")
+        plain = compile_network(net, 16)
+        tiled = compile_network(net, 16, kernel_buffer_words=16 * 1024)
+        assert tiled.instructions == plain.instructions
+
+    def test_oversized_kernels_chunked(self):
+        net = get_workload("VGG-11")
+        tiled = compile_network(net, 16, kernel_buffer_words=16 * 1024)
+        plain = compile_network(net, 16)
+        hist_tiled = tiled.opcode_histogram()
+        hist_plain = plain.opcode_histogram()
+        assert hist_tiled["LDK"] > hist_plain["LDK"]
+        # Chunking preserves total words and cycles.
+        assert tiled.dma_words == plain.dma_words
+        assert tiled.conv_cycles == plain.conv_cycles
+
+    def test_chunks_fit_buffer(self):
+        from repro.compiler import Opcode
+
+        net = get_workload("VGG-11")
+        buffer_words = 16 * 1024
+        tiled = compile_network(net, 16, kernel_buffer_words=buffer_words)
+        for instr in tiled.instructions:
+            if instr.opcode is Opcode.LDK:
+                assert instr.operands[0] <= buffer_words
+
+    def test_tiled_program_executes(self):
+        from repro.compiler import ProgramExecutor
+
+        net = get_workload("VGG-11")
+        tiled = compile_network(net, 16, kernel_buffer_words=16 * 1024)
+        report = ProgramExecutor(DEFAULT_CONFIG).execute(tiled)
+        assert report.total_cycles > 0
+

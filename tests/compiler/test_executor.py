@@ -1,0 +1,141 @@
+"""Tests for the program executor."""
+
+import pytest
+
+from repro.arch import ArchConfig, DEFAULT_CONFIG
+from repro.compiler import (
+    Instruction,
+    Opcode,
+    Program,
+    ProgramExecutor,
+    compile_network,
+)
+from repro.dataflow import map_network
+from repro.errors import CapacityError, ConfigurationError
+from repro.nn import get_workload
+
+
+def simple_program(conv_cycles=100, ldn=80, ldk=40, wb=20):
+    return Program(
+        "toy",
+        (
+            Instruction(Opcode.CFG, (1, 1, 1, 1, 1, 1)),
+            Instruction(Opcode.LDK, (ldk,)),
+            Instruction(Opcode.LDN, (ldn,)),
+            Instruction(Opcode.CONV, (conv_cycles,)),
+            Instruction(Opcode.WB, (wb,)),
+            Instruction(Opcode.HLT),
+        ),
+    )
+
+
+class TestExecution:
+    def test_cycle_accounting(self):
+        executor = ProgramExecutor(DEFAULT_CONFIG, dma_words_per_cycle=4)
+        report = executor.execute(simple_program())
+        assert report.compute_cycles == 100
+        assert report.dma_cycles == (40 + 80 + 20) // 4
+        assert report.control_cycles == 1  # the CFG
+        assert report.total_cycles == 100 + 35 + 1
+
+    def test_timeline_is_contiguous(self):
+        report = ProgramExecutor(DEFAULT_CONFIG).execute(simple_program())
+        cycle = 0
+        for timing in report.timeline:
+            assert timing.start_cycle == cycle
+            cycle = timing.end_cycle
+        assert cycle == report.total_cycles
+
+    def test_bandwidth_changes_dma_time(self):
+        program = simple_program()
+        slow = ProgramExecutor(DEFAULT_CONFIG, dma_words_per_cycle=1).execute(program)
+        fast = ProgramExecutor(DEFAULT_CONFIG, dma_words_per_cycle=16).execute(program)
+        assert slow.dma_cycles > fast.dma_cycles
+        assert slow.compute_cycles == fast.compute_cycles
+
+    def test_compute_bound_flag(self):
+        program = simple_program(conv_cycles=10_000)
+        report = ProgramExecutor(DEFAULT_CONFIG).execute(program)
+        assert report.compute_bound
+        report_slow = ProgramExecutor(
+            DEFAULT_CONFIG, dma_words_per_cycle=1
+        ).execute(simple_program(conv_cycles=1))
+        assert not report_slow.compute_bound
+
+    def test_pool_is_overlapped(self):
+        program = Program(
+            "pooled",
+            (
+                Instruction(Opcode.CFG, (1, 1, 1, 1, 1, 1)),
+                Instruction(Opcode.CONV, (50,)),
+                Instruction(Opcode.POOL, (2, 400)),
+                Instruction(Opcode.HLT),
+            ),
+        )
+        report = ProgramExecutor(DEFAULT_CONFIG).execute(program)
+        assert report.pool_cycles_overlapped == 400
+        assert report.total_cycles == 51
+
+    def test_relayout_counted_separately(self):
+        program = Program(
+            "relayout",
+            (
+                Instruction(Opcode.CFG, (1, 1, 1, 1, 1, 1)),
+                Instruction(Opcode.RLY, (30,)),
+                Instruction(Opcode.CONV, (50,)),
+                Instruction(Opcode.HLT),
+            ),
+        )
+        report = ProgramExecutor(DEFAULT_CONFIG).execute(program)
+        assert report.relayout_cycles == 30
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProgramExecutor(DEFAULT_CONFIG, dma_words_per_cycle=0)
+
+
+class TestCapacity:
+    def test_strict_mode_rejects_oversized_ldn(self):
+        config = ArchConfig(neuron_buffer_bytes=64)  # 32 words
+        program = simple_program(ldn=1000)
+        with pytest.raises(CapacityError):
+            ProgramExecutor(config, strict_capacity=True).execute(program)
+
+    def test_default_mode_streams(self):
+        config = ArchConfig(neuron_buffer_bytes=64)
+        report = ProgramExecutor(config).execute(simple_program(ldn=1000))
+        assert report.total_cycles > 0
+
+    def test_kernels_always_stream(self):
+        config = ArchConfig(kernel_buffer_bytes=64)
+        report = ProgramExecutor(config, strict_capacity=True).execute(
+            simple_program(ldk=1000, ldn=10)
+        )
+        assert report.dma_words == 1030
+
+
+class TestCompiledWorkloads:
+    @pytest.mark.parametrize("name", ["PV", "FR", "LeNet-5", "HG", "AlexNet"])
+    def test_compiled_networks_execute(self, name):
+        network = get_workload(name)
+        program = compile_network(network, 16)
+        report = ProgramExecutor(DEFAULT_CONFIG).execute(program)
+        mapping = map_network(network, 16)
+        # Executor compute time equals the mapper's compute cycles, and
+        # the end-to-end time adds DMA + control on top.
+        assert report.compute_cycles == sum(
+            m.compute_cycles for m in mapping.layers
+        )
+        assert report.total_cycles > report.compute_cycles
+
+    def test_small_workloads_fit_strictly(self):
+        # The four Table 3/4 workloads are fully buffer-resident.
+        for name in ("PV", "FR", "LeNet-5", "HG"):
+            program = compile_network(get_workload(name), 16)
+            ProgramExecutor(DEFAULT_CONFIG, strict_capacity=True).execute(program)
+
+    def test_lenet_is_compute_bound_at_default_bandwidth(self):
+        program = compile_network(get_workload("LeNet-5"), 16)
+        report = ProgramExecutor(DEFAULT_CONFIG).execute(program)
+        assert report.compute_bound
+        assert 0 < report.dma_fraction < 0.5

@@ -1,0 +1,99 @@
+"""Tests for logical PE grouping and the Section 4.3 index functions."""
+
+import pytest
+
+from repro.dataflow import GroupGeometry, UnrollingFactors
+from repro.errors import MappingError
+
+
+def geometry(tm=2, tn=1, tr=1, tc=2, ti=1, tj=4, dim=4):
+    # The Figure 8 example: a 4x4 array running C1 with
+    # <Tm=2, Tn=1, Tr=1, Tc=2, Ti=1, Tj=4>.
+    return GroupGeometry(
+        UnrollingFactors(tm=tm, tn=tn, tr=tr, tc=tc, ti=ti, tj=tj), dim
+    )
+
+
+class TestStructure:
+    def test_figure8_grouping(self):
+        geo = geometry()
+        assert geo.rows_per_group == 2
+        assert geo.cols_per_group == 4
+        assert geo.group_grid == (2, 1)
+        assert geo.active_rows == 4
+        assert geo.active_cols == 4
+
+    def test_group_rows_partition_active_rows(self):
+        geo = geometry()
+        rows = []
+        for gm in range(geo.factors.tm):
+            rows.extend(geo.group_rows(gm))
+        assert rows == list(range(geo.active_rows))
+
+    def test_group_cols_partition_active_cols(self):
+        geo = geometry()
+        cols = []
+        for gn in range(geo.factors.tn):
+            cols.extend(geo.group_cols(gn))
+        assert cols == list(range(geo.active_cols))
+
+    def test_groups_enumeration(self):
+        geo = geometry()
+        assert list(geo.groups()) == [(0, 0), (1, 0)]
+
+    def test_oversized_factors_rejected(self):
+        with pytest.raises(MappingError):
+            geometry(tm=4, tc=2, dim=4)  # Tm*Tr*Tc = 8 > 4
+
+    def test_group_bounds_checked(self):
+        geo = geometry()
+        with pytest.raises(MappingError):
+            geo.group_rows(2)
+        with pytest.raises(MappingError):
+            geo.group_cols(1)
+
+
+class TestIndexFunctions:
+    def test_row_for_output_formula(self):
+        geo = geometry()
+        f = geo.factors
+        # row = (m % Tm)*Tr*Tc + (r % Tr)*Tc + (c % Tc)
+        assert geo.row_for_output(0, 0, 0) == 0
+        assert geo.row_for_output(0, 0, 1) == 1
+        assert geo.row_for_output(1, 0, 0) == 2
+        assert geo.row_for_output(1, 3, 1) == 3
+
+    def test_col_for_input_formula(self):
+        geo = geometry()
+        assert geo.col_for_input(0, 0, 0) == 0
+        assert geo.col_for_input(0, 0, 3) == 3
+        assert geo.col_for_input(0, 5, 2) == 2  # Ti=1 so i collapses
+
+    def test_group_for_kernel(self):
+        geo = geometry()
+        assert geo.group_for_kernel(0, 0) == (0, 0)
+        assert geo.group_for_kernel(1, 0) == (1, 0)
+        assert geo.group_for_kernel(2, 0) == (0, 0)
+
+    def test_row_decompose_roundtrip(self):
+        geo = GroupGeometry(
+            UnrollingFactors(tm=2, tn=2, tr=2, tc=2, ti=2, tj=2), 8
+        )
+        for row in range(geo.active_rows):
+            dm, dr, dc = geo.decompose_row(row)
+            assert geo.row_for_output(dm, dr, dc) == row
+
+    def test_col_decompose_roundtrip(self):
+        geo = GroupGeometry(
+            UnrollingFactors(tm=2, tn=2, tr=2, tc=2, ti=2, tj=2), 8
+        )
+        for col in range(geo.active_cols):
+            dn, di, dj = geo.decompose_col(col)
+            assert geo.col_for_input(dn, di, dj) == col
+
+    def test_decompose_out_of_range_rejected(self):
+        geo = geometry()
+        with pytest.raises(MappingError):
+            geo.decompose_row(4)
+        with pytest.raises(MappingError):
+            geo.decompose_col(4)

@@ -1,0 +1,75 @@
+"""Tests for PE-array occupancy maps."""
+
+import pytest
+
+from repro.dataflow import (
+    UnrollingFactors,
+    map_layer,
+    map_network,
+    occupancy_map,
+)
+from repro.dataflow.mapper import LayerMapping
+from repro.dataflow.utilization import utilization_report
+from repro.nn import ConvLayer, get_workload
+
+
+def mapping_for(factors, layer, dim):
+    return LayerMapping(
+        layer=layer,
+        factors=factors,
+        array_dim=dim,
+        utilization=utilization_report(layer, factors, dim),
+        compute_cycles=factors.outer_iterations(layer),
+    )
+
+
+class TestOccupancyMap:
+    def test_figure8_c1_example(self):
+        # <Tm=2, Tn=1, Tr=1, Tc=2, Ti=1, Tj=4> on 4x4: all 16 PEs active,
+        # two groups stacked vertically.
+        layer = ConvLayer("C1", in_maps=1, out_maps=2, out_size=8, kernel=4)
+        factors = UnrollingFactors(tm=2, tn=1, tr=1, tc=2, ti=1, tj=4)
+        omap = occupancy_map(mapping_for(factors, layer, 4))
+        assert omap.active_pes == 16
+        assert omap.spatial_occupancy == pytest.approx(1.0)
+        groups = {role.group for role in omap.roles}
+        assert groups == {(0, 0), (1, 0)}
+
+    def test_active_count_is_row_times_col_occupancy(self):
+        layer = get_workload("LeNet-5").conv_layers[0]
+        mapping = map_layer(layer, 16)
+        omap = occupancy_map(mapping)
+        f = mapping.factors
+        assert omap.active_pes == f.row_occupancy * f.column_occupancy
+
+    def test_role_at_returns_none_for_idle(self):
+        layer = ConvLayer("c", in_maps=1, out_maps=1, out_size=4, kernel=2)
+        factors = UnrollingFactors(tm=1, tn=1, tr=1, tc=1, ti=1, tj=2)
+        omap = occupancy_map(mapping_for(factors, layer, 4))
+        assert omap.role_at(0, 0) is not None
+        assert omap.role_at(3, 3) is None
+
+    def test_render_marks_idle_pes(self):
+        layer = ConvLayer("c", in_maps=1, out_maps=1, out_size=4, kernel=2)
+        factors = UnrollingFactors(tm=1, tn=1, tr=1, tc=1, ti=1, tj=2)
+        text = occupancy_map(mapping_for(factors, layer, 4)).render()
+        assert "." in text and "a" in text
+        assert "group(0, 0)" in text
+
+    def test_offsets_invert_row_col(self):
+        layer = get_workload("HG").conv_layers[1]
+        mapping = map_layer(layer, 16)
+        omap = occupancy_map(mapping)
+        f = mapping.factors
+        for role in omap.roles:
+            dm, dr, dc = role.output_offsets
+            assert role.row == dm * f.tr * f.tc + dr * f.tc + dc
+            dn, di, dj = role.input_offsets
+            assert role.col == dn * f.ti * f.tj + di * f.tj + dj
+
+    def test_table4_mappings_dense(self):
+        # Every Table 4 mapping occupies >=70 % of the array spatially.
+        for name in ("PV", "FR", "LeNet-5", "HG"):
+            net = get_workload(name)
+            for lm in map_network(net, 16).layers:
+                assert occupancy_map(lm).spatial_occupancy > 0.7, (name, lm.layer.name)

@@ -1,0 +1,142 @@
+"""Tests for IADP buffer placement and IPDR replication."""
+
+import pytest
+
+from repro.dataflow import (
+    KernelPlacement,
+    NeuronPlacement,
+    UnrollingFactors,
+    ipdr_replication_factor,
+    kernel_placement_for_layer,
+    neuron_placement_for_layer,
+)
+from repro.errors import CapacityError, MappingError
+from repro.nn import ConvLayer
+
+
+def factors():
+    return UnrollingFactors(tm=3, tn=2, tr=1, tc=4, ti=2, tj=3)
+
+
+def neuron_placement():
+    return NeuronPlacement(factors=factors(), in_maps=4, in_size=9)
+
+
+def kernel_placement():
+    return KernelPlacement(factors=factors(), out_maps=6, in_maps=4, kernel=3)
+
+
+class TestNeuronPlacement:
+    def test_bank_grid_shape(self):
+        p = neuron_placement()
+        assert p.num_banks == 2 * 2 * 3  # Tn * Ti * Tj
+
+    def test_locate_is_bijective(self):
+        p = neuron_placement()
+        seen = {}
+        for n in range(p.in_maps):
+            for r in range(p.in_size):
+                for c in range(p.in_size):
+                    slot = p.locate(n, r, c)
+                    assert slot not in seen, f"collision at {slot}"
+                    seen[slot] = (n, r, c)
+        assert len(seen) == p.total_words
+
+    def test_invert_roundtrip(self):
+        p = neuron_placement()
+        for n in range(p.in_maps):
+            for r in range(p.in_size):
+                for c in range(p.in_size):
+                    bank, offset = p.locate(n, r, c)
+                    assert p.invert(bank, offset) == (n, r, c)
+
+    def test_same_bank_for_same_residues(self):
+        # IADP groups by n % Tn, r % Ti, c % Tj (Figure 13).
+        p = neuron_placement()
+        bank_a, _ = p.locate(0, 0, 0)
+        bank_b, _ = p.locate(2, 2, 3)  # same residues mod (2, 2, 3)
+        assert bank_a == bank_b
+
+    def test_words_per_bank_bound(self):
+        p = neuron_placement()
+        deepest = {}
+        for n in range(p.in_maps):
+            for r in range(p.in_size):
+                for c in range(p.in_size):
+                    bank, offset = p.locate(n, r, c)
+                    deepest[bank] = max(deepest.get(bank, 0), offset + 1)
+        assert max(deepest.values()) <= p.words_per_bank
+
+    def test_check_fits(self):
+        p = neuron_placement()
+        p.check_fits(buffer_words=16 * 1024, banks=16)
+        with pytest.raises(CapacityError):
+            p.check_fits(buffer_words=16 * 1024, banks=4)  # too few banks
+        with pytest.raises(CapacityError):
+            p.check_fits(buffer_words=p.num_banks * 2, banks=p.num_banks)
+
+    def test_out_of_range_rejected(self):
+        p = neuron_placement()
+        with pytest.raises(MappingError):
+            p.locate(4, 0, 0)
+        with pytest.raises(MappingError):
+            p.invert(p.num_banks, 0)
+
+
+class TestKernelPlacement:
+    def test_bank_grid_shape(self):
+        p = kernel_placement()
+        assert p.num_groups == 3  # Tm
+        assert p.banks_per_group == 4  # Tr * Tc
+        assert p.num_banks == 12
+
+    def test_locate_is_bijective(self):
+        p = kernel_placement()
+        seen = set()
+        for m in range(p.out_maps):
+            for n in range(p.in_maps):
+                for i in range(p.kernel):
+                    for j in range(p.kernel):
+                        slot = p.locate(m, n, i, j)
+                        assert slot not in seen
+                        seen.add(slot)
+        assert len(seen) == p.total_words
+
+    def test_invert_roundtrip(self):
+        p = kernel_placement()
+        for m in range(p.out_maps):
+            for n in range(p.in_maps):
+                for i in range(p.kernel):
+                    for j in range(p.kernel):
+                        bank, offset = p.locate(m, n, i, j)
+                        assert p.invert(bank, offset) == (m, n, i, j)
+
+    def test_kernels_grouped_by_m_mod_tm(self):
+        p = kernel_placement()
+        bank0, _ = p.locate(0, 0, 0, 0)
+        bank3, _ = p.locate(3, 0, 0, 0)  # 3 % Tm == 0 -> same group
+        assert bank0 // p.banks_per_group == bank3 // p.banks_per_group
+
+    def test_check_fits(self):
+        p = kernel_placement()
+        p.check_fits(buffer_words=16 * 1024, banks=16)
+        with pytest.raises(CapacityError):
+            p.check_fits(buffer_words=16 * 1024, banks=8)
+
+    def test_out_of_range_rejected(self):
+        p = kernel_placement()
+        with pytest.raises(MappingError):
+            p.locate(6, 0, 0, 0)
+
+
+class TestHelpers:
+    def test_ipdr_replication_is_tr_tc(self):
+        assert ipdr_replication_factor(factors()) == 4
+
+    def test_layer_constructors(self):
+        layer = ConvLayer("c", in_maps=4, out_maps=6, out_size=7, kernel=3)
+        f = factors()
+        np_ = neuron_placement_for_layer(layer, f)
+        kp = kernel_placement_for_layer(layer, f)
+        assert np_.in_maps == 4 and np_.in_size == layer.in_size
+        assert kp.out_maps == 6 and kp.kernel == 3

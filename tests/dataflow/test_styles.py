@@ -1,0 +1,56 @@
+"""Tests for the eight processing styles."""
+
+from repro.dataflow import ARCHITECTURE_STYLES, ProcessingStyle, UnrollingFactors, classify
+
+
+def factors(tm=1, tn=1, tr=1, tc=1, ti=1, tj=1):
+    return UnrollingFactors(tm=tm, tn=tn, tr=tr, tc=tc, ti=ti, tj=tj)
+
+
+class TestClassify:
+    def test_all_ones_is_sfsnss(self):
+        assert classify(factors()) is ProcessingStyle.SFSNSS
+
+    def test_systolic_style(self):
+        # Ti/Tj unrolled only -> SFSNMS (Systolic).
+        assert classify(factors(ti=6, tj=6)) is ProcessingStyle.SFSNMS
+
+    def test_mapping2d_style(self):
+        assert classify(factors(tr=16, tc=16)) is ProcessingStyle.SFMNSS
+
+    def test_tiling_style(self):
+        assert classify(factors(tm=16, tn=16)) is ProcessingStyle.MFSNSS
+
+    def test_flexflow_mixes_are_mfmnms(self):
+        # PV C1's Table 4 factors mix all three parallelisms.
+        assert classify(factors(tm=8, tc=2, ti=2, tj=6)) is ProcessingStyle.MFMNMS
+
+    def test_single_loop_of_pair_is_enough(self):
+        # Tn>1 alone makes the feature-map dimension "Multiple".
+        assert classify(factors(tn=2)) is ProcessingStyle.MFSNSS
+        assert classify(factors(tr=2)) is ProcessingStyle.SFMNSS
+        assert classify(factors(tj=2)) is ProcessingStyle.SFSNMS
+
+    def test_eight_distinct_styles(self):
+        assert len(ProcessingStyle) == 8
+
+
+class TestStyleProperties:
+    def test_parallelism_types(self):
+        assert ProcessingStyle.SFSNMS.parallelism_types == ("SP",)
+        assert ProcessingStyle.SFMNSS.parallelism_types == ("NP",)
+        assert ProcessingStyle.MFSNSS.parallelism_types == ("FP",)
+        assert ProcessingStyle.MFMNMS.parallelism_types == ("FP", "NP", "SP")
+        assert ProcessingStyle.SFSNSS.parallelism_types == ()
+
+    def test_table2_architecture_styles(self):
+        assert ARCHITECTURE_STYLES["systolic"] is ProcessingStyle.SFSNMS
+        assert ARCHITECTURE_STYLES["mapping2d"] is ProcessingStyle.SFMNSS
+        assert ARCHITECTURE_STYLES["tiling"] is ProcessingStyle.MFSNSS
+        assert ARCHITECTURE_STYLES["flexflow"] is ProcessingStyle.MFMNMS
+
+    def test_flags(self):
+        style = ProcessingStyle.MFSNMS
+        assert style.multi_feature_map
+        assert not style.multi_neuron
+        assert style.multi_synapse

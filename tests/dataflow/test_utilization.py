@@ -1,0 +1,81 @@
+"""Tests for Eq. 2/3 utilization against the paper's own worked numbers."""
+
+import pytest
+
+from repro.dataflow import (
+    UnrollingFactors,
+    column_utilization,
+    row_utilization,
+    total_utilization,
+    utilization_report,
+)
+from repro.errors import MappingError
+from repro.nn import ConvLayer
+
+
+def lenet_c1():
+    return ConvLayer("C1", in_maps=1, out_maps=6, out_size=28, kernel=5)
+
+
+def lenet_c3():
+    return ConvLayer("C3", in_maps=6, out_maps=16, out_size=10, kernel=5)
+
+
+class TestEquations:
+    def test_table4_lenet_c1_utilization(self):
+        # <Tm=3, Tn=1, Tr=1, Tc=5, Ti=3, Tj=5> on a 16x16 array.
+        f = UnrollingFactors(tm=3, tn=1, tr=1, tc=5, ti=3, tj=5)
+        ur = row_utilization(lenet_c1(), f, 16)
+        uc = column_utilization(lenet_c1(), f, 16)
+        # Ur = 1*25 / (1 * ceil(5/3) * ceil(5/5) * 16) = 25/32
+        assert ur == pytest.approx(25 / 32)
+        # Uc = 6*784 / (ceil(6/3) * 28 * ceil(28/5) * 16) = 4704/5376
+        assert uc == pytest.approx(4704 / 5376)
+
+    def test_table4_lenet_c3_utilization(self):
+        f = UnrollingFactors(tm=16, tn=3, tr=1, tc=1, ti=1, tj=5)
+        ur = row_utilization(lenet_c3(), f, 16)
+        uc = column_utilization(lenet_c3(), f, 16)
+        assert ur == pytest.approx(150 / 160)
+        assert uc == pytest.approx(1600 / 1600)
+
+    def test_total_is_product(self):
+        f = UnrollingFactors(tm=3, tn=1, tr=1, tc=5, ti=3, tj=5)
+        layer = lenet_c1()
+        assert total_utilization(layer, f, 16) == pytest.approx(
+            row_utilization(layer, f, 16) * column_utilization(layer, f, 16)
+        )
+
+    def test_utilization_equals_macs_over_pe_cycles(self):
+        # Ut must equal MACs / (cycles * D^2) — the PE-cycle definition.
+        layer = lenet_c3()
+        f = UnrollingFactors(tm=4, tn=3, tr=2, tc=2, ti=1, tj=5)
+        cycles = f.outer_iterations(layer)
+        assert total_utilization(layer, f, 16) == pytest.approx(
+            layer.macs / (cycles * 256)
+        )
+
+    def test_perfect_packing_is_full_utilization(self):
+        layer = ConvLayer("c", in_maps=4, out_maps=4, out_size=4, kernel=2)
+        f = UnrollingFactors(tm=4, tn=4, tr=2, tc=2, ti=2, tj=2)
+        assert total_utilization(layer, f, 16) == pytest.approx(1.0)
+
+    def test_report_bundles_values(self):
+        f = UnrollingFactors(tm=3, tn=1, tr=1, tc=5, ti=3, tj=5)
+        report = utilization_report(lenet_c1(), f, 16)
+        assert report.ut == pytest.approx(report.ur * report.uc)
+
+    def test_invalid_array_dim_rejected(self):
+        f = UnrollingFactors(tm=1, tn=1, tr=1, tc=1, ti=1, tj=1)
+        with pytest.raises(MappingError):
+            row_utilization(lenet_c1(), f, 0)
+        with pytest.raises(MappingError):
+            column_utilization(lenet_c1(), f, -4)
+
+    def test_utilization_never_exceeds_one_for_feasible_factors(self):
+        layer = lenet_c3()
+        for tm, tr, tc in [(16, 1, 1), (4, 2, 2), (1, 2, 8)]:
+            for tn, ti, tj in [(6, 1, 1), (3, 1, 5), (1, 3, 5)]:
+                f = UnrollingFactors(tm=tm, tn=tn, tr=tr, tc=tc, ti=ti, tj=tj)
+                if f.is_feasible(layer, 16):
+                    assert 0.0 < total_utilization(layer, f, 16) <= 1.0

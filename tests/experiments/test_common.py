@@ -1,0 +1,67 @@
+"""Tests for the shared experiment harness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    ARCH_LABELS,
+    ARCH_ORDER,
+    ExperimentResult,
+    run_all_architectures,
+    run_matrix,
+)
+from repro.nn import get_workload
+
+
+class TestConstants:
+    def test_arch_order_is_papers(self):
+        assert ARCH_ORDER == ("systolic", "mapping2d", "tiling", "flexflow")
+
+    def test_labels_cover_order(self):
+        for kind in ARCH_ORDER:
+            assert kind in ARCH_LABELS
+
+
+class TestRunners:
+    def test_run_all_architectures_keys(self):
+        results = run_all_architectures(get_workload("HG"))
+        assert set(results) == set(ARCH_ORDER)
+        for kind, result in results.items():
+            assert result.kind == kind
+
+    def test_run_all_subset(self):
+        results = run_all_architectures(get_workload("HG"), kinds=("flexflow",))
+        assert set(results) == {"flexflow"}
+
+    def test_run_matrix_structure(self):
+        matrix = run_matrix(["HG", "FR"])
+        assert set(matrix) == {"HG", "FR"}
+        assert set(matrix["HG"]) == set(ARCH_ORDER)
+
+    def test_run_matrix_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_matrix([])
+
+
+class TestExperimentResult:
+    def test_columns_from_first_row(self):
+        result = ExperimentResult("x", "t", [{"a": 1, "b": 2}])
+        assert result.columns() == ["a", "b"]
+
+    def test_columns_empty(self):
+        assert ExperimentResult("x", "t", []).columns() == []
+
+    def test_format_aligns_and_floats(self):
+        result = ExperimentResult(
+            "x", "title", [{"name": "row", "value": 1.23456}]
+        )
+        table = result.format_table(float_digits=2)
+        assert "1.23" in table and "title" in table
+
+    def test_notes_rendered(self):
+        result = ExperimentResult("x", "t", [{"a": 1}], notes="careful")
+        assert "note: careful" in result.format_table()
+
+    def test_missing_cell_blank(self):
+        result = ExperimentResult("x", "t", [{"a": 1, "b": 2}, {"a": 3}])
+        assert result.format_table()  # must not raise

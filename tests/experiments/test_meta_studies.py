@@ -1,0 +1,67 @@
+"""Tests for the sensitivity, headline-claims, and verification studies."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.sensitivity import run as run_sensitivity
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # One constant, three scales: fast but representative.
+        return run_sensitivity(
+            fields=("mult_energy_pj",), scales=(0.5, 1.0, 2.0)
+        )
+
+    def test_rows_cover_grid(self, result):
+        assert len(result.rows) == 3
+
+    def test_orderings_hold(self, result):
+        for row in result.rows:
+            assert row["best_utilization"]
+            assert row["best_efficiency"]
+            assert row["lowest_energy"]
+
+    def test_utilization_is_calibration_free(self, result):
+        # The utilization column must be True regardless of energy scale —
+        # it never touches the technology constants.
+        assert all(row["best_utilization"] for row in result.rows)
+
+
+class TestHeadlineClaims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("headline")
+
+    def test_four_claims(self, result):
+        assert len(result.rows) == 4
+
+    def test_speedup_band_contains_paper_band(self, result):
+        row = next(
+            r for r in result.rows if "performance" in r["claim"]
+        )
+        low, high = (
+            float(part.rstrip("x")) for part in row["measured"].split(" - ")
+        )
+        assert low <= 2.0 and high >= 10.0
+
+    def test_efficiency_band_reaches_high_single_digits(self, result):
+        row = next(r for r in result.rows if "efficiency" in r["claim"])
+        high = float(row["measured"].split(" - ")[1].rstrip("x"))
+        assert high > 5.0
+
+
+class TestVerification:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("verify")
+
+    def test_all_simulators_match(self, result):
+        for row in result.rows:
+            for key in ("flexflow_ok", "systolic_ok", "mapping2d_ok", "tiling_ok"):
+                assert row[key], (row["layer"], key)
+
+    def test_flexflow_cycles_exact(self, result):
+        for row in result.rows:
+            assert row["ff_cycles"] == row["ff_cycles_predicted"]

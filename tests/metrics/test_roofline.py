@@ -1,0 +1,60 @@
+"""Tests for the bandwidth/roofline analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import bandwidth_sweep, required_bandwidth
+from repro.nn import get_workload
+
+
+@pytest.fixture(scope="module")
+def lenet_points():
+    return bandwidth_sweep(get_workload("LeNet-5"), 16, (1, 2, 4, 8, 16, 32))
+
+
+class TestBandwidthSweep:
+    def test_one_point_per_bandwidth(self, lenet_points):
+        assert [p.words_per_cycle for p in lenet_points] == [1, 2, 4, 8, 16, 32]
+
+    def test_compute_cycles_bandwidth_independent(self, lenet_points):
+        assert len({p.compute_cycles for p in lenet_points}) == 1
+
+    def test_dma_cycles_decrease_with_bandwidth(self, lenet_points):
+        dma = [p.dma_cycles for p in lenet_points]
+        assert all(a >= b for a, b in zip(dma, dma[1:]))
+
+    def test_efficiency_monotone_nondecreasing(self, lenet_points):
+        eff = [p.efficiency for p in lenet_points]
+        assert all(a <= b + 1e-12 for a, b in zip(eff, eff[1:]))
+
+    def test_dma_bound_flag(self, lenet_points):
+        assert lenet_points[0].dma_bound  # 1 word/cycle starves the engine
+        assert not lenet_points[-1].dma_bound
+
+    def test_empty_bandwidths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bandwidth_sweep(get_workload("PV"), 16, ())
+
+
+class TestRequiredBandwidth:
+    def test_threshold_met(self, lenet_points):
+        required = required_bandwidth(lenet_points, threshold=0.5)
+        point = next(p for p in lenet_points if p.words_per_cycle == required)
+        assert point.efficiency >= 0.5
+
+    def test_returns_max_when_unreachable(self, lenet_points):
+        assert required_bandwidth(lenet_points, threshold=1.01) == 32
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            required_bandwidth([])
+
+
+class TestBandwidthExperiment:
+    def test_runs_and_orders(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("bandwidth")
+        for row in result.rows:
+            assert row["eff_at_1w"] <= row["eff_at_4w"] <= row["eff_at_16w"]
+            assert row["required_gb_s"] == row["required_w_per_cycle"] * 2.0

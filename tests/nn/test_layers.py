@@ -1,0 +1,144 @@
+"""Unit tests for layer specifications."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.nn import ConvLayer, FCLayer, InputSpec, JoinLayer, PoolLayer
+from repro.nn.layers import OPS_PER_MAC
+
+
+class TestConvLayer:
+    def test_valid_conv_input_size(self):
+        layer = ConvLayer("c", in_maps=6, out_maps=16, out_size=10, kernel=5)
+        assert layer.in_size == 14
+
+    def test_strided_input_size(self):
+        layer = ConvLayer("c", in_maps=3, out_maps=48, out_size=55, kernel=11, stride=4)
+        assert layer.in_size == 227
+
+    def test_explicit_in_size_implies_padding(self):
+        layer = ConvLayer(
+            "c", in_maps=48, out_maps=128, out_size=27, kernel=5, explicit_in_size=27
+        )
+        assert layer.in_size == 27
+        assert layer.padding == 4  # 2 on each side for same-padding 5x5
+
+    def test_no_padding_when_valid(self):
+        layer = ConvLayer("c", in_maps=1, out_maps=1, out_size=4, kernel=3)
+        assert layer.padding == 0
+
+    def test_explicit_in_size_cannot_exceed_valid(self):
+        with pytest.raises(SpecificationError):
+            ConvLayer(
+                "c", in_maps=1, out_maps=1, out_size=4, kernel=3, explicit_in_size=7
+            )
+
+    def test_macs_formula(self):
+        layer = ConvLayer("c", in_maps=6, out_maps=16, out_size=10, kernel=5)
+        assert layer.macs == 16 * 6 * 10 * 10 * 5 * 5
+        assert layer.ops == OPS_PER_MAC * layer.macs
+
+    def test_shapes(self):
+        layer = ConvLayer("c", in_maps=6, out_maps=16, out_size=10, kernel=5)
+        assert layer.input_shape == (6, 14, 14)
+        assert layer.output_shape == (16, 10, 10)
+        assert layer.kernel_shape == (16, 6, 5, 5)
+
+    def test_word_counts(self):
+        layer = ConvLayer("c", in_maps=2, out_maps=3, out_size=4, kernel=3)
+        assert layer.num_input_words == 2 * 6 * 6
+        assert layer.num_output_words == 3 * 4 * 4
+        assert layer.num_kernel_words == 3 * 2 * 3 * 3
+
+    @pytest.mark.parametrize("field", ["in_maps", "out_maps", "out_size", "kernel"])
+    def test_rejects_nonpositive(self, field):
+        kwargs = dict(in_maps=1, out_maps=1, out_size=4, kernel=3)
+        kwargs[field] = 0
+        with pytest.raises(SpecificationError):
+            ConvLayer("c", **kwargs)
+
+    def test_rejects_bool_masquerading_as_int(self):
+        with pytest.raises(SpecificationError):
+            ConvLayer("c", in_maps=True, out_maps=1, out_size=4, kernel=3)
+
+    def test_describe_mentions_shapes(self):
+        layer = ConvLayer("C3", in_maps=6, out_maps=16, out_size=10, kernel=5)
+        text = layer.describe()
+        assert "C3" in text and "6x16@5x5" in text and "16@10x10" in text
+
+    def test_frozen(self):
+        layer = ConvLayer("c", in_maps=1, out_maps=1, out_size=4, kernel=3)
+        with pytest.raises(Exception):
+            layer.kernel = 5  # type: ignore[misc]
+
+
+class TestPoolLayer:
+    def test_non_overlapping_stride(self):
+        layer = PoolLayer("p", maps=6, in_size=28, out_size=14, window=2)
+        assert layer.stride == 2
+
+    def test_truncating_pool_allowed(self):
+        layer = PoolLayer("p", maps=8, in_size=45, out_size=22, window=2)
+        assert layer.stride == 2
+        assert layer.output_shape == (8, 22, 22)
+
+    def test_overlapped_pool_alexnet_style(self):
+        layer = PoolLayer("p", maps=48, in_size=55, out_size=27, window=3)
+        assert layer.stride == 2
+
+    def test_ops_counts_window_per_output(self):
+        layer = PoolLayer("p", maps=2, in_size=4, out_size=2, window=2)
+        assert layer.ops == 2 * 2 * 2 * 2 * 2
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(SpecificationError):
+            PoolLayer("p", maps=1, in_size=4, out_size=2, window=2, mode="median")
+
+    def test_rejects_window_larger_than_input(self):
+        with pytest.raises(SpecificationError):
+            PoolLayer("p", maps=1, in_size=2, out_size=1, window=3)
+
+    def test_rejects_enlarging(self):
+        with pytest.raises(SpecificationError):
+            PoolLayer("p", maps=1, in_size=2, out_size=4, window=2)
+
+    def test_global_pool_stride(self):
+        layer = PoolLayer("p", maps=1, in_size=6, out_size=1, window=6)
+        assert layer.stride == 6
+
+
+class TestFCLayer:
+    def test_macs(self):
+        layer = FCLayer("f", in_neurons=400, out_neurons=120)
+        assert layer.macs == 400 * 120
+
+    def test_as_conv_preserves_macs(self):
+        layer = FCLayer("f", in_neurons=400, out_neurons=120)
+        conv = layer.as_conv()
+        assert conv.macs == layer.macs
+        assert conv.out_size == 1 and conv.kernel == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SpecificationError):
+            FCLayer("f", in_neurons=0, out_neurons=10)
+
+
+class TestJoinLayer:
+    def test_zero_ops(self):
+        layer = JoinLayer("j", in_maps=128, out_maps=256, size=13)
+        assert layer.ops == 0
+        assert layer.output_shape == (256, 13, 13)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SpecificationError):
+            JoinLayer("j", in_maps=0, out_maps=1, size=1)
+
+
+class TestInputSpec:
+    def test_shape(self):
+        spec = InputSpec(maps=3, size=224)
+        assert spec.shape == (3, 224, 224)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SpecificationError):
+            InputSpec(maps=1, size=0)

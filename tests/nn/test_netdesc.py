@@ -1,0 +1,119 @@
+"""Tests for the textual network-description format."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.nn import all_workloads, parse_network, to_description
+
+LENET_TEXT = """
+network LeNet-5
+input 1 32
+conv C1 maps 6 kernel 5
+pool S2 window 2
+conv C3 maps 16 kernel 5
+pool S4 window 2
+fc F5 out 120
+fc F6 out 84
+fc OUT out 10
+"""
+
+
+class TestParse:
+    def test_lenet_matches_builtin(self):
+        from repro.nn import get_workload
+
+        parsed = parse_network(LENET_TEXT)
+        builtin = get_workload("LeNet-5")
+        assert parsed.describe() == builtin.describe()
+
+    def test_shape_inference_conv(self):
+        net = parse_network("network t\ninput 1 10\nconv maps 4 kernel 3\n")
+        layer = net.conv_layers[0]
+        assert layer.out_size == 8
+        assert layer.name == "C1"  # auto-named
+
+    def test_stride_and_pad_same(self):
+        net = parse_network(
+            "network t\ninput 3 224\nconv C1 maps 48 kernel 11 stride 4 pad same out 55\n"
+        )
+        layer = net.conv_layers[0]
+        assert layer.out_size == 55
+        assert layer.explicit_in_size == 224
+
+    def test_pool_default_floor(self):
+        net = parse_network(
+            "network t\ninput 1 10\nconv maps 2 kernel 3\npool window 2\n"
+        )
+        assert net.pool_layers[0].out_size == 4
+
+    def test_pool_explicit_out(self):
+        net = parse_network(
+            "network t\ninput 1 47\nconv maps 8 kernel 3\npool window 2 out 22\n"
+        )
+        assert net.pool_layers[0].out_size == 22
+
+    def test_join_layer(self):
+        net = parse_network(
+            "network t\ninput 1 6\nconv maps 4 kernel 3\njoin J maps 8\n"
+        )
+        assert net.layers[-1].out_maps == 8
+
+    def test_fc_chain_inference(self):
+        net = parse_network(LENET_TEXT)
+        f5, f6, out = net.fc_layers
+        assert f5.in_neurons == 400
+        assert f6.in_neurons == 120
+        assert out.in_neurons == 84
+
+    def test_comments_and_blank_lines(self):
+        text = "# a comment\nnetwork t\n\ninput 1 8  # inline\nconv maps 2 kernel 3\n"
+        net = parse_network(text)
+        assert net.conv_layers[0].out_size == 6
+
+
+class TestParseErrors:
+    def test_layer_before_input_rejected(self):
+        with pytest.raises(SpecificationError, match="before the input"):
+            parse_network("network t\nconv maps 2 kernel 3\n")
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(SpecificationError, match="no input"):
+            parse_network("network t\n")
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(SpecificationError, match="unknown keyword"):
+            parse_network("network t\ninput 1 8\nrelu R1\n")
+
+    def test_kernel_too_large_rejected(self):
+        with pytest.raises(SpecificationError, match="larger than"):
+            parse_network("network t\ninput 1 4\nconv maps 2 kernel 6\n")
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(SpecificationError, match="maps"):
+            parse_network("network t\ninput 1 8\nconv kernel 3\n")
+
+    def test_non_integer_field_rejected(self):
+        with pytest.raises(SpecificationError, match="int"):
+            parse_network("network t\ninput 1 8\nconv maps six kernel 3\n")
+
+    def test_odd_kwargs_rejected(self):
+        with pytest.raises(SpecificationError, match="pairs"):
+            parse_network("network t\ninput 1 8\nconv C1 maps 2 kernel\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "name", ["PV", "FR", "LeNet-5", "HG", "AlexNet", "VGG-11"]
+    )
+    def test_all_builtin_workloads_roundtrip(self, name):
+        from repro.nn import get_workload
+
+        original = get_workload(name)
+        recovered = parse_network(to_description(original))
+        assert recovered.describe() == original.describe()
+
+    def test_serialization_is_parseable_text(self):
+        for network in all_workloads():
+            text = to_description(network)
+            assert text.startswith(f"network {network.name}")
+            parse_network(text)  # must not raise

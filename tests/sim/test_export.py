@@ -1,0 +1,103 @@
+"""Tests for run-artifact export."""
+
+import pytest
+
+from repro.accelerators import make_accelerator
+from repro.arch import DEFAULT_CONFIG
+from repro.errors import ConfigurationError
+from repro.nn import get_workload
+from repro.sim import SimTrace
+from repro.sim.export import (
+    SCHEMA_VERSION,
+    compare_runs,
+    load_run,
+    network_result_to_dict,
+    network_result_to_json,
+    sim_trace_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def run_dict():
+    result = make_accelerator("flexflow", DEFAULT_CONFIG).simulate_network(
+        get_workload("LeNet-5")
+    )
+    return network_result_to_dict(result)
+
+
+class TestExport:
+    def test_schema_and_identity(self, run_dict):
+        assert run_dict["schema"] == SCHEMA_VERSION
+        assert run_dict["kind"] == "flexflow"
+        assert run_dict["network"] == "LeNet-5"
+
+    def test_layers_frozen(self, run_dict):
+        names = [layer["name"] for layer in run_dict["layers"]]
+        assert names == ["C1", "C3"]
+        assert all(layer["cycles"] > 0 for layer in run_dict["layers"])
+
+    def test_totals_consistent_with_layers(self, run_dict):
+        assert run_dict["totals"]["cycles"] == sum(
+            layer["cycles"] for layer in run_dict["layers"]
+        )
+
+    def test_json_roundtrip(self, run_dict):
+        result = make_accelerator("flexflow", DEFAULT_CONFIG).simulate_network(
+            get_workload("LeNet-5")
+        )
+        text = network_result_to_json(result)
+        assert load_run(text) == run_dict
+
+    def test_sim_trace_export(self):
+        trace = SimTrace(cycles=10, mac_ops=100)
+        data = sim_trace_to_dict(trace)
+        assert data["cycles"] == 10 and data["schema"] == SCHEMA_VERSION
+
+
+class TestLoadRun:
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="invalid run JSON"):
+            load_run("{nope")
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            load_run('{"schema": 99}')
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ConfigurationError, match="object"):
+            load_run("[1]")
+
+
+class TestCompareRuns:
+    def test_identical_runs_no_drift(self, run_dict):
+        assert compare_runs(run_dict, run_dict) == {}
+
+    def test_drift_detected(self, run_dict):
+        import copy
+
+        mutated = copy.deepcopy(run_dict)
+        mutated["totals"]["cycles"] += 1
+        drifted = compare_runs(run_dict, mutated)
+        assert "cycles" in drifted
+
+    def test_missing_field_reported(self, run_dict):
+        import copy
+
+        mutated = copy.deepcopy(run_dict)
+        del mutated["totals"]["gops"]
+        assert "gops" in compare_runs(run_dict, mutated)
+
+    def test_tolerance_respected(self, run_dict):
+        import copy
+
+        mutated = copy.deepcopy(run_dict)
+        mutated["totals"]["gops"] *= 1.0000001
+        assert compare_runs(run_dict, mutated, rel_tol=1e-3) == {}
+
+    def test_determinism_against_fresh_run(self, run_dict):
+        fresh = network_result_to_dict(
+            make_accelerator("flexflow", DEFAULT_CONFIG).simulate_network(
+                get_workload("LeNet-5")
+            )
+        )
+        assert compare_runs(run_dict, fresh) == {}

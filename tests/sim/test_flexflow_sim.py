@@ -1,0 +1,150 @@
+"""Tests for the FlexFlow functional simulator."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchConfig
+from repro.dataflow import UnrollingFactors, map_layer
+from repro.errors import SimulationError, SpecificationError
+from repro.nn import ConvLayer, conv2d, make_inputs, make_kernels, pad_input
+from repro.sim import CoordStore, FlexFlowFunctionalSim
+
+
+def run(layer, dim=4, factors=None):
+    sim = FlexFlowFunctionalSim(ArchConfig(array_dim=dim), factors=factors)
+    inputs, kernels = make_inputs(layer), make_kernels(layer)
+    outputs, trace = sim.run_layer(layer, inputs, kernels)
+    golden = conv2d(pad_input(inputs, layer.padding), kernels, stride=layer.stride)
+    return outputs, golden, trace
+
+
+class TestNumerics:
+    def test_matches_golden_on_figure8_c1(self):
+        # The paper's running example: C1 (M=2, N=1, S=8, K=4) on 4x4 PEs.
+        layer = ConvLayer("C1", in_maps=1, out_maps=2, out_size=8, kernel=4)
+        outputs, golden, _ = run(layer, dim=4)
+        np.testing.assert_allclose(outputs, golden, atol=1e-9)
+
+    def test_matches_golden_on_figure8_c2(self):
+        # C2 (M=2, N=2, S=4, K=2) on 4x4 PEs.
+        layer = ConvLayer("C2", in_maps=2, out_maps=2, out_size=4, kernel=2)
+        outputs, golden, _ = run(layer, dim=4)
+        np.testing.assert_allclose(outputs, golden, atol=1e-9)
+
+    def test_matches_golden_with_explicit_figure8_factors(self):
+        # The exact Figure 8 mix: <Tm=2, Tn=1, Tr=1, Tc=2, Ti=1, Tj=4>.
+        layer = ConvLayer("C1", in_maps=1, out_maps=2, out_size=8, kernel=4)
+        factors = UnrollingFactors(tm=2, tn=1, tr=1, tc=2, ti=1, tj=4)
+        outputs, golden, trace = run(layer, dim=4, factors=factors)
+        np.testing.assert_allclose(outputs, golden, atol=1e-9)
+        assert trace.cycles == factors.outer_iterations(layer)
+
+    def test_matches_golden_with_padding(self):
+        layer = ConvLayer(
+            "pad", in_maps=2, out_maps=2, out_size=6, kernel=3, explicit_in_size=6
+        )
+        outputs, golden, _ = run(layer, dim=8)
+        np.testing.assert_allclose(outputs, golden, atol=1e-9)
+
+    def test_matches_golden_with_stride(self):
+        layer = ConvLayer("s2", in_maps=1, out_maps=2, out_size=4, kernel=3, stride=2)
+        outputs, golden, _ = run(layer, dim=4)
+        np.testing.assert_allclose(outputs, golden, atol=1e-9)
+
+    def test_matches_golden_on_16x16(self):
+        layer = ConvLayer("big", in_maps=3, out_maps=6, out_size=10, kernel=5)
+        outputs, golden, _ = run(layer, dim=16)
+        np.testing.assert_allclose(outputs, golden, atol=1e-9)
+
+
+class TestCycleAccuracy:
+    def test_cycles_equal_outer_iterations(self):
+        layer = ConvLayer("c", in_maps=2, out_maps=4, out_size=6, kernel=3)
+        factors = map_layer(layer, 8).factors
+        _, _, trace = run(layer, dim=8)
+        assert trace.cycles == factors.outer_iterations(layer)
+
+    def test_mac_count_exact(self):
+        layer = ConvLayer("c", in_maps=2, out_maps=3, out_size=5, kernel=3)
+        _, _, trace = run(layer, dim=8)
+        assert trace.mac_ops == layer.macs
+
+    def test_output_writes_exact(self):
+        layer = ConvLayer("c", in_maps=2, out_maps=3, out_size=5, kernel=3)
+        _, _, trace = run(layer, dim=8)
+        assert trace.neuron_buffer_writes == layer.num_output_words
+
+    def test_local_store_reads_two_per_mac(self):
+        layer = ConvLayer("c", in_maps=1, out_maps=2, out_size=4, kernel=2)
+        _, _, trace = run(layer, dim=4)
+        assert trace.local_store_reads == 2 * layer.macs
+
+    def test_broadcast_sharing_reduces_buffer_reads(self):
+        # Buffer reads must be well below one-per-MAC: RA/RS sharing.
+        layer = ConvLayer("c", in_maps=2, out_maps=4, out_size=6, kernel=3)
+        _, _, trace = run(layer, dim=8)
+        assert trace.neuron_buffer_reads < layer.macs / 2
+
+
+class TestValidation:
+    def test_wrong_input_shape_rejected(self):
+        layer = ConvLayer("c", in_maps=2, out_maps=2, out_size=4, kernel=2)
+        sim = FlexFlowFunctionalSim(ArchConfig(array_dim=4))
+        with pytest.raises(SpecificationError):
+            sim.run_layer(layer, np.zeros((2, 9, 9)), make_kernels(layer))
+
+    def test_wrong_kernel_shape_rejected(self):
+        layer = ConvLayer("c", in_maps=2, out_maps=2, out_size=4, kernel=2)
+        sim = FlexFlowFunctionalSim(ArchConfig(array_dim=4))
+        with pytest.raises(SpecificationError):
+            sim.run_layer(layer, make_inputs(layer), np.zeros((2, 2, 3, 3)))
+
+
+class TestCoordStore:
+    def test_write_read(self):
+        store = CoordStore(4, "s")
+        store.write(("a", 1), 2.5)
+        assert store.contains(("a", 1))
+        assert store.read(("a", 1)) == 2.5
+
+    def test_missing_coord_raises(self):
+        store = CoordStore(4, "s")
+        with pytest.raises(SimulationError):
+            store.read(("missing",))
+
+    def test_eviction_on_wraparound(self):
+        store = CoordStore(2, "s")
+        store.write("a", 1.0)
+        store.write("b", 2.0)
+        store.write("c", 3.0)  # evicts "a"
+        assert not store.contains("a")
+        assert store.read("c") == 3.0
+        assert store.read("b") == 2.0
+
+    def test_counters(self):
+        store = CoordStore(4, "s")
+        store.write("a", 1.0)
+        store.read("a")
+        assert store.writes == 1 and store.reads == 1
+
+    def test_tiny_store_forces_rebroadcast_but_stays_correct(self):
+        # A 4-word neuron store cannot hold a whole row: words get evicted
+        # and re-broadcast, yet the result must stay exact.
+        layer = ConvLayer("c", in_maps=1, out_maps=2, out_size=6, kernel=3)
+        config = ArchConfig(array_dim=4, neuron_store_bytes=8, kernel_store_bytes=64)
+        sim = FlexFlowFunctionalSim(config)
+        inputs, kernels = make_inputs(layer), make_kernels(layer)
+        outputs, trace = sim.run_layer(layer, inputs, kernels)
+        np.testing.assert_allclose(outputs, conv2d(inputs, kernels), atol=1e-9)
+
+    def test_smaller_store_more_traffic(self):
+        layer = ConvLayer("c", in_maps=1, out_maps=2, out_size=6, kernel=3)
+        big = ArchConfig(array_dim=4)
+        small = ArchConfig(array_dim=4, neuron_store_bytes=8, kernel_store_bytes=8)
+        inputs, kernels = make_inputs(layer), make_kernels(layer)
+        _, t_big = FlexFlowFunctionalSim(big).run_layer(layer, inputs, kernels)
+        _, t_small = FlexFlowFunctionalSim(small).run_layer(layer, inputs, kernels)
+        assert (
+            t_small.neuron_buffer_reads + t_small.kernel_buffer_reads
+            > t_big.neuron_buffer_reads + t_big.kernel_buffer_reads
+        )

@@ -1,0 +1,134 @@
+"""End-to-end tests: full networks on the functional FlexFlow machine."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchConfig
+from repro.dataflow import map_network
+from repro.errors import SpecificationError
+from repro.nn import (
+    ConvLayer,
+    FCLayer,
+    InputSpec,
+    JoinLayer,
+    Network,
+    PoolLayer,
+    get_workload,
+    make_network_inputs,
+    run_network,
+)
+from repro.sim import FlexFlowNetworkSim
+
+
+def toy_net():
+    return Network(
+        "toy",
+        InputSpec(maps=1, size=8),
+        [
+            ConvLayer("C1", in_maps=1, out_maps=4, out_size=6, kernel=3),
+            PoolLayer("S2", maps=4, in_size=6, out_size=3, window=2),
+            ConvLayer("C3", in_maps=4, out_maps=2, out_size=2, kernel=2),
+            FCLayer("F4", in_neurons=2 * 2 * 2, out_neurons=3),
+        ],
+    )
+
+
+class TestToyNetwork:
+    @pytest.fixture(scope="class")
+    def run_pair(self):
+        net = toy_net()
+        inputs = make_network_inputs(net)
+        golden_out, golden_acts = run_network(net, inputs)
+        result = FlexFlowNetworkSim(ArchConfig(array_dim=8)).run_network(
+            net, inputs
+        )
+        return golden_out, golden_acts, result
+
+    def test_final_output_matches(self, run_pair):
+        golden_out, _, result = run_pair
+        np.testing.assert_allclose(result.final_output, golden_out, atol=1e-8)
+
+    def test_every_activation_matches(self, run_pair):
+        _, golden_acts, result = run_pair
+        for name, golden in golden_acts.items():
+            np.testing.assert_allclose(
+                result.activations[name], golden, atol=1e-8
+            ), name
+
+    def test_conv_cycles_match_mapping(self, run_pair):
+        _, _, result = run_pair
+        mapping = map_network(toy_net(), 8).by_layer_name()
+        assert result.layer_cycles["C1"] == mapping["C1"].compute_cycles
+        assert result.layer_cycles["C3"] == mapping["C3"].compute_cycles
+
+    def test_traces_populated(self, run_pair):
+        _, _, result = run_pair
+        assert result.conv_trace.mac_ops > 0
+        assert result.pool_trace.cycles > 0
+
+
+class TestLeNet5EndToEnd:
+    def test_full_lenet5_inference_matches_golden(self):
+        net = get_workload("LeNet-5")
+        inputs = make_network_inputs(net)
+        golden_out, golden_acts = run_network(net, inputs)
+        result = FlexFlowNetworkSim(ArchConfig(array_dim=16)).run_network(
+            net, inputs
+        )
+        np.testing.assert_allclose(result.final_output, golden_out, atol=1e-7)
+        for name in ("C1", "S2", "C3", "S4", "F5", "F6", "OUT"):
+            np.testing.assert_allclose(
+                result.activations[name], golden_acts[name], atol=1e-7
+            )
+
+    def test_conv_cycles_match_table4_mapping(self):
+        net = get_workload("LeNet-5")
+        result = FlexFlowNetworkSim(ArchConfig(array_dim=16)).run_network(net)
+        # The Table 4 factors give C1 = 672 cycles, C3 = 1000.
+        assert result.layer_cycles["C1"] == 672
+        assert result.layer_cycles["C3"] == 1000
+
+    def test_pooling_overlaps_compute(self):
+        # The off-critical-path assumption requires pool cycles to fit
+        # under the next layer's conv cycles.
+        net = get_workload("LeNet-5")
+        result = FlexFlowNetworkSim(ArchConfig(array_dim=16)).run_network(net)
+        assert result.pool_trace.cycles < result.total_conv_cycles
+
+
+class TestJoinAndValidation:
+    def test_network_with_join(self):
+        net = Network(
+            "towers",
+            InputSpec(maps=1, size=6),
+            [
+                ConvLayer("C1", in_maps=1, out_maps=2, out_size=4, kernel=3),
+                JoinLayer("J2", in_maps=2, out_maps=4, size=4),
+                ConvLayer("C3", in_maps=4, out_maps=2, out_size=2, kernel=3),
+            ],
+        )
+        inputs = make_network_inputs(net)
+        golden_out, _ = run_network(net, inputs)
+        result = FlexFlowNetworkSim(ArchConfig(array_dim=8)).run_network(
+            net, inputs
+        )
+        np.testing.assert_allclose(result.final_output, golden_out, atol=1e-8)
+
+    def test_fc_only_network(self):
+        net = Network(
+            "fcs",
+            InputSpec(maps=1, size=4),
+            [FCLayer("F1", in_neurons=16, out_neurons=4)],
+        )
+        inputs = make_network_inputs(net)
+        golden_out, _ = run_network(net, inputs)
+        result = FlexFlowNetworkSim(ArchConfig(array_dim=8)).run_network(
+            net, inputs
+        )
+        np.testing.assert_allclose(result.final_output, golden_out, atol=1e-8)
+
+    def test_wrong_input_shape_rejected(self):
+        with pytest.raises(SpecificationError):
+            FlexFlowNetworkSim(ArchConfig(array_dim=8)).run_network(
+                toy_net(), np.zeros((1, 9, 9))
+            )

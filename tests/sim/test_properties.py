@@ -1,0 +1,134 @@
+"""Property-based tests: every dataflow computes the same convolution.
+
+Hypothesis generates random small layer shapes and random tensors; all
+four functional simulators must agree with the NumPy golden model, and the
+FlexFlow simulator must take exactly the analytically predicted number of
+cycles for any feasible factor assignment.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import ArchConfig
+from repro.dataflow import UnrollingFactors, map_layer, total_utilization
+from repro.nn import ConvLayer, conv2d, make_inputs, make_kernels
+from repro.sim import (
+    FlexFlowFunctionalSim,
+    Mapping2DFunctionalSim,
+    SystolicFunctionalSim,
+    TilingFunctionalSim,
+)
+
+# Small-but-varied layer shapes keep each case fast while covering edge
+# alignment (S not divisible by factors, K = S, single maps, ...).
+layer_shapes = st.tuples(
+    st.integers(min_value=1, max_value=3),  # N
+    st.integers(min_value=1, max_value=4),  # M
+    st.integers(min_value=2, max_value=7),  # S
+    st.integers(min_value=1, max_value=4),  # K
+)
+
+
+def build_layer(shape):
+    n, m, s, k = shape
+    return ConvLayer("prop", in_maps=n, out_maps=m, out_size=s, kernel=k)
+
+
+@settings(max_examples=25, deadline=None)
+@given(layer_shapes)
+def test_flexflow_sim_matches_golden(shape):
+    layer = build_layer(shape)
+    inputs, kernels = make_inputs(layer), make_kernels(layer)
+    sim = FlexFlowFunctionalSim(ArchConfig(array_dim=4))
+    outputs, trace = sim.run_layer(layer, inputs, kernels)
+    np.testing.assert_allclose(outputs, conv2d(inputs, kernels), atol=1e-9)
+    assert trace.mac_ops == layer.macs
+
+
+@settings(max_examples=25, deadline=None)
+@given(layer_shapes)
+def test_flexflow_cycles_match_prediction(shape):
+    layer = build_layer(shape)
+    factors = map_layer(layer, 4).factors
+    sim = FlexFlowFunctionalSim(ArchConfig(array_dim=4), factors=factors)
+    _, trace = sim.run_layer(layer, make_inputs(layer), make_kernels(layer))
+    assert trace.cycles == factors.outer_iterations(layer)
+
+
+@settings(max_examples=20, deadline=None)
+@given(layer_shapes)
+def test_systolic_sim_matches_golden(shape):
+    layer = build_layer(shape)
+    inputs, kernels = make_inputs(layer), make_kernels(layer)
+    outputs, _ = SystolicFunctionalSim().run_layer(layer, inputs, kernels)
+    np.testing.assert_allclose(outputs, conv2d(inputs, kernels), atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(layer_shapes, st.integers(min_value=2, max_value=6))
+def test_mapping2d_sim_matches_golden(shape, block):
+    layer = build_layer(shape)
+    inputs, kernels = make_inputs(layer), make_kernels(layer)
+    outputs, _ = Mapping2DFunctionalSim(block_size=block).run_layer(
+        layer, inputs, kernels
+    )
+    np.testing.assert_allclose(outputs, conv2d(inputs, kernels), atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    layer_shapes,
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+)
+def test_tiling_sim_matches_golden(shape, tm, tn):
+    layer = build_layer(shape)
+    inputs, kernels = make_inputs(layer), make_kernels(layer)
+    outputs, _ = TilingFunctionalSim(tm=tm, tn=tn).run_layer(layer, inputs, kernels)
+    np.testing.assert_allclose(outputs, conv2d(inputs, kernels), atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(layer_shapes)
+def test_mapper_output_feasible_and_utilization_bounded(shape):
+    layer = build_layer(shape)
+    for dim in (4, 8):
+        mapping = map_layer(layer, dim)
+        mapping.factors.check(layer, dim)
+        ut = total_utilization(layer, mapping.factors, dim)
+        assert 0.0 < ut <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    layer_shapes,
+    st.tuples(
+        st.integers(1, 3),
+        st.integers(1, 3),
+        st.integers(1, 3),
+        st.integers(1, 3),
+        st.integers(1, 3),
+        st.integers(1, 3),
+    ),
+)
+def test_any_feasible_factors_compute_correctly(shape, raw_factors):
+    """The simulator must be correct for *every* feasible unrolling, not
+    just the mapper's choice — the MFMNMS claim of Section 4.2."""
+    layer = build_layer(shape)
+    tm, tn, tr, tc, ti, tj = (
+        min(raw_factors[0], layer.out_maps),
+        min(raw_factors[1], layer.in_maps),
+        min(raw_factors[2], layer.out_size),
+        min(raw_factors[3], layer.out_size),
+        min(raw_factors[4], layer.kernel),
+        min(raw_factors[5], layer.kernel),
+    )
+    factors = UnrollingFactors(tm=tm, tn=tn, tr=tr, tc=tc, ti=ti, tj=tj)
+    dim = 32  # large enough for any product of factors <= 27
+    if not factors.is_feasible(layer, dim):
+        return
+    sim = FlexFlowFunctionalSim(ArchConfig(array_dim=dim), factors=factors)
+    inputs, kernels = make_inputs(layer), make_kernels(layer)
+    outputs, trace = sim.run_layer(layer, inputs, kernels)
+    np.testing.assert_allclose(outputs, conv2d(inputs, kernels), atol=1e-9)
+    assert trace.cycles == factors.outer_iterations(layer)

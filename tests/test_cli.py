@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestWorkloadsCommand:
+    def test_lists_all_six(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("PV", "FR", "LeNet-5", "HG", "AlexNet", "VGG-11"):
+            assert name in out
+
+
+class TestDescribeCommand:
+    def test_prints_layers(self, capsys):
+        assert main(["describe", "LeNet-5"]) == 0
+        out = capsys.readouterr().out
+        assert "C1" in out and "C3" in out and "F5" in out
+
+    def test_unknown_workload_reports_error(self, capsys):
+        # Not a registry name and not a file: exit code 1 with a message.
+        assert main(["describe", "ResNet"]) == 1
+        assert "neither a known workload" in capsys.readouterr().err
+
+    def test_description_file_accepted(self, tmp_path, capsys):
+        path = tmp_path / "tiny.net"
+        path.write_text(
+            "network Tiny\ninput 1 8\nconv C1 maps 2 kernel 3\n"
+        )
+        assert main(["describe", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Tiny" in out and "C1" in out
+
+    def test_map_from_file(self, tmp_path, capsys):
+        path = tmp_path / "tiny.net"
+        path.write_text(
+            "network Tiny\ninput 1 8\nconv C1 maps 2 kernel 3\n"
+        )
+        assert main(["map", str(path)]) == 0
+        assert "Tiny on a 16x16" in capsys.readouterr().out
+
+
+class TestMapCommand:
+    def test_prints_factors_and_utilization(self, capsys):
+        assert main(["map", "LeNet-5"]) == 0
+        out = capsys.readouterr().out
+        assert "<Tm=3, Tn=1, Tr=1, Tc=5, Ti=3, Tj=5>" in out
+        assert "overall utilization" in out
+
+    def test_custom_dim(self, capsys):
+        assert main(["map", "PV", "--dim", "8"]) == 0
+        assert "8x8" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_single_architecture(self, capsys):
+        assert main(["run", "LeNet-5"]) == 0
+        out = capsys.readouterr().out
+        assert "FlexFlow" in out and "GOPS" in out
+
+    def test_all_architectures(self, capsys):
+        assert main(["run", "HG", "--arch", "all"]) == 0
+        out = capsys.readouterr().out
+        for label in ("Systolic", "2D-Mapping", "Tiling", "FlexFlow"):
+            assert label in out
+
+
+class TestCompileCommand:
+    def test_emits_assembly(self, capsys):
+        assert main(["compile", "LeNet-5"]) == 0
+        out = capsys.readouterr().out
+        assert "CFG 3 1 1 5 3 5" in out
+        assert out.rstrip().endswith("HLT")
+
+    def test_execute_flag_adds_timing(self, capsys):
+        assert main(["compile", "FR", "--execute"]) == 0
+        out = capsys.readouterr().out
+        assert "# executed:" in out and "compute" in out
+
+
+class TestExperimentCommand:
+    def test_single_experiment(self, capsys):
+        assert main(["experiment", "area"]) == 0
+        out = capsys.readouterr().out
+        assert "Layout area" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

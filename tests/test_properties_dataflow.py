@@ -1,0 +1,99 @@
+"""Property-based tests over the newer dataflow machinery.
+
+Covers the transmission schedules (conflict-freedom and coverage for
+arbitrary feasible factors), rectangular mapping (feasibility and
+utilization bounds across shapes), and style restrictions (never beating
+the unrestricted mapper).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow import (
+    ProcessingStyle,
+    kernel_schedule,
+    map_layer,
+    neuron_schedule,
+)
+from repro.dataflow.rectangular import map_layer_rect
+from repro.dataflow.restricted import map_layer_with_style
+from repro.dataflow.unrolling import UnrollingFactors
+from repro.nn import ConvLayer
+
+layer_shapes = st.tuples(
+    st.integers(min_value=1, max_value=3),  # N
+    st.integers(min_value=1, max_value=4),  # M
+    st.integers(min_value=2, max_value=7),  # S
+    st.integers(min_value=1, max_value=4),  # K
+)
+
+
+def build_layer(shape):
+    n, m, s, k = shape
+    return ConvLayer("prop", in_maps=n, out_maps=m, out_size=s, kernel=k)
+
+
+factor_values = st.integers(min_value=1, max_value=3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(layer_shapes, st.tuples(*[factor_values] * 6))
+def test_schedules_conflict_free_for_any_feasible_factors(shape, raw):
+    layer = build_layer(shape)
+    factors = UnrollingFactors(
+        tm=min(raw[0], layer.out_maps),
+        tn=min(raw[1], layer.in_maps),
+        tr=min(raw[2], layer.out_size),
+        tc=min(raw[3], layer.out_size),
+        ti=min(raw[4], layer.kernel),
+        tj=min(raw[5], layer.kernel),
+    )
+    if not factors.is_feasible(layer, 32):
+        return
+    for reads in neuron_schedule(layer, factors, max_cycles=48):
+        banks = [bank for bank, _ in reads.requests]
+        assert len(banks) == len(set(banks))
+    for reads in kernel_schedule(layer, factors, max_cycles=48):
+        banks = [bank for bank, _ in reads.requests]
+        assert len(banks) == len(set(banks))
+
+
+@settings(max_examples=25, deadline=None)
+@given(layer_shapes)
+def test_kernel_schedule_covers_tensor(shape):
+    layer = build_layer(shape)
+    factors = map_layer(layer, 8).factors
+    total = sum(len(r.requests) for r in kernel_schedule(layer, factors))
+    assert total == layer.num_kernel_words
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    layer_shapes,
+    st.sampled_from([(4, 16), (8, 8), (16, 4), (2, 32), (32, 2)]),
+)
+def test_rect_mapping_feasible_and_bounded(shape, array_shape):
+    layer = build_layer(shape)
+    rows, cols = array_shape
+    mapping = map_layer_rect(layer, rows, cols)
+    f = mapping.factors
+    assert f.row_occupancy <= cols
+    assert f.column_occupancy <= rows
+    assert 0 < mapping.utilization <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(layer_shapes, st.sampled_from(list(ProcessingStyle)))
+def test_restricted_styles_never_beat_full_mapper(shape, style):
+    layer = build_layer(shape)
+    restricted = map_layer_with_style(layer, 8, style)
+    free = map_layer(layer, 8)
+    assert restricted.compute_cycles >= free.compute_cycles
+
+
+@settings(max_examples=25, deadline=None)
+@given(layer_shapes)
+def test_full_style_equals_free_mapper(shape):
+    layer = build_layer(shape)
+    restricted = map_layer_with_style(layer, 8, ProcessingStyle.MFMNMS)
+    free = map_layer(layer, 8)
+    assert restricted.compute_cycles == free.compute_cycles

@@ -1,0 +1,213 @@
+"""Extended property-based tests on core invariants (hypothesis).
+
+Covers the IADP placement bijections, assembler round-trips over random
+programs, the mapper against brute-force enumeration, utilization bounds,
+and the activity-count algebra.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import ActivityCounts
+from repro.compiler import (
+    Instruction,
+    OPERAND_COUNTS,
+    Opcode,
+    Program,
+    disassemble,
+    parse_asm,
+    to_asm,
+)
+from repro.dataflow import (
+    UnrollingFactors,
+    map_layer,
+    total_utilization,
+)
+from repro.dataflow.placement import KernelPlacement, NeuronPlacement
+from repro.nn import ConvLayer
+
+# -- placement bijectivity ----------------------------------------------------
+
+placement_factors = st.tuples(
+    st.integers(1, 3),  # tm
+    st.integers(1, 3),  # tn
+    st.integers(1, 3),  # tr
+    st.integers(1, 3),  # tc
+    st.integers(1, 3),  # ti
+    st.integers(1, 3),  # tj
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    placement_factors,
+    st.integers(min_value=1, max_value=4),  # in_maps
+    st.integers(min_value=2, max_value=8),  # in_size
+)
+def test_neuron_placement_bijective(factors, in_maps, in_size):
+    f = UnrollingFactors(*factors)
+    placement = NeuronPlacement(factors=f, in_maps=in_maps, in_size=in_size)
+    seen = set()
+    for n in range(in_maps):
+        for r in range(in_size):
+            for c in range(in_size):
+                slot = placement.locate(n, r, c)
+                assert slot not in seen
+                seen.add(slot)
+                assert placement.invert(*slot) == (n, r, c)
+    assert len(seen) == placement.total_words
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    placement_factors,
+    st.integers(min_value=1, max_value=4),  # out_maps
+    st.integers(min_value=1, max_value=3),  # in_maps
+    st.integers(min_value=1, max_value=4),  # kernel
+)
+def test_kernel_placement_bijective(factors, out_maps, in_maps, kernel):
+    f = UnrollingFactors(*factors)
+    placement = KernelPlacement(
+        factors=f, out_maps=out_maps, in_maps=in_maps, kernel=kernel
+    )
+    seen = set()
+    for m in range(out_maps):
+        for n in range(in_maps):
+            for i in range(kernel):
+                for j in range(kernel):
+                    slot = placement.locate(m, n, i, j)
+                    assert slot not in seen
+                    seen.add(slot)
+                    assert placement.invert(*slot) == (m, n, i, j)
+    assert len(seen) == placement.total_words
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    placement_factors,
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=2, max_value=8),
+)
+def test_neuron_placement_respects_bank_depth(factors, in_maps, in_size):
+    f = UnrollingFactors(*factors)
+    placement = NeuronPlacement(factors=f, in_maps=in_maps, in_size=in_size)
+    for n in range(in_maps):
+        for r in range(in_size):
+            for c in range(in_size):
+                bank, offset = placement.locate(n, r, c)
+                assert 0 <= bank < placement.num_banks
+                assert 0 <= offset < placement.words_per_bank
+
+
+# -- assembler round trips ------------------------------------------------------
+
+
+def _random_instruction(draw):
+    opcode = draw(st.sampled_from(list(Opcode)))
+    arity = OPERAND_COUNTS[opcode]
+    operands = tuple(
+        draw(st.integers(min_value=0, max_value=10_000)) for _ in range(arity)
+    )
+    # CFG operands must be positive to be meaningful, but the ISA itself
+    # only requires non-negative ints.
+    return Instruction(opcode, operands)
+
+
+program_strategy = st.builds(
+    lambda body: Program(
+        "random",
+        tuple(
+            [Instruction(Opcode.CFG, (1, 1, 1, 1, 1, 1))]
+            + body
+            + [Instruction(Opcode.HLT)]
+        ),
+    ),
+    st.lists(
+        st.builds(
+            Instruction,
+            st.sampled_from(
+                [Opcode.LDK, Opcode.LDN, Opcode.RLY, Opcode.CONV, Opcode.WB]
+            ),
+            st.integers(min_value=0, max_value=100_000).map(lambda v: (v,)),
+        ),
+        min_size=0,
+        max_size=12,
+    ),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(program_strategy)
+def test_assembler_text_roundtrip(program):
+    assert parse_asm(to_asm(program)).instructions == program.instructions
+
+
+@settings(max_examples=50, deadline=None)
+@given(program_strategy)
+def test_assembler_binary_roundtrip(program):
+    assert disassemble(program.encode()).instructions == program.instructions
+
+
+# -- mapper optimality vs. brute force -------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=1, max_value=3),
+)
+def test_mapper_matches_brute_force(n, m, s, k):
+    layer = ConvLayer("bf", in_maps=n, out_maps=m, out_size=s, kernel=k)
+    dim = 6
+    mapping = map_layer(layer, dim)
+    best = 0.0
+    for tm, tn, tr, tc, ti, tj in itertools.product(
+        range(1, m + 1),
+        range(1, n + 1),
+        range(1, s + 1),
+        range(1, s + 1),
+        range(1, k + 1),
+        range(1, k + 1),
+    ):
+        f = UnrollingFactors(tm=tm, tn=tn, tr=tr, tc=tc, ti=ti, tj=tj)
+        if f.is_feasible(layer, dim):
+            best = max(best, total_utilization(layer, f, dim))
+    assert mapping.utilization.ut == pytest.approx(best)
+
+
+# -- activity-count algebra --------------------------------------------------------
+
+counts_strategy = st.builds(
+    ActivityCounts,
+    cycles=st.integers(0, 10**6),
+    mac_ops=st.integers(0, 10**6),
+    active_pe_cycles=st.integers(0, 10**6),
+    neuron_buffer_reads=st.integers(0, 10**6),
+    neuron_buffer_writes=st.integers(0, 10**6),
+    kernel_buffer_reads=st.integers(0, 10**6),
+    bus_word_mm=st.floats(0, 1e6, allow_nan=False),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(counts_strategy, counts_strategy, counts_strategy)
+def test_activity_counts_addition_associative(a, b, c):
+    left = (a + b) + c
+    right = a + (b + c)
+    assert left.cycles == right.cycles
+    assert left.mac_ops == right.mac_ops
+    assert left.buffer_words_total == right.buffer_words_total
+    assert left.bus_word_mm == pytest.approx(right.bus_word_mm)
+
+
+@settings(max_examples=50, deadline=None)
+@given(counts_strategy)
+def test_activity_counts_zero_identity(a):
+    zero = ActivityCounts()
+    total = a + zero
+    assert total.cycles == a.cycles
+    assert total.buffer_words_total == a.buffer_words_total

@@ -1,0 +1,42 @@
+"""Property-based tests for the network-description round trip.
+
+The synthetic-network generator produces arbitrary valid CNNs; every one
+must serialize to the description format and parse back to an identical
+network — the strongest guarantee the format can give.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import parse_network, random_network, to_description
+from repro.nn.synth import SynthSpec
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_random_networks_roundtrip(seed):
+    network = random_network(seed)
+    recovered = parse_network(to_description(network))
+    assert recovered.name == network.name
+    assert recovered.describe() == network.describe()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=1_000),
+    st.booleans(),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_roundtrip_across_generator_knobs(seed, fc_head, pool_probability):
+    spec = SynthSpec(fc_head=fc_head, pool_probability=pool_probability)
+    network = random_network(seed, spec)
+    recovered = parse_network(to_description(network))
+    assert recovered.describe() == network.describe()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000))
+def test_serialization_idempotent(seed):
+    network = random_network(seed)
+    once = to_description(network)
+    twice = to_description(parse_network(once))
+    assert once == twice
