@@ -1,0 +1,119 @@
+"""Capture the bench_headline wall-clock baseline into BENCH_headline.json.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/capture_baseline.py
+
+The committed ``BENCH_headline.json`` gives future changes a perf
+trajectory to compare against.  Two configurations are timed:
+
+* ``no_cache`` — the mapping cache is cleared before every run, so each
+  run re-pays the Section 5 mapping DP (the pre-fast-path behaviour);
+* ``steady_state`` — caches warm, the configuration every repeated
+  experiment (and the pytest-benchmark rounds) actually sees.
+
+A third section times the functional cycle simulator's two engines on a
+representative layer, since ``repro run`` / full-inference examples are
+bound by it rather than by the mapper.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.arch import ArchConfig
+from repro.dataflow import clear_mapping_cache
+from repro.experiments import headline_claims
+from repro.nn import ConvLayer, make_inputs, make_kernels
+from repro.sim import FlexFlowFunctionalSim
+
+#: Layer used for the engine micro-benchmark: LeNet-5 C3 scale.
+ENGINE_LAYER = ConvLayer("bench", in_maps=6, out_maps=16, out_size=10, kernel=5)
+
+
+def _time(fn, rounds: int) -> list:
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def _summary(samples: list) -> dict:
+    return {
+        "rounds": len(samples),
+        "min_s": round(min(samples), 6),
+        "median_s": round(statistics.median(samples), 6),
+        "mean_s": round(statistics.fmean(samples), 6),
+    }
+
+
+def capture(rounds: int = 5) -> dict:
+    def headline_no_cache():
+        clear_mapping_cache()
+        headline_claims.run()
+
+    clear_mapping_cache()
+    no_cache = _time(headline_no_cache, rounds)
+    headline_claims.run()  # warm the cache before steady-state timing
+    steady = _time(headline_claims.run, rounds)
+
+    inputs = make_inputs(ENGINE_LAYER)
+    kernels = make_kernels(ENGINE_LAYER)
+    config = ArchConfig(array_dim=16)
+    engines = {}
+    for engine in ("tile", "reference"):
+        sim = FlexFlowFunctionalSim(config, engine=engine)
+        engines[engine] = _summary(
+            _time(lambda: sim.run_layer(ENGINE_LAYER, inputs, kernels), 3)
+        )
+
+    return {
+        "benchmark": "bench_headline",
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "headline": {
+            "no_cache": _summary(no_cache),
+            "steady_state": _summary(steady),
+            "speedup_median": round(
+                statistics.median(no_cache) / statistics.median(steady), 2
+            ),
+        },
+        "sim_engine": {
+            "layer": ENGINE_LAYER.name,
+            "layer_macs": ENGINE_LAYER.macs,
+            **engines,
+            "speedup_median": round(
+                engines["reference"]["median_s"] / engines["tile"]["median_s"], 2
+            ),
+        },
+    }
+
+
+def main(argv: list) -> int:
+    out = Path(argv[1]) if len(argv) > 1 else Path("BENCH_headline.json")
+    payload = capture()
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    headline = payload["headline"]
+    print(
+        f"wrote {out}: headline {headline['no_cache']['median_s']*1000:.1f} ms"
+        f" -> {headline['steady_state']['median_s']*1000:.1f} ms"
+        f" ({headline['speedup_median']}x),"
+        f" sim engine {payload['sim_engine']['speedup_median']}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

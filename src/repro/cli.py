@@ -20,8 +20,8 @@ from repro.accelerators import make_accelerator
 from repro.arch.config import ArchConfig
 from repro.compiler import ProgramExecutor, compile_network, to_asm
 from repro.dataflow import map_network
-from repro.errors import ReproError
-from repro.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.errors import ConfigurationError, ReproError, SpecificationError
+from repro.experiments import ALL_EXPERIMENTS, run_experiments
 from repro.experiments.common import ARCH_LABELS, ARCH_ORDER
 from repro.nn import WORKLOAD_NAMES, all_workloads, get_workload, parse_network
 from repro.nn.network import Network
@@ -34,9 +34,16 @@ def _resolve_workload(spec: str) -> Network:
     import os
 
     if os.path.exists(spec):
-        with open(spec, encoding="utf-8") as handle:
-            return parse_network(handle.read())
-    from repro.errors import SpecificationError
+        # A directory or an unreadable file must surface as the standard
+        # one-line error, not an OSError traceback.
+        try:
+            with open(spec, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise SpecificationError(
+                f"cannot read workload file {spec!r}: {exc}"
+            ) from exc
+        return parse_network(text)
 
     raise SpecificationError(
         f"{spec!r} is neither a known workload"
@@ -84,12 +91,20 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "experiment_id", choices=list(ALL_EXPERIMENTS) + ["all"]
     )
+    experiment.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for running experiments (default 1)",
+    )
 
     report = sub.add_parser(
         "report", help="write a Markdown report of all experiments"
     )
     report.add_argument(
         "-o", "--output", default="-", help="output file ('-' for stdout)"
+    )
+    report.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for running experiments (default 1)",
     )
     return parser
 
@@ -158,23 +173,28 @@ def _cmd_compile(workload: str, dim: int, execute: bool) -> int:
     return 0
 
 
-def _cmd_experiment(experiment_id: str) -> int:
+def _cmd_experiment(experiment_id: str, jobs: int) -> int:
     ids = list(ALL_EXPERIMENTS) if experiment_id == "all" else [experiment_id]
-    for eid in ids:
-        print(run_experiment(eid).format_table())
+    for result in run_experiments(ids, jobs=jobs):
+        print(result.format_table())
         print()
     return 0
 
 
-def _cmd_report(output: str) -> int:
+def _cmd_report(output: str, jobs: int) -> int:
     from repro.experiments.report import generate_report
 
-    text = generate_report()
+    text = generate_report(jobs=jobs)
     if output == "-":
         print(text)
     else:
-        with open(output, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        try:
+            with open(output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot write report to {output!r}: {exc}"
+            ) from exc
         print(f"wrote {output}")
     return 0
 
@@ -195,9 +215,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "compile":
             return _cmd_compile(args.workload, args.dim, args.execute)
         if args.command == "experiment":
-            return _cmd_experiment(args.experiment_id)
+            return _cmd_experiment(args.experiment_id, args.jobs)
         if args.command == "report":
-            return _cmd_report(args.output)
+            return _cmd_report(args.output, args.jobs)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -4,10 +4,12 @@ from repro.dataflow.grouping import GroupGeometry
 from repro.dataflow.mapper import (
     LayerMapping,
     NetworkMapping,
+    clear_mapping_cache,
     coupled_input_triple,
     input_candidates,
     map_layer,
     map_network,
+    mapping_cache_info,
     output_candidates,
     relayout_penalty_cycles,
 )
@@ -58,6 +60,8 @@ __all__ = [
     "NetworkMapping",
     "map_layer",
     "map_network",
+    "mapping_cache_info",
+    "clear_mapping_cache",
     "input_candidates",
     "output_candidates",
     "coupled_input_triple",

@@ -24,6 +24,7 @@ choices (e.g. LeNet-5 C1's ``Tc = 5`` instead of a perfectly-packed
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from repro.dataflow.styles import ProcessingStyle, classify
@@ -173,6 +174,10 @@ def map_layer(
 ) -> LayerMapping:
     """Best mapping of one layer in isolation (greedy, no inter-layer DP).
 
+    Results are memoized: the enumeration depends only on the (frozen)
+    layer spec, ``D``, and the two constraints, and :class:`LayerMapping`
+    is immutable, so repeated experiments share one search.
+
     Args:
         layer: the CONV layer.
         array_dim: ``D``.
@@ -180,6 +185,16 @@ def map_layer(
         fixed_input_triple: force ``(Tn, Ti, Tj)`` (used to honour coupling
             with a predecessor).
     """
+    return _map_layer_cached(layer, array_dim, tr_tc_bound, fixed_input_triple)
+
+
+@lru_cache(maxsize=4096)
+def _map_layer_cached(
+    layer: ConvLayer,
+    array_dim: int,
+    tr_tc_bound: Optional[int],
+    fixed_input_triple: Optional[Triple],
+) -> LayerMapping:
     if fixed_input_triple is None:
         ins = input_candidates(layer, array_dim)
         best_in = min(ins, key=lambda t: (_input_steps(layer, t), t))
@@ -226,7 +241,15 @@ def map_network(network: Network, array_dim: int) -> NetworkMapping:
     whichever yields fewer total cycles.  Transitions are bucketed by the
     coupled triple's step count, so the DP is ``O(layers * |outs| * |steps|)``
     rather than quadratic in the candidate sets.
+
+    Results are memoized on ``(network, D)`` — :class:`Network` equality
+    is structural, so re-parsing the same workload still hits the cache.
     """
+    return _map_network_cached(network, array_dim)
+
+
+@lru_cache(maxsize=256)
+def _map_network_cached(network: Network, array_dim: int) -> NetworkMapping:
     contexts = network.conv_contexts()
     if not contexts:
         raise MappingError(f"network {network.name!r} has no CONV layers")
@@ -326,3 +349,20 @@ def map_network(network: Network, array_dim: int) -> NetworkMapping:
     )
     assert result.total_cycles == final_cost, "DP cost must match reconstruction"
     return result
+
+
+# -- cache management ---------------------------------------------------------
+
+
+def mapping_cache_info() -> Dict[str, object]:
+    """``functools`` cache statistics for both memoized mapping searches."""
+    return {
+        "map_layer": _map_layer_cached.cache_info(),
+        "map_network": _map_network_cached.cache_info(),
+    }
+
+
+def clear_mapping_cache() -> None:
+    """Drop all memoized mapping results (tests and benchmarks use this)."""
+    _map_layer_cached.cache_clear()
+    _map_network_cached.cache_clear()

@@ -25,9 +25,16 @@ from repro.nn.layers import ConvLayer
 
 
 def ceil_div(value: int, divisor: int) -> int:
-    """Integer ceiling division (the ``⌈x/y⌉`` of Eqs. 2-3)."""
+    """Integer ceiling division (the ``⌈x/y⌉`` of Eqs. 2-3).
+
+    Both operands live in count space (loop extents, word counts), so a
+    negative ``value`` is always an upstream bug — reject it rather than
+    return the floor-like result Python's ``//`` gives for negatives.
+    """
     if divisor <= 0:
         raise MappingError(f"divisor must be positive, got {divisor}")
+    if value < 0:
+        raise MappingError(f"value must be non-negative, got {value}")
     return -(-value // divisor)
 
 

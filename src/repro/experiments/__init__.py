@@ -77,9 +77,43 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
     return module.run()
 
 
+def run_experiments(experiment_ids, *, jobs: int = 1):
+    """Run several experiments, optionally across worker processes.
+
+    Experiments are independent of one another, so with ``jobs > 1`` they
+    fan out over a ``multiprocessing`` pool (spawn context — portable and
+    thread-safe).  Results always come back in input order.
+
+    Args:
+        experiment_ids: ids from :data:`ALL_EXPERIMENTS`.
+        jobs: worker process count; ``1`` runs in-process (no pool).
+
+    Returns:
+        ``List[ExperimentResult]`` in the order of ``experiment_ids``.
+    """
+    from repro.errors import ConfigurationError
+
+    ids = list(experiment_ids)
+    unknown = [eid for eid in ids if eid not in ALL_EXPERIMENTS]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown experiment ids: {', '.join(unknown)}"
+        )
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(ids) <= 1:
+        return [run_experiment(eid) for eid in ids]
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=min(jobs, len(ids))) as pool:
+        return pool.map(run_experiment, ids)
+
+
 __all__ = [
     "ALL_EXPERIMENTS",
     "run_experiment",
+    "run_experiments",
     "ExperimentResult",
     "ARCH_ORDER",
     "ARCH_LABELS",

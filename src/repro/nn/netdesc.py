@@ -38,7 +38,16 @@ def _parse_kwargs(fields: List[str], line_no: int) -> Dict[str, str]:
         raise SpecificationError(
             f"line {line_no}: expected 'key value' pairs, got {' '.join(fields)!r}"
         )
-    return {fields[i]: fields[i + 1] for i in range(0, len(fields), 2)}
+    kwargs: Dict[str, str] = {}
+    for i in range(0, len(fields), 2):
+        key = fields[i]
+        if key in kwargs:
+            raise SpecificationError(
+                f"line {line_no}: duplicate field {key!r}"
+                f" (was {kwargs[key]!r}, again {fields[i + 1]!r})"
+            )
+        kwargs[key] = fields[i + 1]
+    return kwargs
 
 
 def _int_field(kwargs: Dict[str, str], key: str, line_no: int, default=None) -> int:
@@ -81,7 +90,14 @@ def parse_network(text: str) -> Network:
                 raise SpecificationError(
                     f"line {line_no}: input takes '<maps> <size>'"
                 )
-            input_spec = InputSpec(maps=int(fields[1]), size=int(fields[2]))
+            try:
+                in_maps, in_size = int(fields[1]), int(fields[2])
+            except ValueError:
+                raise SpecificationError(
+                    f"line {line_no}: input maps/size must be ints, got"
+                    f" {fields[1]!r} {fields[2]!r}"
+                ) from None
+            input_spec = InputSpec(maps=in_maps, size=in_size)
             maps, size = input_spec.maps, input_spec.size
             continue
 

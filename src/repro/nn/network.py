@@ -234,6 +234,19 @@ class Network:
     def __repr__(self) -> str:
         return f"Network({self.name!r}, {len(self.layers)} layers)"
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same name, input plane, and layer sequence."""
+        if not isinstance(other, Network):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.input_spec == other.input_spec
+            and self.layers == other.layers
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.input_spec, self.layers))
+
     def __len__(self) -> int:
         return len(self.layers)
 

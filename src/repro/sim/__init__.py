@@ -12,6 +12,7 @@ from repro.sim.mapping2d_sim import Mapping2DFunctionalSim
 from repro.sim.network_sim import FlexFlowNetworkSim, NetworkSimResult
 from repro.sim.pooling_sim import PoolingUnitSim
 from repro.sim.systolic_sim import SystolicFunctionalSim
+from repro.sim.tile_engine import TileEngine
 from repro.sim.tiling_sim import TilingFunctionalSim
 from repro.sim.trace import SimTrace
 
@@ -23,6 +24,7 @@ __all__ = [
     "Mapping2DFunctionalSim",
     "PoolingUnitSim",
     "SystolicFunctionalSim",
+    "TileEngine",
     "TilingFunctionalSim",
     "SimTrace",
     "network_result_to_dict",

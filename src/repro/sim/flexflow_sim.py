@@ -16,6 +16,18 @@ This simulator executes a CONV layer exactly the way Section 4 describes:
 The result is numerically compared against the NumPy golden model; this is
 the executable proof that the Section 4.3 mapping formulas, the RA synapse
 reordering, and the local-store addressing are mutually consistent.
+
+Two interchangeable engines execute the tile stream:
+
+* ``"reference"`` — the per-PE Python loop below: one :class:`CoordStore`
+  pair per PE, explicit bus sets per cycle.  Slow, but the golden
+  definition of the machine's behaviour.
+* ``"tile"`` — the batched-NumPy :class:`~repro.sim.tile_engine.TileEngine`
+  fast path, bit-identical on outputs and exact on every counter (the
+  equivalence suite in ``tests/sim/test_tile_engine.py`` pins this).
+
+The default ``"auto"`` picks the fast path whenever its index tables fit
+in memory and falls back to the reference loop otherwise.
 """
 
 from __future__ import annotations
@@ -33,6 +45,7 @@ from repro.dataflow.unrolling import UnrollingFactors
 from repro.errors import SimulationError, SpecificationError
 from repro.nn.layers import ConvLayer
 from repro.nn.reference import pad_input
+from repro.sim.tile_engine import TileEngine
 from repro.sim.trace import SimTrace
 
 
@@ -87,14 +100,23 @@ class _PE:
 class FlexFlowFunctionalSim:
     """Cycle-level functional model of the FlexFlow convolutional unit."""
 
+    #: Recognized execution engines (see module docstring).
+    ENGINES = ("auto", "tile", "reference")
+
     def __init__(
         self,
         config: Optional[ArchConfig] = None,
         *,
         factors: Optional[UnrollingFactors] = None,
+        engine: str = "auto",
     ) -> None:
+        if engine not in self.ENGINES:
+            raise SpecificationError(
+                f"engine must be one of {self.ENGINES}, got {engine!r}"
+            )
         self.config = config or ArchConfig(array_dim=4)
         self.factors = factors
+        self.engine = engine
 
     def run_layer(
         self,
@@ -123,6 +145,24 @@ class FlexFlowFunctionalSim:
         geometry = GroupGeometry(factors, dim)
 
         padded = pad_input(inputs, layer.padding)
+
+        use_tile = self.engine == "tile" or (
+            self.engine == "auto"
+            and TileEngine.is_feasible(self.config, layer, factors)
+        )
+        if use_tile:
+            return TileEngine(self.config, layer, factors).run(padded, kernels)
+        return self._run_reference(layer, padded, kernels, factors, geometry)
+
+    def _run_reference(
+        self,
+        layer: ConvLayer,
+        padded: np.ndarray,
+        kernels: np.ndarray,
+        factors: UnrollingFactors,
+        geometry: GroupGeometry,
+    ) -> Tuple[np.ndarray, SimTrace]:
+        """The golden per-PE loop: one CoordStore pair per PE."""
         stride = layer.stride
         m_total, s_total, k_total = layer.out_maps, layer.out_size, layer.kernel
         n_total = layer.in_maps

@@ -1,0 +1,290 @@
+"""Vectorized fast-path for the FlexFlow functional simulator.
+
+:class:`TileEngine` executes the same computation as the per-PE reference
+loop in :mod:`repro.sim.flexflow_sim` — one unrolled tile per cycle, RA/RS
+broadcast sharing, capacity-limited circular local stores — but processes
+one *output tile* (all of its ``f_in`` inner cycles) per step as batched
+NumPy gathers, products, and scatter updates instead of per-PE Python
+loops.  It is an executable replacement, not an approximation:
+
+* **outputs** are bit-identical: within each cycle the adder-tree sum is
+  accumulated column by column in PE-column order, and the per-row
+  accumulator adds one tree sum per cycle in cycle order — the exact
+  float-addition sequence of the reference loop;
+* **cycle count** is asserted equal to ``factors.outer_iterations(layer)``
+  (the Section 4.2 one-tile-per-cycle invariant);
+* **traffic counters** (buffer reads, bus transfers, local-store
+  reads/writes) are exact, including capacity evictions of the per-PE
+  circular stores.
+
+The local stores need no materialized ring buffer.  A circular store of
+``W`` words pushes only on a miss, so a coordinate is resident iff fewer
+than ``W`` pushes happened since its own last push — residency is a pure
+function of a per-PE ``last_push`` sequence table and a push counter.
+Within one output tile every PE touches each coordinate at most once, so
+the only sequential hazard is an intra-tile eviction: a word resident at
+tile start can be overwritten by the tile's own pushes before its use.
+Misses therefore satisfy a monotone fixed point —
+
+    miss(t)  iff  pushes_before(t) >= W - (push_count - last_push)
+
+with ``pushes_before`` a cumulative sum of earlier misses — which is
+solved by iterating from the optimistic solution (no intra-tile
+evictions) until stable; each round only adds misses, so it terminates.
+
+Memory for the sequence tables is ``active_PEs x coordinate_space``; when
+that exceeds :data:`TileEngine.MAX_TABLE_BYTES` the engine reports itself
+infeasible and :class:`~repro.sim.flexflow_sim.FlexFlowFunctionalSim`
+falls back to the reference loop.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.arch.config import ArchConfig
+from repro.dataflow.grouping import GroupGeometry
+from repro.dataflow.unrolling import UnrollingFactors
+from repro.errors import SimulationError
+from repro.nn.layers import ConvLayer
+from repro.sim.trace import SimTrace
+
+#: ``last_push`` initial value: far enough below zero that no coordinate
+#: appears resident before its first push, for any realistic capacity.
+_NEVER = np.int64(np.iinfo(np.int64).min // 2)
+
+
+class TileEngine:
+    """Batched-NumPy execution of one CONV layer on the FlexFlow array.
+
+    Args:
+        config: the architecture (array dimension, local-store capacities).
+        layer: the CONV layer to execute.
+        factors: the unrolling factors (must already satisfy Eq. 1).
+    """
+
+    #: Upper bound on the combined last-push table footprint, in bytes.
+    #: Beyond this the engine is infeasible and callers should use the
+    #: per-PE reference loop (such layers are far outside the functional
+    #: simulator's practical envelope anyway).
+    MAX_TABLE_BYTES = 256 * 1024 * 1024
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        layer: ConvLayer,
+        factors: UnrollingFactors,
+    ) -> None:
+        self.config = config
+        self.layer = layer
+        self.factors = factors
+        self.geometry = GroupGeometry(factors, config.array_dim)
+
+    # -- feasibility ---------------------------------------------------------
+
+    @classmethod
+    def table_bytes(
+        cls, config: ArchConfig, layer: ConvLayer, factors: UnrollingFactors
+    ) -> int:
+        """Footprint of the per-PE last-push tables for this layer."""
+        rows = factors.column_occupancy
+        cols = factors.row_occupancy
+        padded_size = layer.in_size + layer.padding
+        neuron_space = layer.in_maps * padded_size * padded_size
+        kernel_space = (
+            layer.out_maps * layer.in_maps * layer.kernel * layer.kernel
+        )
+        return rows * cols * (neuron_space + kernel_space) * 8
+
+    @classmethod
+    def is_feasible(
+        cls, config: ArchConfig, layer: ConvLayer, factors: UnrollingFactors
+    ) -> bool:
+        """Whether the vectorized engine can run this layer in memory."""
+        return cls.table_bytes(config, layer, factors) <= cls.MAX_TABLE_BYTES
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self, padded: np.ndarray, kernels: np.ndarray
+    ) -> Tuple[np.ndarray, SimTrace]:
+        """Execute the layer on pre-padded inputs; returns ``(outputs, trace)``."""
+        layer, f, geo = self.layer, self.factors, self.geometry
+        stride = layer.stride
+        m_total, s_total, k_total = layer.out_maps, layer.out_size, layer.kernel
+        n_total = layer.in_maps
+        rows, cols = geo.active_rows, geo.active_cols
+        padded_size = padded.shape[1]
+
+        # Row/column offset decompositions (Section 4.3 index functions).
+        row_idx = np.arange(rows)
+        dm, rest = np.divmod(row_idx, f.tr * f.tc)
+        dr, dc = np.divmod(rest, f.tc)
+        col_idx = np.arange(cols)
+        dn, rest = np.divmod(col_idx, f.ti * f.tj)
+        di, dj = np.divmod(rest, f.tj)
+
+        # Inner-cycle bases (n0, i0, j0) in reference loop order.
+        n0 = np.arange(0, n_total, f.tn)
+        i0 = np.arange(0, k_total, f.ti)
+        j0 = np.arange(0, k_total, f.tj)
+        steps = np.stack(
+            np.meshgrid(n0, i0, j0, indexing="ij"), axis=-1
+        ).reshape(-1, 3)
+        n_steps = len(steps)  # f_in: inner cycles per output tile
+
+        # Per-(cycle, col) coordinates and validity — tile-independent.
+        n_tc = steps[:, 0:1] + dn[None, :]  # (T, C)
+        i_tc = steps[:, 1:2] + di[None, :]
+        j_tc = steps[:, 2:3] + dj[None, :]
+        col_ok = (n_tc < n_total) & (i_tc < k_total) & (j_tc < k_total)
+        cols_per_step = col_ok.sum(axis=1)
+        # Flat-coordinate bases: tile-dependent parts are added per tile.
+        neuron_base_tc = n_tc * (padded_size * padded_size) + i_tc * padded_size + j_tc
+        kernel_base_tc = (n_tc * k_total + i_tc) * k_total + j_tc
+
+        padded_flat = padded.reshape(-1)
+        kernels_flat = kernels.reshape(-1)
+
+        # Per-PE circular-store state: last-push sequence numbers + counts.
+        neuron_space = n_total * padded_size * padded_size
+        kernel_space = m_total * n_total * k_total * k_total
+        if self.table_bytes(self.config, layer, f) > self.MAX_TABLE_BYTES:
+            raise SimulationError(
+                f"{layer.name}: last-push tables exceed"
+                f" {self.MAX_TABLE_BYTES} bytes; use the reference engine"
+            )
+        neuron_last = np.full((rows, cols, neuron_space), _NEVER)
+        kernel_last = np.full((rows, cols, kernel_space), _NEVER)
+        neuron_count = np.zeros((rows, cols), dtype=np.int64)
+        kernel_count = np.zeros((rows, cols), dtype=np.int64)
+        w_neuron = self.config.neuron_store_words
+        w_kernel = self.config.kernel_store_words
+        r_ix = row_idx[None, :, None]  # PE-axis index helpers for gathers
+        c_ix = col_idx[None, None, :]
+
+        outputs = np.zeros((m_total, s_total, s_total))
+        outputs_flat = outputs.reshape(-1)
+        trace = SimTrace()
+
+        for m0 in range(0, m_total, f.tm):
+            m_r = m0 + dm  # (R,) per-row output coordinates
+            kernel_m = m_r * (n_total * k_total * k_total)
+            for r0 in range(0, s_total, f.tr):
+                r_r = r0 + dr
+                for c0 in range(0, s_total, f.tc):
+                    c_r = c0 + dc
+                    trace.cycles += n_steps
+                    row_ok = (m_r < m_total) & (r_r < s_total) & (c_r < s_total)
+                    n_rows_ok = int(row_ok.sum())
+                    if n_rows_ok == 0:
+                        continue
+                    active = row_ok[None, :, None] & col_ok[:, None, :]
+
+                    # Coordinates for every (cycle, row, col) of this tile.
+                    neuron_tile = (r_r * stride) * padded_size + c_r * stride
+                    neuron_flat = np.where(
+                        active,
+                        neuron_base_tc[:, None, :] + neuron_tile[None, :, None],
+                        0,
+                    )
+                    kernel_flat = np.where(
+                        active,
+                        kernel_base_tc[:, None, :] + kernel_m[None, :, None],
+                        0,
+                    )
+
+                    # Demand-fill both stores (misses, pushes, bus words).
+                    neuron_miss = self._resolve_misses(
+                        neuron_last, neuron_count, neuron_flat, active,
+                        w_neuron, r_ix, c_ix,
+                    )
+                    kernel_miss = self._resolve_misses(
+                        kernel_last, kernel_count, kernel_flat, active,
+                        w_kernel, r_ix, c_ix,
+                    )
+                    n_neuron_miss = int(neuron_miss.sum())
+                    n_kernel_miss = int(kernel_miss.sum())
+                    # Bus sharing (RA/RS): a word already driven this cycle
+                    # is free for every other PE on that bus.  A neuron word
+                    # is shared by the rows that differ only in their dm
+                    # offset (the coordinate has no m dependence); a kernel
+                    # word is shared by all (Tr*Tc) rows of its (m % Tm)
+                    # group.  Any other row pair touches distinct words.
+                    by_group = (n_steps, f.tm, f.tr * f.tc, cols)
+                    neuron_bus = int(
+                        neuron_miss.reshape(by_group).any(axis=1).sum()
+                    )
+                    kernel_bus = int(
+                        kernel_miss.reshape(by_group).any(axis=2).sum()
+                    )
+                    trace.neuron_buffer_reads += neuron_bus
+                    trace.kernel_buffer_reads += kernel_bus
+                    trace.bus_transfers += neuron_bus + kernel_bus
+                    trace.local_store_writes += n_neuron_miss + n_kernel_miss
+
+                    macs = n_rows_ok * int(cols_per_step.sum())
+                    trace.mac_ops += macs
+                    trace.local_store_reads += 2 * macs
+                    trace.register_accesses += 2 * n_steps * n_rows_ok
+
+                    # Adder trees and accumulators, in the reference
+                    # float-addition order: columns left to right within a
+                    # cycle, cycles first to last within the tile.
+                    products = np.where(
+                        active,
+                        padded_flat[neuron_flat] * kernels_flat[kernel_flat],
+                        0.0,
+                    )
+                    tree = np.zeros((n_steps, rows))
+                    for col in range(cols):
+                        tree += products[:, :, col]
+                    accumulators = np.zeros(rows)
+                    for step in range(n_steps):
+                        accumulators += tree[step]
+
+                    out_flat = (m_r * s_total + r_r) * s_total + c_r
+                    outputs_flat[out_flat[row_ok]] = accumulators[row_ok]
+                    trace.neuron_buffer_writes += n_rows_ok
+
+        expected = f.outer_iterations(layer)
+        if trace.cycles != expected:
+            raise SimulationError(
+                f"{layer.name}: simulated {trace.cycles} cycles,"
+                f" expected outer_iterations={expected}"
+            )
+        return outputs, trace
+
+    @staticmethod
+    def _resolve_misses(
+        last_push: np.ndarray,
+        push_count: np.ndarray,
+        coords: np.ndarray,
+        active: np.ndarray,
+        capacity: int,
+        r_ix: np.ndarray,
+        c_ix: np.ndarray,
+    ) -> np.ndarray:
+        """Misses for one store over one tile, updating the store state.
+
+        ``coords`` and ``active`` are ``(T, R, C)``; a PE touches each of
+        its coordinates at most once per tile, so the intra-tile eviction
+        fixed point is monotone and the final scatter is conflict-free.
+        """
+        slack = push_count[None, :, :] - last_push[r_ix, c_ix, coords]
+        miss = active & (slack >= capacity)
+        while True:
+            pushes_before = np.cumsum(miss, axis=0) - miss
+            grown = miss | (active & (slack + pushes_before >= capacity))
+            if np.array_equal(grown, miss):
+                break
+            miss = grown
+        # Push sequence numbers: rank within the tile, offset by the
+        # pre-tile count (a push's own sequence is its inclusive rank).
+        sequence = push_count[None, :, :] + np.cumsum(miss, axis=0)
+        t_at, r_at, c_at = np.nonzero(miss)
+        last_push[r_at, c_at, coords[t_at, r_at, c_at]] = sequence[t_at, r_at, c_at]
+        push_count += miss.sum(axis=0)
+        return miss

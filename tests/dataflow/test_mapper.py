@@ -151,3 +151,50 @@ class TestMapNetwork:
         )
         with pytest.raises(MappingError):
             map_network(net, 16)
+
+
+class TestMappingCache:
+    """The LRU cache around map_layer / map_network."""
+
+    def setup_method(self):
+        from repro.dataflow import clear_mapping_cache
+
+        clear_mapping_cache()
+
+    def test_map_layer_cached_on_repeat(self):
+        from repro.dataflow import mapping_cache_info
+
+        layer = ConvLayer("c", in_maps=6, out_maps=16, out_size=10, kernel=5)
+        first = map_layer(layer, 16)
+        second = map_layer(layer, 16)
+        assert first is second  # memoized, not recomputed
+        info = mapping_cache_info()["map_layer"]
+        assert info.hits >= 1
+
+    def test_distinct_dims_are_distinct_entries(self):
+        layer = ConvLayer("c", in_maps=6, out_maps=16, out_size=10, kernel=5)
+        assert map_layer(layer, 8).factors != map_layer(layer, 16).factors or (
+            map_layer(layer, 8) is not map_layer(layer, 16)
+        )
+
+    def test_map_network_cache_hits_on_structural_equality(self):
+        from repro.dataflow import mapping_cache_info
+        from repro.nn import parse_network, to_description
+
+        original = get_workload("LeNet-5")
+        rebuilt = parse_network(to_description(original))
+        assert rebuilt == original
+        map_network(original, 16)
+        before = mapping_cache_info()["map_network"].hits
+        result = map_network(rebuilt, 16)
+        assert mapping_cache_info()["map_network"].hits == before + 1
+        assert result.network_name == "LeNet-5"
+
+    def test_clear_mapping_cache_resets(self):
+        from repro.dataflow import clear_mapping_cache, mapping_cache_info
+
+        layer = ConvLayer("c", in_maps=2, out_maps=4, out_size=6, kernel=3)
+        map_layer(layer, 8)
+        clear_mapping_cache()
+        info = mapping_cache_info()["map_layer"]
+        assert info.currsize == 0 and info.hits == 0

@@ -24,6 +24,19 @@ class TestCeilDiv:
         with pytest.raises(MappingError):
             ceil_div(10, 0)
 
+    def test_negative_divisor_rejected(self):
+        with pytest.raises(MappingError):
+            ceil_div(10, -2)
+
+    def test_negative_value_rejected(self):
+        # ceil_div operates on counts; a negative value is an upstream bug
+        # and must not silently return the floor-like -(-(-5)//2) == -2.
+        with pytest.raises(MappingError, match="non-negative"):
+            ceil_div(-5, 2)
+
+    def test_zero_value_allowed(self):
+        assert ceil_div(0, 7) == 0
+
 
 class TestUnrollingFactors:
     def test_triples(self):

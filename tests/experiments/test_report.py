@@ -50,7 +50,7 @@ class TestReportCommand:
         import repro.experiments.report as report_mod
 
         monkeypatch.setattr(
-            report_mod, "generate_report", lambda: "# stub report\n"
+            report_mod, "generate_report", lambda **kwargs: "# stub report\n"
         )
         target = tmp_path / "results.md"
         assert main(["report", "-o", str(target)]) == 0

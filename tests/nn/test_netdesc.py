@@ -100,6 +100,45 @@ class TestParseErrors:
         with pytest.raises(SpecificationError, match="pairs"):
             parse_network("network t\ninput 1 8\nconv C1 maps 2 kernel\n")
 
+    def test_duplicate_field_rejected(self):
+        # A repeated key used to silently drop the first value.
+        with pytest.raises(SpecificationError, match="duplicate field 'maps'"):
+            parse_network("network t\ninput 1 8\nconv maps 2 maps 4 kernel 3\n")
+
+    def test_duplicate_field_reports_line_number(self):
+        with pytest.raises(SpecificationError, match="line 4"):
+            parse_network(
+                "network t\ninput 1 10\nconv maps 2 kernel 3\n"
+                "pool window 2 window 4\n"
+            )
+
+    def test_non_integer_input_rejected_with_line_number(self):
+        # Used to escape as a raw ValueError traceback.
+        with pytest.raises(SpecificationError, match="line 2.*int"):
+            parse_network("network t\ninput one 8\n")
+
+    def test_error_line_numbers_count_blank_and_comment_lines(self):
+        # 1-based physical line numbers: blanks and comments still count.
+        text = "network t\n\n# comment\n\ninput 1 8\nconv kernel 3\n"
+        with pytest.raises(SpecificationError, match="line 6"):
+            parse_network(text)
+
+    def test_trailing_inline_comments_everywhere(self):
+        text = (
+            "network t  # the name\n"
+            "input 1 10   # one plane\n"
+            "conv maps 2 kernel 3 # a conv\n"
+            "pool window 2#tight comment\n"
+        )
+        net = parse_network(text)
+        assert net.conv_layers[0].out_size == 8
+        assert net.pool_layers[0].out_size == 4
+
+    def test_whitespace_only_lines_and_tabs_skipped(self):
+        text = "network t\n   \n\t\ninput 1 8\n\tconv   maps  2\tkernel 3\n"
+        net = parse_network(text)
+        assert net.conv_layers[0].out_size == 6
+
 
 class TestRoundTrip:
     @pytest.mark.parametrize(
@@ -111,6 +150,30 @@ class TestRoundTrip:
         original = get_workload(name)
         recovered = parse_network(to_description(original))
         assert recovered.describe() == original.describe()
+
+    @pytest.mark.parametrize(
+        "name", ["PV", "FR", "LeNet-5", "HG", "AlexNet", "VGG-11"]
+    )
+    def test_structural_roundtrip_equality(self, name):
+        # Network equality is structural, so the round trip must be exact:
+        # parse_network(to_description(net)) == net.
+        from repro.nn import get_workload
+
+        original = get_workload(name)
+        recovered = parse_network(to_description(original))
+        assert recovered == original
+        assert hash(recovered) == hash(original)
+
+    @pytest.mark.parametrize("stem", ["mobile_edge", "traffic_sign"])
+    def test_example_network_files_roundtrip(self, stem):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        text = (root / "examples" / "networks" / f"{stem}.net").read_text(
+            encoding="utf-8"
+        )
+        original = parse_network(text)
+        assert parse_network(to_description(original)) == original
 
     def test_serialization_is_parseable_text(self):
         for network in all_workloads():

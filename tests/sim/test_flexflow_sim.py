@@ -137,6 +137,31 @@ class TestCoordStore:
         outputs, trace = sim.run_layer(layer, inputs, kernels)
         np.testing.assert_allclose(outputs, conv2d(inputs, kernels), atol=1e-9)
 
+    def test_undersized_store_traffic_pinned(self):
+        # Audit regression (capacity-starved eviction accounting): with a
+        # 4-word neuron store the per-cycle working set does not fit, so
+        # words are evicted and re-broadcast *across* cycles.  No
+        # within-cycle double-count is possible — each PE makes exactly one
+        # neuron and one kernel access per cycle, and bus words are
+        # deduplicated per cycle — and these exact counters pin that.
+        layer = ConvLayer("c", in_maps=1, out_maps=2, out_size=6, kernel=3)
+        config = ArchConfig(array_dim=4, neuron_store_bytes=8, kernel_store_bytes=64)
+        inputs, kernels = make_inputs(layer), make_kernels(layer)
+        _, trace = FlexFlowFunctionalSim(config).run_layer(layer, inputs, kernels)
+        assert trace.cycles == 54
+        assert trace.mac_ops == 648
+        assert trace.neuron_buffer_reads == 324
+        assert trace.kernel_buffer_reads == 18
+        assert trace.local_store_writes == 684
+        assert trace.bus_transfers == 342
+        # The adequately-sized store shows the reuse the tiny one loses.
+        _, full = FlexFlowFunctionalSim(ArchConfig(array_dim=4)).run_layer(
+            layer, inputs, kernels
+        )
+        assert full.neuron_buffer_reads == 144
+        assert full.local_store_writes == 324
+        assert full.bus_transfers == 162
+
     def test_smaller_store_more_traffic(self):
         layer = ConvLayer("c", in_maps=1, out_maps=2, out_size=6, kernel=3)
         big = ArchConfig(array_dim=4)

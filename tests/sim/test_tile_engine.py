@@ -1,0 +1,201 @@
+"""Equivalence suite: the vectorized TileEngine vs the per-PE reference.
+
+The fast path must be an executable *replacement* for the reference
+simulator, not an approximation: identical outputs (bitwise), identical
+cycle counts, and identical bus-traffic counters — across the six Table 1
+workloads, randomized layers, and capacity-starved local stores.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchConfig
+from repro.dataflow import map_layer, map_network
+from repro.errors import SimulationError, SpecificationError
+from repro.nn import ConvLayer, conv2d, make_inputs, make_kernels, pad_input
+from repro.nn.workloads import all_workloads
+from repro.sim import FlexFlowFunctionalSim, TileEngine
+from repro.sim.export import sim_trace_to_dict
+
+#: Per-layer MAC ceiling that keeps the per-PE reference loop CI-friendly;
+#: larger Table 1 layers are exercised through miniatures (same kernel,
+#: stride, and padding structure, capped M/N/S).
+MAC_BUDGET = 300_000
+
+WORKLOAD_NAMES = ["PV", "FR", "LeNet-5", "HG", "AlexNet", "VGG-11"]
+
+
+def assert_equivalent(layer, config, factors=None):
+    """Run both engines; assert bitwise outputs and exact counters."""
+    inputs, kernels = make_inputs(layer), make_kernels(layer)
+    out_ref, tr_ref = FlexFlowFunctionalSim(
+        config, factors=factors, engine="reference"
+    ).run_layer(layer, inputs, kernels)
+    out_tile, tr_tile = FlexFlowFunctionalSim(
+        config, factors=factors, engine="tile"
+    ).run_layer(layer, inputs, kernels)
+    assert np.array_equal(
+        out_tile.view(np.uint64), out_ref.view(np.uint64)
+    ), f"{layer.name}: outputs differ bitwise"
+    assert sim_trace_to_dict(tr_tile) == sim_trace_to_dict(
+        tr_ref
+    ), f"{layer.name}: trace counters differ"
+    golden = conv2d(pad_input(inputs, layer.padding), kernels, stride=layer.stride)
+    np.testing.assert_allclose(out_tile, golden, atol=1e-9)
+    return tr_tile
+
+
+def miniature(layer: ConvLayer) -> ConvLayer:
+    """Shrink a layer past MAC_BUDGET, preserving its dataflow structure.
+
+    Keeps the kernel size, stride, and whether the layer is padded; caps
+    the map counts and output size so the reference loop stays fast.
+    """
+    out_size = min(layer.out_size, 6)
+    explicit = None
+    if layer.padding > 0:
+        natural = (out_size - 1) * layer.stride + layer.kernel
+        explicit = max(natural - layer.padding, layer.kernel - layer.padding, 1)
+    return ConvLayer(
+        f"{layer.name}-mini",
+        in_maps=min(layer.in_maps, 4),
+        out_maps=min(layer.out_maps, 8),
+        out_size=out_size,
+        kernel=layer.kernel,
+        stride=layer.stride,
+        explicit_in_size=explicit,
+    )
+
+
+class TestTable1Workloads:
+    """Parity on every CONV layer of all six workloads (mapped at D=16)."""
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_workload_parity(self, name):
+        network = next(n for n in all_workloads() if n.name == name)
+        mapping = map_network(network, 16)
+        config = ArchConfig(array_dim=16)
+        for lm in mapping.layers:
+            if lm.layer.macs <= MAC_BUDGET:
+                assert_equivalent(lm.layer, config, lm.factors)
+            else:
+                mini = miniature(lm.layer)
+                assert_equivalent(mini, config, map_layer(mini, 16).factors)
+
+    def test_cycles_equal_outer_iterations(self):
+        layer = ConvLayer("c", in_maps=2, out_maps=4, out_size=6, kernel=3)
+        factors = map_layer(layer, 8).factors
+        trace = assert_equivalent(layer, ArchConfig(array_dim=8), factors)
+        assert trace.cycles == factors.outer_iterations(layer)
+
+
+class TestRandomizedLayers:
+    """Parity on randomized layer shapes across array sizes and strides."""
+
+    @pytest.mark.parametrize("seed", [3, 11, 29, 47])
+    def test_random_layer_parity(self, seed):
+        rng = random.Random(seed)
+        for _ in range(3):
+            kernel = rng.choice([1, 2, 3, 4, 5])
+            stride = rng.choice([1, 1, 2])
+            out_size = rng.randint(3, 9)
+            layer = ConvLayer(
+                f"rand{seed}",
+                in_maps=rng.randint(1, 5),
+                out_maps=rng.randint(1, 8),
+                out_size=out_size,
+                kernel=kernel,
+                stride=stride,
+            )
+            dim = rng.choice([4, 8, 16])
+            assert_equivalent(layer, ArchConfig(array_dim=dim))
+
+    @pytest.mark.parametrize("seed", [5, 17])
+    def test_random_padded_layer_parity(self, seed):
+        rng = random.Random(seed)
+        for _ in range(2):
+            kernel = rng.choice([3, 5])
+            out_size = rng.randint(4, 8)
+            natural = (out_size - 1) + kernel
+            layer = ConvLayer(
+                f"pad{seed}",
+                in_maps=rng.randint(1, 3),
+                out_maps=rng.randint(2, 6),
+                out_size=out_size,
+                kernel=kernel,
+                explicit_in_size=natural - rng.randint(1, kernel - 1),
+            )
+            assert_equivalent(layer, ArchConfig(array_dim=8))
+
+
+class TestUndersizedStores:
+    """Capacity-starved local stores: evictions must match word for word."""
+
+    LAYER = ConvLayer("starved", in_maps=2, out_maps=4, out_size=6, kernel=3)
+
+    @pytest.mark.parametrize(
+        "neuron_bytes,kernel_bytes",
+        [(8, 64), (64, 8), (8, 8), (4, 4), (2, 2)],
+    )
+    def test_starved_store_parity(self, neuron_bytes, kernel_bytes):
+        config = ArchConfig(
+            array_dim=4,
+            neuron_store_bytes=neuron_bytes,
+            kernel_store_bytes=kernel_bytes,
+        )
+        assert_equivalent(self.LAYER, config)
+
+    def test_single_word_store_parity(self):
+        # One-word stores: every access re-broadcasts; the harshest case
+        # for the intra-tile eviction fixed point.
+        config = ArchConfig(array_dim=4, neuron_store_bytes=2, kernel_store_bytes=2)
+        trace = assert_equivalent(self.LAYER, config)
+        # With no reuse at all, every PE write is a fresh fill.
+        assert trace.local_store_writes == 2 * trace.mac_ops
+
+
+class TestEngineSelection:
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(SpecificationError, match="engine"):
+            FlexFlowFunctionalSim(ArchConfig(array_dim=4), engine="warp")
+
+    def test_auto_matches_tile_on_small_layer(self):
+        layer = ConvLayer("c", in_maps=1, out_maps=2, out_size=4, kernel=2)
+        config = ArchConfig(array_dim=4)
+        assert TileEngine.is_feasible(
+            config, layer, map_layer(layer, 4).factors
+        )
+        inputs, kernels = make_inputs(layer), make_kernels(layer)
+        out_auto, tr_auto = FlexFlowFunctionalSim(config).run_layer(
+            layer, inputs, kernels
+        )
+        out_tile, tr_tile = FlexFlowFunctionalSim(config, engine="tile").run_layer(
+            layer, inputs, kernels
+        )
+        assert np.array_equal(out_auto, out_tile)
+        assert sim_trace_to_dict(tr_auto) == sim_trace_to_dict(tr_tile)
+
+    def test_table_bytes_scales_with_layer(self):
+        small = ConvLayer("s", in_maps=1, out_maps=2, out_size=4, kernel=2)
+        big = ConvLayer("b", in_maps=8, out_maps=16, out_size=16, kernel=3)
+        config = ArchConfig(array_dim=4)
+        fs = map_layer(small, 4).factors
+        fb = map_layer(big, 4).factors
+        assert TileEngine.table_bytes(config, big, fb) > TileEngine.table_bytes(
+            config, small, fs
+        )
+
+    def test_explicit_tile_raises_when_infeasible(self):
+        layer = ConvLayer("huge", in_maps=512, out_maps=512, out_size=64, kernel=3)
+        config = ArchConfig(array_dim=16)
+        factors = map_layer(layer, 16).factors
+        if TileEngine.is_feasible(config, layer, factors):
+            pytest.skip("layer unexpectedly fits the table budget")
+        engine = TileEngine(config, layer, factors)
+        with pytest.raises(SimulationError, match="last-push tables"):
+            engine.run(
+                np.zeros((layer.in_maps, layer.in_size, layer.in_size)),
+                np.zeros(layer.kernel_shape),
+            )

@@ -93,3 +93,70 @@ class TestExperimentCommand:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_jobs_flag_accepted(self, capsys):
+        assert main(["experiment", "area", "--jobs", "2"]) == 0
+        assert "Layout area" in capsys.readouterr().out
+
+    def test_invalid_jobs_rejected(self, capsys):
+        assert main(["experiment", "area", "--jobs", "0"]) == 1
+        assert "jobs must be >= 1" in capsys.readouterr().err
+
+
+class TestErrorPaths:
+    """Every CLI failure: exit code 1, one-line stderr, no traceback."""
+
+    def test_directory_as_workload_reports_error(self, tmp_path, capsys):
+        # A directory passes os.path.exists but cannot be open()ed; this
+        # used to escape as an uncaught OSError traceback.
+        assert main(["describe", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "cannot read workload file" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_invalid_description_file_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.net"
+        path.write_text("network t\ninput 1 8\nconv maps 2 maps 4 kernel 3\n")
+        assert main(["describe", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "duplicate field" in captured.err
+        assert captured.out == ""
+
+    def test_errors_go_to_stderr_not_stdout(self, capsys):
+        assert main(["map", "NoSuchNet"]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("error: ")
+        assert captured.err.count("\n") == 1  # a single line
+
+    def test_report_write_failure_reports_error(self, tmp_path, capsys):
+        target = tmp_path / "is_a_dir"
+        target.mkdir()
+        assert main(["report", "-o", str(target)]) == 1
+        captured = capsys.readouterr()
+        assert "cannot write report" in captured.err
+
+
+class TestParallelExperiments:
+    def test_run_experiments_parallel_matches_serial(self):
+        from repro.experiments import run_experiments
+
+        ids = ["area", "table04"]
+        serial = run_experiments(ids, jobs=1)
+        parallel = run_experiments(ids, jobs=2)
+        assert [r.title for r in serial] == [r.title for r in parallel]
+        assert [r.rows for r in serial] == [r.rows for r in parallel]
+
+    def test_run_experiments_rejects_unknown_ids(self):
+        from repro.errors import ConfigurationError
+        from repro.experiments import run_experiments
+
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            run_experiments(["area", "nope"], jobs=2)
+
+    def test_report_jobs_matches_serial(self):
+        from repro.experiments.report import generate_report
+
+        ids = ["area", "table04"]
+        assert generate_report(ids, jobs=2) == generate_report(ids, jobs=1)
