@@ -15,10 +15,18 @@ trajectory to compare against.  Two configurations are timed:
 A third section times the functional cycle simulator's two engines on a
 representative layer, since ``repro run`` / full-inference examples are
 bound by it rather than by the mapper.
+
+``--check`` mode re-measures and compares the *speedup ratios* against
+the committed baseline instead of writing it: ratios are wall-clock
+independent (both sides of each ratio move together on a slower
+machine), so this works as a CI perf guard.  A measured speedup below
+``baseline * (1 - tolerance)`` fails the check (exit 1); faster is
+never an error.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import statistics
@@ -101,8 +109,65 @@ def capture(rounds: int = 5) -> dict:
     }
 
 
+def check(baseline_path: Path, tolerance: float) -> int:
+    """Compare freshly measured speedups against the committed baseline."""
+    try:
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 1
+    payload = capture()
+    failures = []
+    for section in ("headline", "sim_engine"):
+        expected = baseline.get(section, {}).get("speedup_median")
+        measured = payload[section]["speedup_median"]
+        if expected is None:
+            print(f"{section}: no baseline speedup recorded, skipping")
+            continue
+        floor = expected * (1.0 - tolerance)
+        verdict = "ok" if measured >= floor else "REGRESSION"
+        print(
+            f"{section}: speedup {measured:.2f}x vs baseline"
+            f" {expected:.2f}x (floor {floor:.2f}x) -> {verdict}"
+        )
+        if measured < floor:
+            failures.append(section)
+    if failures:
+        print(
+            f"perf check FAILED: {', '.join(failures)} below"
+            f" {tolerance:.0%} tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf check passed")
+    return 0
+
+
 def main(argv: list) -> int:
-    out = Path(argv[1]) if len(argv) > 1 else Path("BENCH_headline.json")
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "output", nargs="?", default="BENCH_headline.json",
+        help="where to write the captured baseline",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare measured speedups against the baseline instead of"
+        " overwriting it",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON for --check (default: the output path)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional slowdown vs baseline (default 0.30)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    if args.check:
+        return check(Path(args.baseline or args.output), args.tolerance)
+
+    out = Path(args.output)
     payload = capture()
     out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     headline = payload["headline"]

@@ -11,13 +11,14 @@ accesses per op — derives from these records plus the technology model.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.arch.config import ArchConfig
 from repro.arch.power import ActivityCounts, PowerReport, compute_power
 from repro.dataflow.unrolling import ceil_div
-from repro.errors import MappingError
+from repro.errors import MappingError, SimulationError
 from repro.nn.layers import ConvLayer, FCLayer, PoolLayer
 from repro.nn.network import Network
 
@@ -162,9 +163,44 @@ class Accelerator(abc.ABC):
         self.config = config or ArchConfig()
 
     def _active_pe_cycles(self, macs: int, cycles: int, total_pes: int) -> int:
-        """Useful MAC cycles plus the idle fabric's residual toggling."""
+        """Useful MAC cycles plus the idle fabric's residual toggling.
+
+        Masked-dead PEs are power-gated: they contribute neither MACs nor
+        idle toggling, so the toggling fabric shrinks by the mask's dead
+        share of the overall PE budget.
+        """
+        mask = self.config.pe_mask
+        if mask is not None and mask.num_dead:
+            dead_share = int(round(total_pes * mask.num_dead / self.config.num_pes))
+            total_pes = max(0, total_pes - dead_share)
         idle = max(0, cycles * total_pes - macs)
         return macs + int(self.IDLE_ACTIVITY * idle)
+
+    # -- fault degradation ----------------------------------------------------
+
+    def fault_retention(self) -> float:
+        """Fraction of nominal throughput retained under ``config.pe_mask``.
+
+        1.0 by default (healthy, or an architecture that reroutes around
+        faults).  The rigid baselines override this with their
+        structure-kill models (:mod:`repro.faults.impact`); FlexFlow keeps
+        the default because its degradation comes out of the real mapping
+        search over the live subgrid.
+        """
+        return 1.0
+
+    def _degrade_cycles(self, cycles: int, layer: ConvLayer) -> int:
+        """Cycles inflated by fault retention (surviving structures re-run
+        the lost structures' share of the work serially)."""
+        retention = self.fault_retention()
+        if retention >= 1.0:
+            return cycles
+        if retention <= 0.0:
+            raise SimulationError(
+                f"{self.kind}: no compute structure survives the fault mask"
+                f" for {layer.name}"
+            )
+        return int(math.ceil(cycles / retention))
 
     @abc.abstractmethod
     def simulate_layer(self, layer: ConvLayer, **context) -> LayerResult:

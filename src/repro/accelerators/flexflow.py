@@ -55,7 +55,10 @@ class FlexFlowAccelerator(Accelerator):
         mapping: Optional[LayerMapping] = context.get("mapping")
         if mapping is None:
             mapping = map_layer(
-                layer, self.config.array_dim, tr_tc_bound=context.get("tr_tc_bound")
+                layer,
+                self.config.array_dim,
+                tr_tc_bound=context.get("tr_tc_bound"),
+                mask=self.config.pe_mask,
             )
         return self._result_from_mapping(mapping)
 
@@ -63,7 +66,9 @@ class FlexFlowAccelerator(Accelerator):
         self, network: Network, *, include_fc: bool = False
     ) -> NetworkResult:
         """Execute a network using the joint (DP) mapping."""
-        net_mapping = map_network(network, self.config.array_dim)
+        net_mapping = map_network(
+            network, self.config.array_dim, mask=self.config.pe_mask
+        )
         by_name: Dict[str, LayerMapping] = net_mapping.by_layer_name()
         pool_ops = self._pool_ops_by_predecessor(network)
         results = []

@@ -24,6 +24,7 @@ from repro.arch.config import ArchConfig
 from repro.arch.power import ActivityCounts
 from repro.dataflow.unrolling import ceil_div
 from repro.errors import ConfigurationError
+from repro.faults.impact import row_kill_retention
 from repro.nn.layers import ConvLayer
 
 
@@ -56,8 +57,9 @@ class Mapping2DAccelerator(Accelerator):
         block = self.block_size
         blocks = ceil_div(layer.out_size, block) ** 2
         switch = block if self.BLOCK_SWITCH_OVERHEAD else 0
-        cycles = layer.out_maps * blocks * (
-            layer.in_maps * layer.kernel**2 + switch
+        cycles = self._degrade_cycles(
+            layer.out_maps * blocks * (layer.in_maps * layer.kernel**2 + switch),
+            layer,
         )
 
         macs = layer.macs
@@ -109,6 +111,13 @@ class Mapping2DAccelerator(Accelerator):
             utilization=utilization,
             counts=counts,
         )
+
+    def fault_retention(self) -> float:
+        """A dead PE severs its row's neuron shift chain — row kill."""
+        mask = self.config.pe_mask
+        if mask is None or mask.is_healthy:
+            return 1.0
+        return row_kill_retention(mask)
 
     def spatial_utilization(self, layer: ConvLayer) -> float:
         """The Table 3 closed form: ``S^2 / (⌈S/D⌉^2 * D^2)``."""

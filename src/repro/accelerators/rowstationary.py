@@ -39,6 +39,7 @@ from repro.arch.config import ArchConfig
 from repro.arch.power import ActivityCounts
 from repro.dataflow.unrolling import ceil_div
 from repro.errors import ConfigurationError
+from repro.faults.impact import row_kill_retention
 from repro.nn.layers import ConvLayer
 
 
@@ -83,7 +84,9 @@ class RowStationaryAccelerator(Accelerator):
         # concurrently, pooled across output rows and (m, n) pairs.
         concurrent_jobs = self.array_cols * sets_vertical
         jobs = layer.out_maps * layer.in_maps * s
-        cycles = ceil_div(jobs, concurrent_jobs) * folds * s * k
+        cycles = self._degrade_cycles(
+            ceil_div(jobs, concurrent_jobs) * folds * s * k, layer
+        )
 
         macs = layer.macs
         utilization = macs / (cycles * self.total_pes)
@@ -128,3 +131,10 @@ class RowStationaryAccelerator(Accelerator):
             utilization=utilization,
             counts=counts,
         )
+
+    def fault_retention(self) -> float:
+        """A dead PE breaks its row's diagonal psum chain — row kill."""
+        mask = self.config.pe_mask
+        if mask is None or mask.is_healthy:
+            return 1.0
+        return row_kill_retention(mask)

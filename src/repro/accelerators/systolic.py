@@ -30,6 +30,7 @@ from repro.arch.config import ArchConfig
 from repro.arch.power import ActivityCounts
 from repro.dataflow.unrolling import ceil_div
 from repro.errors import ConfigurationError
+from repro.faults.impact import systolic_retention
 from repro.nn.layers import ConvLayer
 
 
@@ -75,7 +76,7 @@ class SystolicAccelerator(Accelerator):
         cycles_per_pass = layer.out_size**2 + fill
         pairs = layer.out_maps * layer.in_maps
         rounds = ceil_div(pairs, arrays)
-        cycles = rounds * passes * cycles_per_pass
+        cycles = self._degrade_cycles(rounds * passes * cycles_per_pass, layer)
 
         macs = layer.macs
         total_pes = arrays * ta * ta
@@ -125,6 +126,13 @@ class SystolicAccelerator(Accelerator):
             utilization=utilization,
             counts=counts,
         )
+
+    def fault_retention(self) -> float:
+        """A dead PE anywhere in a ``Ta x Ta`` array retires the array."""
+        mask = self.config.pe_mask
+        if mask is None or mask.is_healthy:
+            return 1.0
+        return systolic_retention(mask, self.array_size)
 
     def spatial_utilization(self, layer: ConvLayer) -> float:
         """Occupancy ignoring pipeline fill — the Table 3 closed form.

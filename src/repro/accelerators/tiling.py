@@ -24,6 +24,7 @@ from repro.arch.config import ArchConfig
 from repro.arch.power import ActivityCounts
 from repro.dataflow.unrolling import ceil_div
 from repro.errors import ConfigurationError
+from repro.faults.impact import tiling_retention
 from repro.nn.layers import ConvLayer
 
 
@@ -55,7 +56,9 @@ class TilingAccelerator(Accelerator):
     def simulate_layer(self, layer: ConvLayer, **_context) -> LayerResult:
         m_tiles = ceil_div(layer.out_maps, self.tm)
         n_tiles = ceil_div(layer.in_maps, self.tn)
-        cycles = m_tiles * n_tiles * layer.out_size**2 * layer.kernel**2
+        cycles = self._degrade_cycles(
+            m_tiles * n_tiles * layer.out_size**2 * layer.kernel**2, layer
+        )
 
         macs = layer.macs
         total_pes = self.tm * self.tn
@@ -100,6 +103,13 @@ class TilingAccelerator(Accelerator):
             utilization=utilization,
             counts=counts,
         )
+
+    def fault_retention(self) -> float:
+        """A dead lane corrupts its cluster's adder-tree sum — cluster kill."""
+        mask = self.config.pe_mask
+        if mask is None or mask.is_healthy:
+            return 1.0
+        return tiling_retention(mask, self.tm, self.tn)
 
     def spatial_utilization(self, layer: ConvLayer) -> float:
         """The Table 3 closed form: ``M*N / (⌈M/Tm⌉*⌈N/Tn⌉*Tm*Tn)``."""

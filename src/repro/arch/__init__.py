@@ -31,6 +31,8 @@ from repro.arch.serialization import (
     config_from_json,
     config_to_dict,
     config_to_json,
+    mask_from_dict,
+    mask_to_dict,
     technology_from_dict,
     technology_to_dict,
 )
@@ -67,6 +69,8 @@ __all__ = [
     "config_from_dict",
     "config_to_json",
     "config_from_json",
+    "mask_to_dict",
+    "mask_from_dict",
     "technology_to_dict",
     "technology_from_dict",
     "TechnologyModel",

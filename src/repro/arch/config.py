@@ -10,9 +10,11 @@ computing scale is 256 PEs (16 x 16) for all baselines, scaled to 8x8 /
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.arch.technology import TSMC65, TechnologyModel
 from repro.errors import ConfigurationError
+from repro.faults.mask import AvailabilityMask
 
 KB = 1024
 
@@ -36,6 +38,8 @@ class ArchConfig:
         pooling_alus: width of the 1-D pooling unit; defaults to
             ``array_dim`` when 0.
         technology: energy/area constants.
+        pe_mask: optional PE availability mask (fault injection); ``None``
+            means every PE is usable.  The mask's ``array_dim`` must match.
     """
 
     array_dim: int = 16
@@ -46,22 +50,55 @@ class ArchConfig:
     buffer_banks: int = 0
     pooling_alus: int = 0
     technology: TechnologyModel = field(default_factory=lambda: TSMC65)
+    pe_mask: Optional[AvailabilityMask] = None
 
     def __post_init__(self) -> None:
-        if self.array_dim <= 0:
-            raise ConfigurationError(
-                f"array_dim must be positive, got {self.array_dim}"
-            )
         for attr in (
+            "array_dim",
             "neuron_buffer_bytes",
             "kernel_buffer_bytes",
             "neuron_store_bytes",
             "kernel_store_bytes",
         ):
-            if getattr(self, attr) <= 0:
-                raise ConfigurationError(f"{attr} must be positive")
-        if self.buffer_banks < 0 or self.pooling_alus < 0:
-            raise ConfigurationError("bank/ALU counts cannot be negative")
+            value = getattr(self, attr)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigurationError(
+                    f"{attr} must be an int, got {value!r}"
+                )
+            if value <= 0:
+                raise ConfigurationError(
+                    f"{attr} must be positive, got {value}"
+                )
+        for attr in ("buffer_banks", "pooling_alus"):
+            value = getattr(self, attr)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigurationError(
+                    f"{attr} must be an int, got {value!r}"
+                )
+            if value < 0:
+                raise ConfigurationError("bank/ALU counts cannot be negative")
+        if not isinstance(self.technology, TechnologyModel):
+            raise ConfigurationError(
+                f"technology must be a TechnologyModel, got"
+                f" {type(self.technology).__name__}"
+            )
+        if self.technology.frequency_hz <= 0:
+            raise ConfigurationError(
+                f"technology frequency must be positive, got"
+                f" {self.technology.frequency_hz}"
+            )
+        if self.pe_mask is not None:
+            if not isinstance(self.pe_mask, AvailabilityMask):
+                raise ConfigurationError(
+                    f"pe_mask must be an AvailabilityMask, got"
+                    f" {type(self.pe_mask).__name__}"
+                )
+            if self.pe_mask.array_dim != self.array_dim:
+                raise ConfigurationError(
+                    f"pe_mask is for a {self.pe_mask.array_dim}x"
+                    f"{self.pe_mask.array_dim} array, config has"
+                    f" array_dim={self.array_dim}"
+                )
 
     # -- derived -------------------------------------------------------------
 
@@ -69,6 +106,13 @@ class ArchConfig:
     def num_pes(self) -> int:
         """Total PEs in the computing engine (``D * D``)."""
         return self.array_dim * self.array_dim
+
+    @property
+    def num_live_pes(self) -> int:
+        """PEs that are physically usable (``num_pes`` minus masked-dead)."""
+        if self.pe_mask is None:
+            return self.num_pes
+        return self.pe_mask.num_live
 
     @property
     def banks(self) -> int:
@@ -117,6 +161,11 @@ class ArchConfig:
         baseline so larger engines are not starved — the same provisioning
         rule the paper uses for Figure 19.
         """
+        if self.pe_mask is not None and not self.pe_mask.is_healthy:
+            raise ConfigurationError(
+                "cannot rescale a fault-masked configuration; build the"
+                " mask for the target array dimension instead"
+            )
         factor = array_dim / 16.0
         return replace(
             self,
@@ -125,6 +174,7 @@ class ArchConfig:
             kernel_buffer_bytes=max(KB, int(self.kernel_buffer_bytes * factor)),
             buffer_banks=0,
             pooling_alus=0,
+            pe_mask=None,
         )
 
 

@@ -16,6 +16,7 @@ from typing import Any, Dict
 from repro.arch.config import ArchConfig
 from repro.arch.technology import TechnologyModel
 from repro.errors import ConfigurationError
+from repro.faults.mask import AvailabilityMask
 
 
 def technology_to_dict(tech: TechnologyModel) -> Dict[str, Any]:
@@ -34,10 +35,37 @@ def technology_from_dict(data: Dict[str, Any]) -> TechnologyModel:
     return TechnologyModel(**data)
 
 
+def mask_to_dict(mask: AvailabilityMask) -> Dict[str, Any]:
+    """AvailabilityMask as a JSON-compatible dict."""
+    return {
+        "array_dim": mask.array_dim,
+        "dead": [list(coord) for coord in sorted(mask.dead)],
+    }
+
+
+def mask_from_dict(data: Dict[str, Any]) -> AvailabilityMask:
+    """Rebuild an AvailabilityMask, rejecting unknown fields."""
+    unknown = set(data) - {"array_dim", "dead"}
+    if unknown:
+        raise ConfigurationError(
+            f"unknown AvailabilityMask fields: {', '.join(sorted(unknown))}"
+        )
+    dead = data.get("dead", [])
+    if not isinstance(dead, (list, tuple)):
+        raise ConfigurationError("mask 'dead' must be a list of [row, col] pairs")
+    return AvailabilityMask(
+        array_dim=data.get("array_dim", 0),
+        dead=frozenset(tuple(coord) for coord in dead),
+    )
+
+
 def config_to_dict(config: ArchConfig) -> Dict[str, Any]:
     """ArchConfig as a JSON-compatible dict (technology nested)."""
     data = dataclasses.asdict(config)
     data["technology"] = technology_to_dict(config.technology)
+    data["pe_mask"] = (
+        None if config.pe_mask is None else mask_to_dict(config.pe_mask)
+    )
     return data
 
 
@@ -52,6 +80,8 @@ def config_from_dict(data: Dict[str, Any]) -> ArchConfig:
     payload = dict(data)
     if "technology" in payload:
         payload["technology"] = technology_from_dict(payload["technology"])
+    if payload.get("pe_mask") is not None:
+        payload["pe_mask"] = mask_from_dict(payload["pe_mask"])
     return ArchConfig(**payload)
 
 

@@ -7,7 +7,8 @@ Commands:
 * ``map <workload>`` — run the Section 5 mapper and print the factors;
 * ``run <workload>`` — simulate on one (or all) architectures;
 * ``compile <workload>`` — emit the FlexFlow configuration assembly;
-* ``experiment <id> | all`` — regenerate paper tables/figures.
+* ``experiment <id> | all`` — regenerate paper tables/figures;
+* ``faults sweep | mask`` — fault-degradation study and mask inspection.
 """
 
 from __future__ import annotations
@@ -95,6 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "-j", "--jobs", type=int, default=1,
         help="worker processes for running experiments (default 1)",
     )
+    _add_resilience_args(experiment)
 
     report = sub.add_parser(
         "report", help="write a Markdown report of all experiments"
@@ -106,7 +108,61 @@ def _build_parser() -> argparse.ArgumentParser:
         "-j", "--jobs", type=int, default=1,
         help="worker processes for running experiments (default 1)",
     )
+    _add_resilience_args(report)
+
+    faults = sub.add_parser(
+        "faults", help="fault-injection studies and mask inspection"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+
+    sweep = faults_sub.add_parser(
+        "sweep", help="throughput degradation vs stuck-at-dead PE rate"
+    )
+    sweep.add_argument(
+        "--rates", default=None,
+        help="comma-separated dead-PE rates (default 0,0.02,0.05,0.1,0.2)",
+    )
+    sweep.add_argument(
+        "--workloads", default=None,
+        help="comma-separated workload names (default: all Table 1 workloads)",
+    )
+    sweep.add_argument("--seed", type=int, default=2017)
+    sweep.add_argument("--dim", type=int, default=16)
+
+    mask_cmd = faults_sub.add_parser(
+        "mask", help="print the PE availability mask a fault model yields"
+    )
+    mask_cmd.add_argument("--dim", type=int, default=16)
+    mask_cmd.add_argument("--seed", type=int, default=2017)
+    mask_cmd.add_argument(
+        "--rate", type=float, default=0.0, help="stuck-at-dead PE rate"
+    )
+    mask_cmd.add_argument(
+        "--rows", default="", help="comma-separated dead row indices"
+    )
+    mask_cmd.add_argument(
+        "--cols", default="", help="comma-separated dead column indices"
+    )
+    mask_cmd.add_argument(
+        "--pes", default="",
+        help="comma-separated dead PEs as row:col pairs (e.g. 1:2,3:0)",
+    )
     return parser
+
+
+def _add_resilience_args(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-experiment wall-clock limit",
+    )
+    command.add_argument(
+        "--retries", type=int, default=0,
+        help="extra attempts for failed/timed-out experiments",
+    )
+    command.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="checkpoint directory; re-runs resume completed experiments",
+    )
 
 
 def _cmd_workloads() -> int:
@@ -173,18 +229,55 @@ def _cmd_compile(workload: str, dim: int, execute: bool) -> int:
     return 0
 
 
-def _cmd_experiment(experiment_id: str, jobs: int) -> int:
-    ids = list(ALL_EXPERIMENTS) if experiment_id == "all" else [experiment_id]
-    for result in run_experiments(ids, jobs=jobs):
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    ids = (
+        list(ALL_EXPERIMENTS)
+        if args.experiment_id == "all"
+        else [args.experiment_id]
+    )
+    if args.timeout is not None or args.retries or args.run_dir is not None:
+        from repro.experiments.runner import RunPolicy, run_resilient
+
+        outcomes = run_resilient(
+            ids,
+            RunPolicy(
+                jobs=args.jobs, timeout_s=args.timeout,
+                retries=args.retries, run_dir=args.run_dir,
+            ),
+        )
+        failed = [o for o in outcomes if not o.ok]
+        for outcome in outcomes:
+            if outcome.ok:
+                print(outcome.result.format_table())
+                print()
+            else:
+                print(
+                    f"## {outcome.experiment_id} FAILED ({outcome.status},"
+                    f" {outcome.attempts} attempt(s))",
+                    file=sys.stderr,
+                )
+        if failed:
+            print(
+                f"error: {len(failed)} of {len(outcomes)} experiment(s)"
+                f" failed: {', '.join(o.experiment_id for o in failed)}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    for result in run_experiments(ids, jobs=args.jobs):
         print(result.format_table())
         print()
     return 0
 
 
-def _cmd_report(output: str, jobs: int) -> int:
+def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
-    text = generate_report(jobs=jobs)
+    output = args.output
+    text = generate_report(
+        jobs=args.jobs, timeout_s=args.timeout, retries=args.retries,
+        run_dir=args.run_dir,
+    )
     if output == "-":
         print(text)
     else:
@@ -196,6 +289,58 @@ def _cmd_report(output: str, jobs: int) -> int:
                 f"cannot write report to {output!r}: {exc}"
             ) from exc
         print(f"wrote {output}")
+    return 0
+
+
+def _parse_csv(text: str, convert, what: str) -> list:
+    try:
+        return [convert(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise ConfigurationError(f"bad {what} list {text!r}: {exc}") from exc
+
+
+def _cmd_faults_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import fig_fault_degradation
+
+    rates = (
+        fig_fault_degradation.DEFAULT_RATES
+        if args.rates is None
+        else _parse_csv(args.rates, float, "rate")
+    )
+    workloads = (
+        None if args.workloads is None
+        else _parse_csv(args.workloads, str.strip, "workload")
+    )
+    result = fig_fault_degradation.run(
+        rates=rates, workload_names=workloads, seed=args.seed,
+        array_dim=args.dim,
+    )
+    print(result.format_table())
+    return 0
+
+
+def _cmd_faults_mask(args: argparse.Namespace) -> int:
+    from repro.faults import FaultModel, live_grid
+
+    def pair(text: str):
+        row, _, col = text.partition(":")
+        return (int(row), int(col))
+
+    model = FaultModel(
+        seed=args.seed,
+        dead_pe_rate=args.rate,
+        dead_rows=tuple(_parse_csv(args.rows, int, "row")),
+        dead_cols=tuple(_parse_csv(args.cols, int, "column")),
+        dead_pes=tuple(_parse_csv(args.pes, pair, "PE")),
+    )
+    mask = model.mask_for(args.dim)
+    print(mask.describe())
+    grid = live_grid(mask)
+    print(
+        f"dead PEs: {mask.num_dead}/{args.dim * args.dim};"
+        f" usable subgrid after remapping:"
+        f" {grid.usable_rows}x{grid.usable_cols}"
+    )
     return 0
 
 
@@ -215,9 +360,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "compile":
             return _cmd_compile(args.workload, args.dim, args.execute)
         if args.command == "experiment":
-            return _cmd_experiment(args.experiment_id, args.jobs)
+            return _cmd_experiment(args)
         if args.command == "report":
-            return _cmd_report(args.output, args.jobs)
+            return _cmd_report(args)
+        if args.command == "faults":
+            if args.faults_command == "sweep":
+                return _cmd_faults_sweep(args)
+            return _cmd_faults_mask(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -20,6 +20,7 @@ from repro.dataflow.placement import (
     ipdr_replication_factor,
     kernel_placement_for_layer,
     neuron_placement_for_layer,
+    physical_pe_targets,
 )
 from repro.dataflow.schedule import (
     CycleReads,
@@ -56,6 +57,7 @@ __all__ = [
     "ipdr_replication_factor",
     "neuron_placement_for_layer",
     "kernel_placement_for_layer",
+    "physical_pe_targets",
     "LayerMapping",
     "NetworkMapping",
     "map_layer",

@@ -35,10 +35,37 @@ from repro.dataflow.unrolling import (
 )
 from repro.dataflow.utilization import UtilizationReport, utilization_report
 from repro.errors import MappingError
+from repro.faults.mask import AvailabilityMask, live_grid
 from repro.nn.layers import ConvLayer
 from repro.nn.network import Network
 
 Triple = Tuple[int, int, int]
+
+
+def _usable_limits(
+    array_dim: int, mask: Optional[AvailabilityMask]
+) -> Tuple[int, int]:
+    """``(usable_rows, usable_cols)`` for mapping under an optional mask.
+
+    The mask (when present and unhealthy) is reduced to its greedy
+    fault-free live grid; parallelism determination then packs into that
+    subgrid while utilization stays accounted against the full ``D x D``
+    fabric.
+    """
+    if mask is None or mask.is_healthy:
+        return (array_dim, array_dim)
+    if mask.array_dim != array_dim:
+        raise MappingError(
+            f"availability mask is for a {mask.array_dim}x{mask.array_dim}"
+            f" array, mapping requested D={array_dim}"
+        )
+    grid = live_grid(mask)
+    if grid.usable_rows == 0 or grid.usable_cols == 0:
+        raise MappingError(
+            f"no usable PE subgrid survives the fault mask"
+            f" ({mask.num_dead} dead of {array_dim * array_dim})"
+        )
+    return (grid.usable_rows, grid.usable_cols)
 
 
 @dataclass(frozen=True)
@@ -171,12 +198,15 @@ def map_layer(
     *,
     tr_tc_bound: Optional[int] = None,
     fixed_input_triple: Optional[Triple] = None,
+    mask: Optional[AvailabilityMask] = None,
 ) -> LayerMapping:
     """Best mapping of one layer in isolation (greedy, no inter-layer DP).
 
     Results are memoized: the enumeration depends only on the (frozen)
-    layer spec, ``D``, and the two constraints, and :class:`LayerMapping`
-    is immutable, so repeated experiments share one search.
+    layer spec, ``D``, the two constraints, and the (hashable) fault
+    mask, and :class:`LayerMapping` is immutable, so repeated experiments
+    share one search.  A masked configuration never reuses an unmasked
+    configuration's cache entry — the mask is part of the key.
 
     Args:
         layer: the CONV layer.
@@ -184,8 +214,13 @@ def map_layer(
         tr_tc_bound: Eq. 1's ``P * K'`` bound, if the layer has a successor.
         fixed_input_triple: force ``(Tn, Ti, Tj)`` (used to honour coupling
             with a predecessor).
+        mask: optional PE availability mask; parallelism is packed into
+            its live subgrid while utilization stays measured against the
+            full ``D x D`` fabric.
     """
-    return _map_layer_cached(layer, array_dim, tr_tc_bound, fixed_input_triple)
+    return _map_layer_cached(
+        layer, array_dim, tr_tc_bound, fixed_input_triple, mask
+    )
 
 
 @lru_cache(maxsize=4096)
@@ -194,18 +229,21 @@ def _map_layer_cached(
     array_dim: int,
     tr_tc_bound: Optional[int],
     fixed_input_triple: Optional[Triple],
+    mask: Optional[AvailabilityMask],
 ) -> LayerMapping:
+    row_limit, col_limit = _usable_limits(array_dim, mask)
     if fixed_input_triple is None:
-        ins = input_candidates(layer, array_dim)
+        ins = input_candidates(layer, col_limit)
         best_in = min(ins, key=lambda t: (_input_steps(layer, t), t))
     else:
         best_in = fixed_input_triple
         tn, ti, tj = best_in
-        if tn * ti * tj > array_dim:
+        if tn * ti * tj > col_limit:
             raise MappingError(
-                f"{layer.name}: fixed input triple {best_in} exceeds D={array_dim}"
+                f"{layer.name}: fixed input triple {best_in} exceeds the"
+                f" {col_limit} usable columns"
             )
-    outs = output_candidates(layer, array_dim, tr_tc_bound)
+    outs = output_candidates(layer, row_limit, tr_tc_bound)
     # Tie-break equal-cycle choices toward larger Tm: fewer output-map tile
     # groups means each input word is re-broadcast fewer times.
     best_out = min(
@@ -216,7 +254,13 @@ def _map_layer_cached(
         tm=best_out[0], tn=best_in[0], tr=best_out[1], tc=best_out[2],
         ti=best_in[1], tj=best_in[2],
     )
-    factors.check(layer, array_dim, tr_tc_bound=tr_tc_bound)
+    factors.check(
+        layer,
+        array_dim,
+        tr_tc_bound=tr_tc_bound,
+        max_rows=row_limit,
+        max_cols=col_limit,
+    )
     return LayerMapping(
         layer=layer,
         factors=factors,
@@ -229,7 +273,12 @@ def _map_layer_cached(
 # -- whole-network mapping (the Section 5 compiler pass) -----------------------
 
 
-def map_network(network: Network, array_dim: int) -> NetworkMapping:
+def map_network(
+    network: Network,
+    array_dim: int,
+    *,
+    mask: Optional[AvailabilityMask] = None,
+) -> NetworkMapping:
     """Jointly map every CONV layer, minimizing total cycles.
 
     Dynamic program over each layer's output triple.  The transition from
@@ -242,22 +291,28 @@ def map_network(network: Network, array_dim: int) -> NetworkMapping:
     coupled triple's step count, so the DP is ``O(layers * |outs| * |steps|)``
     rather than quadratic in the candidate sets.
 
-    Results are memoized on ``(network, D)`` — :class:`Network` equality
-    is structural, so re-parsing the same workload still hits the cache.
+    Results are memoized on ``(network, D, mask)`` — :class:`Network`
+    equality is structural, so re-parsing the same workload still hits the
+    cache, and a masked configuration never shares an unmasked entry.
     """
-    return _map_network_cached(network, array_dim)
+    return _map_network_cached(network, array_dim, mask)
 
 
 @lru_cache(maxsize=256)
-def _map_network_cached(network: Network, array_dim: int) -> NetworkMapping:
+def _map_network_cached(
+    network: Network,
+    array_dim: int,
+    mask: Optional[AvailabilityMask],
+) -> NetworkMapping:
     contexts = network.conv_contexts()
     if not contexts:
         raise MappingError(f"network {network.name!r} has no CONV layers")
+    row_limit, col_limit = _usable_limits(array_dim, mask)
 
     # Per-layer candidate sets and their step counts.
     layer_outs: List[List[Triple]] = []
     for ctx in contexts:
-        outs = output_candidates(ctx.layer, array_dim, ctx.tr_tc_bound)
+        outs = output_candidates(ctx.layer, row_limit, ctx.tr_tc_bound)
         layer_outs.append(outs)
 
     # DP state: best (cost, trace) for each output triple of the current
@@ -265,7 +320,7 @@ def _map_network_cached(network: Network, array_dim: int) -> NetworkMapping:
     # relayout_cycles) for reconstruction.
     first = contexts[0].layer
     free_in_first = min(
-        input_candidates(first, array_dim), key=lambda t: (_input_steps(first, t), t)
+        input_candidates(first, col_limit), key=lambda t: (_input_steps(first, t), t)
     )
     fin_first = _input_steps(first, free_in_first)
 
@@ -281,7 +336,7 @@ def _map_network_cached(network: Network, array_dim: int) -> NetworkMapping:
         layer = contexts[idx].layer
         # Free-choice option: best input triple regardless of predecessor.
         free_in = min(
-            input_candidates(layer, array_dim),
+            input_candidates(layer, col_limit),
             key=lambda t: (_input_steps(layer, t), t),
         )
         fin_free = _input_steps(layer, free_in)
@@ -291,7 +346,7 @@ def _map_network_cached(network: Network, array_dim: int) -> NetworkMapping:
         coupled_buckets: Dict[Optional[Triple], Tuple[int, tuple]] = {}
         best_prev_any: Optional[Tuple[int, tuple]] = None
         for prev_out, (prev_cost, prev_trace) in best.items():
-            coupled = coupled_input_triple(prev_out, layer, array_dim)
+            coupled = coupled_input_triple(prev_out, layer, col_limit)
             bucket = coupled_buckets.get(coupled)
             if bucket is None or prev_cost < bucket[0]:
                 coupled_buckets[coupled] = (prev_cost, prev_trace)
@@ -333,7 +388,13 @@ def _map_network_cached(network: Network, array_dim: int) -> NetworkMapping:
             tm=out_triple[0], tn=in_triple[0], tr=out_triple[1],
             tc=out_triple[2], ti=in_triple[1], tj=in_triple[2],
         )
-        factors.check(ctx.layer, array_dim, tr_tc_bound=ctx.tr_tc_bound)
+        factors.check(
+            ctx.layer,
+            array_dim,
+            tr_tc_bound=ctx.tr_tc_bound,
+            max_rows=row_limit,
+            max_cols=col_limit,
+        )
         mappings.append(
             LayerMapping(
                 layer=ctx.layer,

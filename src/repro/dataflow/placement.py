@@ -26,10 +26,11 @@ when a tile does not fit the configured buffer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.dataflow.unrolling import UnrollingFactors, ceil_div
 from repro.errors import CapacityError, MappingError
+from repro.faults.mask import AvailabilityMask, live_grid
 from repro.nn.layers import ConvLayer
 
 
@@ -204,6 +205,50 @@ class KernelPlacement:
                 f"synapse ({m},{n},{i},{j}) outside kernel tensor"
                 f" ({self.out_maps},{self.in_maps},{self.kernel},{self.kernel})"
             )
+
+
+def physical_pe_targets(
+    factors: UnrollingFactors,
+    array_dim: int,
+    mask: Optional[AvailabilityMask] = None,
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Physical ``(rows, cols)`` the buses steer this tile's data onto.
+
+    IADP's vertical neuron buses and horizontal kernel buses address PE
+    lines by physical index.  On a healthy array logical line ``i`` *is*
+    physical line ``i``; under a fault mask the controller skips retired
+    lines, so logical row ``i`` lands on the ``i``-th surviving row of the
+    greedy live grid (and likewise for columns).  Raises
+    :class:`MappingError` when the tile needs more lines than survive —
+    the mapper should have packed within the live grid already.
+    """
+    rows_needed = factors.column_occupancy
+    cols_needed = factors.row_occupancy
+    if mask is None or mask.is_healthy:
+        if rows_needed > array_dim or cols_needed > array_dim:
+            raise MappingError(
+                f"tile needs {rows_needed} rows x {cols_needed} cols,"
+                f" array is {array_dim}x{array_dim}"
+            )
+        return (
+            tuple(range(rows_needed)),
+            tuple(range(cols_needed)),
+        )
+    if mask.array_dim != array_dim:
+        raise MappingError(
+            f"availability mask is for a {mask.array_dim}x{mask.array_dim}"
+            f" array, placement requested D={array_dim}"
+        )
+    grid = live_grid(mask)
+    if rows_needed > grid.usable_rows or cols_needed > grid.usable_cols:
+        raise MappingError(
+            f"tile needs {rows_needed} rows x {cols_needed} cols, live grid"
+            f" offers {grid.usable_rows}x{grid.usable_cols}"
+        )
+    return (
+        tuple(grid.rows[:rows_needed]),
+        tuple(grid.cols[:cols_needed]),
+    )
 
 
 def ipdr_replication_factor(factors: UnrollingFactors) -> int:

@@ -90,6 +90,8 @@ class UnrollingFactors:
         array_dim: int,
         *,
         tr_tc_bound: Optional[int] = None,
+        max_rows: Optional[int] = None,
+        max_cols: Optional[int] = None,
     ) -> None:
         """Raise :class:`MappingError` unless Eq. 1 holds for this layer.
 
@@ -98,9 +100,20 @@ class UnrollingFactors:
             array_dim: ``D``, the PE array dimension.
             tr_tc_bound: the ``P * K'`` successor bound on ``Tr``/``Tc``
                 (``None`` for the network's last CONV layer).
+            max_rows: usable PE rows (defaults to ``array_dim``); a fault
+                mask's live grid tightens the inter-row packing bound.
+            max_cols: usable PE columns (defaults to ``array_dim``);
+                tightens the intra-row packing bound likewise.
         """
         if array_dim <= 0:
             raise MappingError(f"array_dim must be positive, got {array_dim}")
+        row_limit = array_dim if max_rows is None else max_rows
+        col_limit = array_dim if max_cols is None else max_cols
+        if row_limit <= 0 or col_limit <= 0:
+            raise MappingError(
+                f"{layer.name}: no usable PE rows/columns"
+                f" (rows={row_limit}, cols={col_limit})"
+            )
         bounds = {
             "tm": (self.tm, layer.out_maps, "M"),
             "tn": (self.tn, layer.in_maps, "N"),
@@ -120,14 +133,15 @@ class UnrollingFactors:
                     f"{layer.name}: Tr/Tc=({self.tr},{self.tc}) exceed the"
                     f" successor bound P*K'={tr_tc_bound}"
                 )
-        if self.row_occupancy > array_dim:
+        if self.row_occupancy > col_limit:
             raise MappingError(
-                f"{layer.name}: Tn*Ti*Tj={self.row_occupancy} exceeds D={array_dim}"
+                f"{layer.name}: Tn*Ti*Tj={self.row_occupancy} exceeds the"
+                f" {col_limit} usable columns (D={array_dim})"
             )
-        if self.column_occupancy > array_dim:
+        if self.column_occupancy > row_limit:
             raise MappingError(
-                f"{layer.name}: Tm*Tr*Tc={self.column_occupancy} exceeds"
-                f" D={array_dim}"
+                f"{layer.name}: Tm*Tr*Tc={self.column_occupancy} exceeds the"
+                f" {row_limit} usable rows (D={array_dim})"
             )
 
     def is_feasible(
@@ -136,10 +150,18 @@ class UnrollingFactors:
         array_dim: int,
         *,
         tr_tc_bound: Optional[int] = None,
+        max_rows: Optional[int] = None,
+        max_cols: Optional[int] = None,
     ) -> bool:
         """Eq. 1 as a predicate."""
         try:
-            self.check(layer, array_dim, tr_tc_bound=tr_tc_bound)
+            self.check(
+                layer,
+                array_dim,
+                tr_tc_bound=tr_tc_bound,
+                max_rows=max_rows,
+                max_cols=max_cols,
+            )
         except MappingError:
             return False
         return True

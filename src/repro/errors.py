@@ -63,3 +63,12 @@ class ConfigurationError(ReproError):
     Raised for non-positive PE array dimensions, zero clock frequencies,
     unknown technology nodes, and similar configuration-time mistakes.
     """
+
+
+class ExperimentError(ReproError):
+    """An experiment run failed in the resilient runner.
+
+    Raised when an experiment's worker process crashes, times out, or
+    exhausts its retries; the message carries the experiment id and the
+    terminal failure.
+    """

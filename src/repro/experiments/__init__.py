@@ -9,6 +9,7 @@ from repro.experiments import (
     bandwidth_study,
     dse_array_scale,
     fc_study,
+    fig_fault_degradation,
     headline_claims,
     fig01_nominal_vs_achievable,
     fig15_utilization,
@@ -61,14 +62,16 @@ ALL_EXPERIMENTS = {
     "sensitivity": sensitivity,
     "headline": headline_claims,
     "motivation": motivation,
+    "fault_degradation": fig_fault_degradation,
 }
 
 
 def run_experiment(experiment_id: str) -> ExperimentResult:
     """Run one experiment by its id (e.g. ``"fig16"``)."""
     from repro.errors import ConfigurationError
+    from repro.experiments.runner import experiment_registry
 
-    module = ALL_EXPERIMENTS.get(experiment_id)
+    module = experiment_registry().get(experiment_id)
     if module is None:
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}; known:"
@@ -77,30 +80,68 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
     return module.run()
 
 
-def run_experiments(experiment_ids, *, jobs: int = 1):
+def run_experiments(
+    experiment_ids,
+    *,
+    jobs: int = 1,
+    timeout_s=None,
+    retries: int = 0,
+    run_dir=None,
+):
     """Run several experiments, optionally across worker processes.
 
     Experiments are independent of one another, so with ``jobs > 1`` they
-    fan out over a ``multiprocessing`` pool (spawn context — portable and
-    thread-safe).  Results always come back in input order.
+    fan out over worker processes (spawn context — portable and
+    thread-safe).  Results always come back in input order.  Unknown ids
+    raise before any worker spawns.
+
+    Requesting any resilience feature (``timeout_s``, ``retries``, or
+    ``run_dir``) routes the batch through
+    :func:`repro.experiments.runner.run_resilient`: each experiment runs
+    in a supervised process with a wall-clock timeout, failures retry
+    with exponential backoff, and completed results checkpoint to
+    ``run_dir`` (resumable).  In that mode a terminal failure raises
+    :class:`~repro.errors.ExperimentError` after the rest of the batch
+    finishes — use :func:`repro.experiments.runner.run_resilient`
+    directly for partial results.
 
     Args:
         experiment_ids: ids from :data:`ALL_EXPERIMENTS`.
         jobs: worker process count; ``1`` runs in-process (no pool).
+        timeout_s: per-experiment wall-clock limit in seconds.
+        retries: extra attempts for failed/timed-out experiments.
+        run_dir: checkpoint directory for resumable batches.
 
     Returns:
         ``List[ExperimentResult]`` in the order of ``experiment_ids``.
     """
     from repro.errors import ConfigurationError
+    from repro.experiments.runner import experiment_registry
 
     ids = list(experiment_ids)
-    unknown = [eid for eid in ids if eid not in ALL_EXPERIMENTS]
+    registry = experiment_registry()
+    unknown = [eid for eid in ids if eid not in registry]
     if unknown:
         raise ConfigurationError(
             f"unknown experiment ids: {', '.join(unknown)}"
         )
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if timeout_s is not None or retries or run_dir is not None:
+        from repro.experiments.runner import (
+            RunPolicy,
+            require_all_ok,
+            run_resilient,
+        )
+
+        outcomes = run_resilient(
+            ids,
+            RunPolicy(
+                jobs=jobs, timeout_s=timeout_s, retries=retries,
+                run_dir=run_dir,
+            ),
+        )
+        return require_all_ok(outcomes)
     if jobs == 1 or len(ids) <= 1:
         return [run_experiment(eid) for eid in ids]
     import multiprocessing

@@ -1,0 +1,381 @@
+"""Resilient experiment runner: isolation, timeouts, retries, checkpoints.
+
+:func:`run_resilient` executes each experiment in its own ``spawn``-context
+worker process, so a crashing or hanging experiment cannot take down the
+batch: the supervisor observes the worker's pipe and exit code, enforces a
+per-experiment wall-clock timeout (terminating the worker), and retries
+failed experiments with exponential backoff.  Completed results are
+checkpointed as JSON into a run directory — re-running the same batch with
+the same ``run_dir`` resumes, skipping everything already finished — and
+failures come back as structured :class:`RunOutcome` records instead of
+exceptions, so :mod:`repro.experiments.report` can render a partial report
+that marks what is missing.
+
+Workers resolve experiments through :func:`experiment_registry`, which
+honours the ``REPRO_EXPERIMENTS_PLUGIN`` environment variable
+(``"module:attribute"`` naming a dict of extra experiment modules).  The
+variable crosses the ``spawn`` boundary with the environment, which is how
+the test suite injects deliberately crashing/hanging experiments into real
+worker processes.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments.common import ExperimentResult
+
+#: Environment variable naming extra experiments: ``"module:attribute"``
+#: where the attribute is a ``dict`` of id -> module-like (has ``run()``).
+PLUGIN_ENV = "REPRO_EXPERIMENTS_PLUGIN"
+
+#: Supervisor polling tick, seconds.
+_TICK_S = 0.02
+
+
+def experiment_registry() -> Dict[str, Any]:
+    """All runnable experiments: the built-in registry plus env plugins."""
+    from repro.experiments import ALL_EXPERIMENTS
+
+    registry: Dict[str, Any] = dict(ALL_EXPERIMENTS)
+    spec = os.environ.get(PLUGIN_ENV)
+    if spec:
+        try:
+            module_name, _, attr = spec.partition(":")
+            if not attr:
+                raise ValueError("expected 'module:attribute'")
+            extra = getattr(importlib.import_module(module_name), attr)
+            registry.update(extra)
+        except Exception as exc:
+            raise ConfigurationError(
+                f"cannot load {PLUGIN_ENV}={spec!r}: {exc}"
+            ) from exc
+    return registry
+
+
+# -- policies and outcomes ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """How :func:`run_resilient` supervises a batch.
+
+    Args:
+        jobs: concurrently running worker processes.
+        timeout_s: per-attempt wall-clock limit (``None`` = unlimited).
+        retries: extra attempts after a failed/timed-out first attempt.
+        backoff_s: delay before retry ``k`` is ``backoff_s * 2**(k-1)``.
+        run_dir: checkpoint directory; ``None`` disables checkpointing.
+    """
+
+    jobs: int = 1
+    timeout_s: Optional[float] = None
+    retries: int = 0
+    backoff_s: float = 0.5
+    run_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be positive, got {self.timeout_s}"
+            )
+        if self.retries < 0:
+            raise ConfigurationError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        if self.backoff_s < 0:
+            raise ConfigurationError(
+                f"backoff_s must be >= 0, got {self.backoff_s}"
+            )
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """What happened to one experiment across all of its attempts."""
+
+    experiment_id: str
+    status: str  # "ok" | "failed" | "timeout"
+    result: Optional[ExperimentResult] = None
+    error: str = ""
+    attempts: int = 1
+    from_checkpoint: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+# -- (de)serialization --------------------------------------------------------
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """ExperimentResult as a JSON-compatible dict."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "rows": result.rows,
+        "notes": result.notes,
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
+    """Rebuild an ExperimentResult from its JSON dict."""
+    return ExperimentResult(
+        experiment_id=data["experiment_id"],
+        title=data["title"],
+        rows=list(data["rows"]),
+        notes=data.get("notes", ""),
+    )
+
+
+def _checkpoint_path(run_dir: str, experiment_id: str) -> Path:
+    return Path(run_dir) / f"{experiment_id}.json"
+
+
+def _write_checkpoint(run_dir: str, outcome: RunOutcome) -> None:
+    """Atomic JSON checkpoint: write to a temp file, then rename."""
+    path = _checkpoint_path(run_dir, outcome.experiment_id)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment_id": outcome.experiment_id,
+        "status": outcome.status,
+        "result": None if outcome.result is None else result_to_dict(outcome.result),
+        "error": outcome.error,
+        "attempts": outcome.attempts,
+    }
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+
+
+def _load_checkpoint(run_dir: str, experiment_id: str) -> Optional[RunOutcome]:
+    """A prior *completed* outcome, or ``None`` (failures are re-run)."""
+    path = _checkpoint_path(run_dir, experiment_id)
+    if not path.is_file():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+        if payload.get("status") != "ok" or payload.get("result") is None:
+            return None
+        return RunOutcome(
+            experiment_id=experiment_id,
+            status="ok",
+            result=result_from_dict(payload["result"]),
+            attempts=int(payload.get("attempts", 1)),
+            from_checkpoint=True,
+        )
+    except (ValueError, KeyError, TypeError):
+        return None  # corrupt checkpoint: re-run rather than crash
+
+
+# -- the worker side ----------------------------------------------------------
+
+
+def _worker_main(experiment_id: str, conn) -> None:
+    """Run one experiment and report through the pipe (child process)."""
+    try:
+        registry = experiment_registry()
+        module = registry.get(experiment_id)
+        if module is None:
+            raise ConfigurationError(f"unknown experiment {experiment_id!r}")
+        result = module.run()
+        conn.send(("ok", result_to_dict(result)))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+# -- the supervisor -----------------------------------------------------------
+
+
+@dataclass
+class _Job:
+    experiment_id: str
+    attempts: int = 0
+    not_before: float = 0.0
+    process: Any = None
+    conn: Any = None
+    deadline: Optional[float] = None
+    outcome: Optional[RunOutcome] = None
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def running(self) -> bool:
+        return self.process is not None
+
+    @property
+    def done(self) -> bool:
+        return self.outcome is not None
+
+
+def run_resilient(
+    experiment_ids: Sequence[str], policy: Optional[RunPolicy] = None
+) -> List[RunOutcome]:
+    """Supervise a batch of experiments; never raises for worker failures.
+
+    Unknown ids still raise :class:`ConfigurationError` *before* any
+    worker spawns (fail fast); everything after that comes back as
+    :class:`RunOutcome` records in input order.
+    """
+    import multiprocessing
+
+    policy = policy or RunPolicy()
+    ids = list(experiment_ids)
+    registry = experiment_registry()
+    unknown = [eid for eid in ids if eid not in registry]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown experiment ids: {', '.join(unknown)}"
+        )
+    if len(set(ids)) != len(ids):
+        raise ConfigurationError("duplicate experiment ids in one batch")
+
+    jobs = [_Job(experiment_id=eid) for eid in ids]
+    if policy.run_dir is not None:
+        for job in jobs:
+            prior = _load_checkpoint(policy.run_dir, job.experiment_id)
+            if prior is not None:
+                job.outcome = prior
+
+    ctx = multiprocessing.get_context("spawn")
+
+    def launch(job: _Job) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(job.experiment_id, child_conn),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        job.process = process
+        job.conn = parent_conn
+        job.attempts += 1
+        job.deadline = (
+            None
+            if policy.timeout_s is None
+            else time.monotonic() + policy.timeout_s
+        )
+
+    def settle(job: _Job, status: str, error: str) -> None:
+        """Record one failed attempt; retry or finalize."""
+        job.errors.append(f"attempt {job.attempts}: [{status}] {error}")
+        job.process = None
+        job.conn = None
+        if job.attempts <= policy.retries:
+            delay = policy.backoff_s * (2 ** (job.attempts - 1))
+            job.not_before = time.monotonic() + delay
+            return
+        job.outcome = RunOutcome(
+            experiment_id=job.experiment_id,
+            status=status,
+            error="\n".join(job.errors),
+            attempts=job.attempts,
+        )
+        if policy.run_dir is not None:
+            _write_checkpoint(policy.run_dir, job.outcome)
+
+    def reap(job: _Job) -> None:
+        """Check one running job for completion, crash, or timeout."""
+        process, conn = job.process, job.conn
+        if conn.poll():
+            try:
+                kind, payload = conn.recv()
+            except (EOFError, OSError):
+                # Pipe closed with no message: the worker died (crash,
+                # os._exit, OOM-kill) before it could report anything.
+                process.join(timeout=5)
+                settle(
+                    job,
+                    "failed",
+                    "worker died without a result"
+                    f" (exitcode {process.exitcode})",
+                )
+                return
+            process.join(timeout=5)
+            if kind == "ok":
+                job.process = None
+                job.conn = None
+                job.outcome = RunOutcome(
+                    experiment_id=job.experiment_id,
+                    status="ok",
+                    result=result_from_dict(payload),
+                    attempts=job.attempts,
+                )
+                if policy.run_dir is not None:
+                    _write_checkpoint(policy.run_dir, job.outcome)
+            else:
+                settle(job, "failed", str(payload))
+            return
+        if not process.is_alive():
+            process.join(timeout=5)
+            settle(
+                job,
+                "failed",
+                f"worker died without a result (exitcode {process.exitcode})",
+            )
+            return
+        if job.deadline is not None and time.monotonic() > job.deadline:
+            process.terminate()
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - stuck in kernel
+                process.kill()
+                process.join(timeout=5)
+            settle(
+                job, "timeout", f"exceeded {policy.timeout_s}s wall clock"
+            )
+
+    try:
+        while any(not job.done for job in jobs):
+            now = time.monotonic()
+            running = sum(1 for job in jobs if job.running)
+            for job in jobs:
+                if (
+                    running < policy.jobs
+                    and not job.done
+                    and not job.running
+                    and job.not_before <= now
+                ):
+                    launch(job)
+                    running += 1
+            for job in jobs:
+                if job.running:
+                    reap(job)
+            time.sleep(_TICK_S)
+    finally:
+        for job in jobs:  # never leak workers on supervisor exceptions
+            if job.running:
+                job.process.terminate()
+                job.process.join(timeout=5)
+
+    return [job.outcome for job in jobs]
+
+
+def require_all_ok(outcomes: Sequence[RunOutcome]) -> List[ExperimentResult]:
+    """Results from outcomes, raising :class:`ExperimentError` on failures."""
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        summary = "; ".join(
+            f"{o.experiment_id} ({o.status})" for o in failed
+        )
+        detail = "\n\n".join(
+            f"--- {o.experiment_id} ---\n{o.error}" for o in failed
+        )
+        raise ExperimentError(
+            f"{len(failed)} experiment(s) failed: {summary}\n{detail}"
+        )
+    return [o.result for o in outcomes]

@@ -1,0 +1,32 @@
+"""Fault injection and fault-aware remapping.
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.mask` — immutable PE availability masks and the
+  greedy live-subgrid remapping (:func:`live_grid`);
+* :mod:`repro.faults.model` — the seedable :class:`FaultModel` (stuck-at
+  dead PEs/rows/columns, transient local-store bit flips) and the
+  counter-based deterministic flip hash shared by both sim engines;
+* :mod:`repro.faults.impact` — throughput-retention models for the rigid
+  baselines that cannot remap around dead PEs.
+"""
+
+from repro.faults.impact import (
+    row_kill_retention,
+    systolic_retention,
+    tiling_retention,
+)
+from repro.faults.mask import AvailabilityMask, LiveGrid, live_grid
+from repro.faults.model import FaultModel, apply_flip, transient_flip
+
+__all__ = [
+    "AvailabilityMask",
+    "LiveGrid",
+    "live_grid",
+    "FaultModel",
+    "transient_flip",
+    "apply_flip",
+    "systolic_retention",
+    "row_kill_retention",
+    "tiling_retention",
+]

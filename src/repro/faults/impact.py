@@ -1,0 +1,71 @@
+"""Fault impact on the rigid baselines: throughput retention models.
+
+FlexFlow routes around faults through the mapper (smaller feasible
+unrolling factors over the :class:`~repro.faults.mask.LiveGrid`), so its
+degradation comes out of the real mapping search.  The three rigid
+baselines have no such freedom — their dataflow hard-wires PEs into
+structures that a single dead PE breaks:
+
+* **Systolic** — each ``Ta x Ta`` array is one deep pipeline; a dead PE
+  anywhere in an array breaks the shift chain, retiring the whole array.
+* **2D-Mapping** — output neurons shift between row neighbours through
+  per-PE FIFOs; a dead PE severs its row's shift chain, retiring the row.
+* **Tiling** — each cluster is ``Tn`` multiplier lanes into one adder
+  tree; a dead lane corrupts the tree sum, retiring the cluster.
+* **Row-stationary** — a PE row performs one 1-D convolution with
+  diagonal partial-sum accumulation; a dead PE retires its row.
+
+The surviving structures re-execute the lost structures' share of the
+work serially, so cycles scale by ``1 / retention`` — retention 0 means
+the architecture is unusable under the mask.  PEs are assigned to
+structures in row-major linear order (the same order the physical layout
+tiles them); leftover PEs outside any structure absorb faults for free.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.faults.mask import AvailabilityMask
+
+
+def _linear_dead_indices(mask: AvailabilityMask) -> set:
+    """Dead PEs as row-major linear indices."""
+    return {r * mask.array_dim + c for r, c in mask.dead}
+
+
+def systolic_retention(mask: AvailabilityMask, array_size: int) -> float:
+    """Fraction of ``Ta x Ta`` systolic arrays that survive the mask."""
+    if array_size <= 0:
+        raise ConfigurationError(f"array_size must be positive, got {array_size}")
+    pes_per_array = array_size * array_size
+    num_arrays = max(1, (mask.array_dim * mask.array_dim) // pes_per_array)
+    dead = _linear_dead_indices(mask)
+    surviving = sum(
+        1
+        for index in range(num_arrays)
+        if not any(
+            pe in dead
+            for pe in range(index * pes_per_array, (index + 1) * pes_per_array)
+        )
+    )
+    return surviving / num_arrays
+
+
+def row_kill_retention(mask: AvailabilityMask) -> float:
+    """Fraction of physical rows with no dead PE (2D-Mapping, row-stationary)."""
+    dead_rows = {r for r, _ in mask.dead}
+    return (mask.array_dim - len(dead_rows)) / mask.array_dim
+
+
+def tiling_retention(mask: AvailabilityMask, tm: int, tn: int) -> float:
+    """Fraction of ``Tm`` clusters (of ``Tn`` lanes) that survive the mask."""
+    if tm <= 0 or tn <= 0:
+        raise ConfigurationError(f"tm/tn must be positive, got ({tm},{tn})")
+    dead = _linear_dead_indices(mask)
+    total_pes = mask.array_dim * mask.array_dim
+    surviving = 0
+    for cluster in range(tm):
+        lanes = range(cluster * tn, (cluster + 1) * tn)
+        if all(pe >= total_pes or pe not in dead for pe in lanes):
+            surviving += 1
+    return surviving / tm

@@ -33,7 +33,7 @@ in memory and falls back to the reference loop otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
@@ -43,10 +43,15 @@ from repro.dataflow.grouping import GroupGeometry
 from repro.dataflow.mapper import map_layer
 from repro.dataflow.unrolling import UnrollingFactors
 from repro.errors import SimulationError, SpecificationError
+from repro.faults.mask import AvailabilityMask, LiveGrid, live_grid
+from repro.faults.model import FaultModel, apply_flip, transient_flip
 from repro.nn.layers import ConvLayer
 from repro.nn.reference import pad_input
 from repro.sim.tile_engine import TileEngine
 from repro.sim.trace import SimTrace
+
+#: A push-time corruption hook: ``(coord, push_sequence, value) -> value``.
+Corruptor = Callable[[Hashable, int, float], float]
 
 
 class CoordStore:
@@ -58,15 +63,26 @@ class CoordStore:
     traffic capacity-aware.
     """
 
-    def __init__(self, capacity_words: int, name: str) -> None:
+    def __init__(
+        self,
+        capacity_words: int,
+        name: str,
+        corruptor: Optional[Corruptor] = None,
+    ) -> None:
         self.store = LocalStore(capacity_words, name=name)
         self._address_of: Dict[Hashable, int] = {}
         self._coord_at: Dict[int, Hashable] = {}
+        self._corruptor = corruptor
+        #: 1-based push counter — the ``sequence`` fed to the fault hash.
+        self.pushes = 0
 
     def contains(self, coord: Hashable) -> bool:
         return coord in self._address_of
 
     def write(self, coord: Hashable, value: float) -> None:
+        self.pushes += 1
+        if self._corruptor is not None:
+            value = self._corruptor(coord, self.pushes, value)
         address = self.store.push(value)
         stale = self._coord_at.get(address)
         if stale is not None:
@@ -109,6 +125,7 @@ class FlexFlowFunctionalSim:
         *,
         factors: Optional[UnrollingFactors] = None,
         engine: str = "auto",
+        fault_model: Optional[FaultModel] = None,
     ) -> None:
         if engine not in self.ENGINES:
             raise SpecificationError(
@@ -117,6 +134,26 @@ class FlexFlowFunctionalSim:
         self.config = config or ArchConfig(array_dim=4)
         self.factors = factors
         self.engine = engine
+        self.fault_model = fault_model
+
+    def _resolve_mask(self) -> Optional[AvailabilityMask]:
+        """The effective permanent-fault mask for this run.
+
+        A fault model's derived mask takes precedence over (and composes
+        with) the config's static ``pe_mask``.
+        """
+        model_mask: Optional[AvailabilityMask] = None
+        if self.fault_model is not None and self.fault_model.has_permanent_faults:
+            model_mask = self.fault_model.mask_for(self.config.array_dim)
+        config_mask = self.config.pe_mask
+        if model_mask is None:
+            return config_mask
+        if config_mask is None or config_mask.is_healthy:
+            return model_mask
+        return AvailabilityMask(
+            array_dim=self.config.array_dim,
+            dead=model_mask.dead | config_mask.dead,
+        )
 
     def run_layer(
         self,
@@ -140,8 +177,22 @@ class FlexFlowFunctionalSim:
                 f"kernels shape {kernels.shape} != {layer.kernel_shape}"
             )
         dim = self.config.array_dim
-        factors = self.factors or map_layer(layer, dim).factors
-        factors.check(layer, dim)
+        mask = self._resolve_mask()
+        grid: Optional[LiveGrid] = None
+        if mask is not None and not mask.is_healthy:
+            grid = live_grid(mask)
+            if grid.usable_rows == 0 or grid.usable_cols == 0:
+                raise SimulationError(
+                    f"{layer.name}: no usable PE subgrid survives the fault"
+                    f" mask ({mask.num_dead} dead of {dim * dim})"
+                )
+        factors = self.factors or map_layer(layer, dim, mask=mask).factors
+        factors.check(
+            layer,
+            dim,
+            max_rows=None if grid is None else grid.usable_rows,
+            max_cols=None if grid is None else grid.usable_cols,
+        )
         geometry = GroupGeometry(factors, dim)
 
         padded = pad_input(inputs, layer.padding)
@@ -151,8 +202,14 @@ class FlexFlowFunctionalSim:
             and TileEngine.is_feasible(self.config, layer, factors)
         )
         if use_tile:
-            return TileEngine(self.config, layer, factors).run(padded, kernels)
-        return self._run_reference(layer, padded, kernels, factors, geometry)
+            return TileEngine(
+                self.config,
+                layer,
+                factors,
+                grid=grid,
+                fault_model=self.fault_model,
+            ).run(padded, kernels)
+        return self._run_reference(layer, padded, kernels, factors, geometry, grid)
 
     def _run_reference(
         self,
@@ -161,24 +218,68 @@ class FlexFlowFunctionalSim:
         kernels: np.ndarray,
         factors: UnrollingFactors,
         geometry: GroupGeometry,
+        grid: Optional[LiveGrid] = None,
     ) -> Tuple[np.ndarray, SimTrace]:
         """The golden per-PE loop: one CoordStore pair per PE."""
         stride = layer.stride
         m_total, s_total, k_total = layer.out_maps, layer.out_size, layer.kernel
         n_total = layer.in_maps
+        padded_size = padded.shape[1]
+
+        flips_active = (
+            self.fault_model is not None
+            and self.fault_model.has_transient_faults
+        )
+
+        def corruptors(row: int, col: int):
+            """Push-time flip hooks for the PE at logical ``(row, col)``.
+
+            The fault hash keys on *physical* coordinates (the live grid's
+            steering), so both engines corrupt the same words regardless
+            of which logical PE a computation lands on.
+            """
+            if not flips_active:
+                return (None, None)
+            phys_row = grid.physical_row(row) if grid is not None else row
+            phys_col = grid.physical_col(col) if grid is not None else col
+            seed = self.fault_model.seed
+            rate = self.fault_model.bitflip_rate
+
+            def corrupt_neuron(coord, sequence, value):
+                n, in_r, in_c = coord
+                flat = n * (padded_size * padded_size) + in_r * padded_size + in_c
+                bit = transient_flip(
+                    seed, "neuron", phys_row, phys_col, flat, sequence, rate
+                )
+                return value if bit is None else apply_flip(value, bit)
+
+            def corrupt_kernel(coord, sequence, value):
+                m, n, i, j = coord
+                flat = ((m * n_total + n) * k_total + i) * k_total + j
+                bit = transient_flip(
+                    seed, "kernel", phys_row, phys_col, flat, sequence, rate
+                )
+                return value if bit is None else apply_flip(value, bit)
+
+            return (corrupt_neuron, corrupt_kernel)
+
+        def make_pe(row: int, col: int) -> _PE:
+            neuron_corrupt, kernel_corrupt = corruptors(row, col)
+            return _PE(
+                neuron_store=CoordStore(
+                    self.config.neuron_store_words,
+                    f"ns({row},{col})",
+                    corruptor=neuron_corrupt,
+                ),
+                kernel_store=CoordStore(
+                    self.config.kernel_store_words,
+                    f"ks({row},{col})",
+                    corruptor=kernel_corrupt,
+                ),
+            )
 
         pes = [
-            [
-                _PE(
-                    neuron_store=CoordStore(
-                        self.config.neuron_store_words, f"ns({row},{col})"
-                    ),
-                    kernel_store=CoordStore(
-                        self.config.kernel_store_words, f"ks({row},{col})"
-                    ),
-                )
-                for col in range(geometry.active_cols)
-            ]
+            [make_pe(row, col) for col in range(geometry.active_cols)]
             for row in range(geometry.active_rows)
         ]
 

@@ -40,7 +40,7 @@ falls back to the reference loop.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -48,8 +48,13 @@ from repro.arch.config import ArchConfig
 from repro.dataflow.grouping import GroupGeometry
 from repro.dataflow.unrolling import UnrollingFactors
 from repro.errors import SimulationError
+from repro.faults.mask import LiveGrid
+from repro.faults.model import FaultModel, apply_flip, transient_flip
 from repro.nn.layers import ConvLayer
 from repro.sim.trace import SimTrace
+
+#: Live bit-flip overrides: ``(row, col, coord) -> (push_sequence, value)``.
+_Overrides = Dict[Tuple[int, int, int], Tuple[int, float]]
 
 #: ``last_push`` initial value: far enough below zero that no coordinate
 #: appears resident before its first push, for any realistic capacity.
@@ -76,11 +81,16 @@ class TileEngine:
         config: ArchConfig,
         layer: ConvLayer,
         factors: UnrollingFactors,
+        *,
+        grid: Optional[LiveGrid] = None,
+        fault_model: Optional[FaultModel] = None,
     ) -> None:
         self.config = config
         self.layer = layer
         self.factors = factors
         self.geometry = GroupGeometry(factors, config.array_dim)
+        self.grid = grid
+        self.fault_model = fault_model
 
     # -- feasibility ---------------------------------------------------------
 
@@ -165,6 +175,20 @@ class TileEngine:
         r_ix = row_idx[None, :, None]  # PE-axis index helpers for gathers
         c_ix = col_idx[None, None, :]
 
+        # Transient-fault state (inactive runs never touch any of it).
+        flips_active = (
+            self.fault_model is not None
+            and self.fault_model.has_transient_faults
+        )
+        neuron_over: _Overrides = {}
+        kernel_over: _Overrides = {}
+        if self.grid is not None:
+            phys_rows = [self.grid.physical_row(r) for r in range(rows)]
+            phys_cols = [self.grid.physical_col(c) for c in range(cols)]
+        else:
+            phys_rows = list(range(rows))
+            phys_cols = list(range(cols))
+
         outputs = np.zeros((m_total, s_total, s_total))
         outputs_flat = outputs.reshape(-1)
         trace = SimTrace()
@@ -197,14 +221,23 @@ class TileEngine:
                     )
 
                     # Demand-fill both stores (misses, pushes, bus words).
-                    neuron_miss = self._resolve_misses(
+                    neuron_miss, neuron_seq = self._resolve_misses(
                         neuron_last, neuron_count, neuron_flat, active,
                         w_neuron, r_ix, c_ix,
                     )
-                    kernel_miss = self._resolve_misses(
+                    kernel_miss, kernel_seq = self._resolve_misses(
                         kernel_last, kernel_count, kernel_flat, active,
                         w_kernel, r_ix, c_ix,
                     )
+                    if flips_active:
+                        self._push_flips(
+                            "neuron", neuron_miss, neuron_seq, neuron_flat,
+                            padded_flat, neuron_over, phys_rows, phys_cols,
+                        )
+                        self._push_flips(
+                            "kernel", kernel_miss, kernel_seq, kernel_flat,
+                            kernels_flat, kernel_over, phys_rows, phys_cols,
+                        )
                     n_neuron_miss = int(neuron_miss.sum())
                     n_kernel_miss = int(kernel_miss.sum())
                     # Bus sharing (RA/RS): a word already driven this cycle
@@ -233,11 +266,18 @@ class TileEngine:
                     # Adder trees and accumulators, in the reference
                     # float-addition order: columns left to right within a
                     # cycle, cycles first to last within the tile.
-                    products = np.where(
-                        active,
-                        padded_flat[neuron_flat] * kernels_flat[kernel_flat],
-                        0.0,
-                    )
+                    neuron_vals = padded_flat[neuron_flat]
+                    kernel_vals = kernels_flat[kernel_flat]
+                    if flips_active:
+                        self._apply_overrides(
+                            neuron_over, neuron_last, neuron_count,
+                            neuron_flat, active, neuron_vals, w_neuron,
+                        )
+                        self._apply_overrides(
+                            kernel_over, kernel_last, kernel_count,
+                            kernel_flat, active, kernel_vals, w_kernel,
+                        )
+                    products = np.where(active, neuron_vals * kernel_vals, 0.0)
                     tree = np.zeros((n_steps, rows))
                     for col in range(cols):
                         tree += products[:, :, col]
@@ -266,12 +306,15 @@ class TileEngine:
         capacity: int,
         r_ix: np.ndarray,
         c_ix: np.ndarray,
-    ) -> np.ndarray:
-        """Misses for one store over one tile, updating the store state.
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Misses (and push sequences) for one store over one tile.
 
         ``coords`` and ``active`` are ``(T, R, C)``; a PE touches each of
         its coordinates at most once per tile, so the intra-tile eviction
         fixed point is monotone and the final scatter is conflict-free.
+        Returns ``(miss, sequence)``; ``sequence`` is meaningful only at
+        miss positions (a push's 1-based inclusive rank, the counter fed
+        to the transient-fault hash).  Store state is updated in place.
         """
         slack = push_count[None, :, :] - last_push[r_ix, c_ix, coords]
         miss = active & (slack >= capacity)
@@ -287,4 +330,76 @@ class TileEngine:
         t_at, r_at, c_at = np.nonzero(miss)
         last_push[r_at, c_at, coords[t_at, r_at, c_at]] = sequence[t_at, r_at, c_at]
         push_count += miss.sum(axis=0)
-        return miss
+        return miss, sequence
+
+    # -- transient faults ----------------------------------------------------
+
+    def _push_flips(
+        self,
+        kind: str,
+        miss: np.ndarray,
+        sequence: np.ndarray,
+        coords: np.ndarray,
+        source_flat: np.ndarray,
+        overrides: _Overrides,
+        phys_rows,
+        phys_cols,
+    ) -> None:
+        """Decide bit flips for every push of one tile.
+
+        Matches :class:`~repro.sim.flexflow_sim.CoordStore`'s push-time
+        corruption: the hash keys on the physical PE, the flat data
+        coordinate, and the push's 1-based sequence rank.  A clean re-push
+        clears any stale override for the same word.
+        """
+        seed = self.fault_model.seed
+        rate = self.fault_model.bitflip_rate
+        t_at, r_at, c_at = np.nonzero(miss)
+        for t, r, c in zip(t_at.tolist(), r_at.tolist(), c_at.tolist()):
+            coord = int(coords[t, r, c])
+            seq = int(sequence[t, r, c])
+            bit = transient_flip(
+                seed, kind, phys_rows[r], phys_cols[c], coord, seq, rate
+            )
+            key = (r, c, coord)
+            if bit is None:
+                overrides.pop(key, None)
+            else:
+                overrides[key] = (seq, apply_flip(float(source_flat[coord]), bit))
+
+    @staticmethod
+    def _apply_overrides(
+        overrides: _Overrides,
+        last_push: np.ndarray,
+        push_count: np.ndarray,
+        coords: np.ndarray,
+        active: np.ndarray,
+        values: np.ndarray,
+        capacity: int,
+    ) -> None:
+        """Substitute corrupted store contents into this tile's reads.
+
+        An override stands for "the store word last pushed with sequence
+        ``seq`` holds ``value``"; it applies to a read exactly when that
+        push is still the word's latest (``last_push == seq``).  Eviction
+        does not clear ``last_push``, so a word corrupted at its push and
+        evicted later in the same tile still delivers the corrupted value
+        to its (earlier) read — application happens before pruning.
+        Entries whose word has aged out of the circular store are pruned;
+        a future touch re-pushes and re-rolls the flip.
+        """
+        if not overrides:
+            return
+        stale = []
+        for (r, c, coord), (seq, value) in overrides.items():
+            if last_push[r, c, coord] == seq:
+                match = (coords[:, r, c] == coord) & active[:, r, c]
+                hits = np.nonzero(match)[0]
+                if hits.size:
+                    values[hits[0], r, c] = value
+                if push_count[r, c] - seq >= capacity:
+                    stale.append((r, c, coord))
+            else:
+                stale.append((r, c, coord))
+        for key in stale:
+            del overrides[key]

@@ -1,0 +1,78 @@
+"""Fault behavior of the accelerator models: graceful vs cliff."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.accelerators import make_accelerator
+from repro.arch import ArchConfig
+from repro.errors import MappingError, SimulationError
+from repro.faults import FaultModel
+from repro.nn.workloads import get_workload
+
+
+def masked_config(rate, seed=2017, dim=16):
+    mask = FaultModel(seed=seed, dead_pe_rate=rate).mask_for(dim)
+    return replace(ArchConfig(), pe_mask=None if mask.is_healthy else mask)
+
+
+NETWORK = get_workload("PV")
+
+
+class TestFlexFlowDegradation:
+    def test_masked_run_loses_some_throughput(self):
+        healthy = make_accelerator("flexflow", ArchConfig()).simulate_network(
+            NETWORK
+        )
+        faulty = make_accelerator(
+            "flexflow", masked_config(0.1)
+        ).simulate_network(NETWORK)
+        assert 0 < faulty.gops < healthy.gops
+
+    def test_zero_mask_is_byte_identical(self):
+        healthy = make_accelerator("flexflow", ArchConfig()).simulate_network(
+            NETWORK
+        )
+        with_null_mask = make_accelerator(
+            "flexflow", masked_config(0.0)
+        ).simulate_network(NETWORK)
+        assert healthy == with_null_mask
+
+
+class TestRigidBaselineCliff:
+    @pytest.mark.parametrize("kind", ["systolic", "mapping2d", "tiling"])
+    def test_high_fault_rate_is_fatal_or_crippling(self, kind):
+        healthy = make_accelerator(kind, ArchConfig()).simulate_network(NETWORK)
+        try:
+            faulty = make_accelerator(
+                kind, masked_config(0.2)
+            ).simulate_network(NETWORK)
+        except (MappingError, SimulationError):
+            return  # the cliff: no surviving structure at all
+        assert faulty.gops < 0.5 * healthy.gops
+
+    def test_systolic_single_fault_can_be_fatal(self):
+        # The default systolic config uses one array spanning the fabric.
+        acc = make_accelerator(
+            "systolic",
+            replace(
+                ArchConfig(),
+                pe_mask=FaultModel(dead_pes=((7, 7),)).mask_for(16),
+            ),
+        )
+        layer = NETWORK.conv_layers[0]
+        if acc.array_size == 16:
+            with pytest.raises(SimulationError):
+                acc.simulate_layer(layer)
+
+    @pytest.mark.parametrize("kind", ["systolic", "mapping2d", "tiling"])
+    def test_light_faults_only_slow_down(self, kind):
+        healthy = make_accelerator(kind, ArchConfig()).simulate_network(NETWORK)
+        config = replace(
+            ArchConfig(), pe_mask=FaultModel(dead_pes=((3, 4),)).mask_for(16)
+        )
+        try:
+            faulty = make_accelerator(kind, config).simulate_network(NETWORK)
+        except (MappingError, SimulationError):
+            return
+        assert faulty.total_cycles >= healthy.total_cycles

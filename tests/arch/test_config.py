@@ -58,3 +58,54 @@ class TestArchConfig:
     def test_negative_banks_rejected(self):
         with pytest.raises(ConfigurationError):
             ArchConfig(buffer_banks=-1)
+
+
+class TestValidation:
+    """ArchConfig.__post_init__ rejects malformed configurations."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"array_dim": -4},
+            {"array_dim": 2.5},
+            {"array_dim": True},
+            {"neuron_buffer_bytes": -1},
+            {"kernel_buffer_bytes": 0},
+            {"neuron_store_bytes": 0},
+            {"kernel_store_bytes": -8},
+        ],
+    )
+    def test_bad_sizes_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ArchConfig(**kwargs)
+
+    def test_bad_technology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArchConfig(technology="65nm")
+
+    def test_nonpositive_frequency_rejected(self):
+        from dataclasses import replace
+
+        from repro.arch import TSMC65
+
+        with pytest.raises(ConfigurationError):
+            ArchConfig(technology=replace(TSMC65, frequency_hz=0.0))
+
+    def test_pe_mask_wrong_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArchConfig(pe_mask={"dead": []})
+
+    def test_pe_mask_dim_mismatch_rejected(self):
+        from repro.faults import AvailabilityMask
+
+        mask = AvailabilityMask.from_failures(8, dead_pes=[(0, 0)])
+        with pytest.raises(ConfigurationError):
+            ArchConfig(array_dim=16, pe_mask=mask)
+
+    def test_num_live_pes_tracks_mask(self):
+        from repro.faults import AvailabilityMask
+
+        mask = AvailabilityMask.from_failures(16, dead_pes=[(0, 0), (5, 5)])
+        cfg = ArchConfig(pe_mask=mask)
+        assert cfg.num_live_pes == 256 - 2
+        assert ArchConfig().num_live_pes == 256

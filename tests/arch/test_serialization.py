@@ -65,3 +65,16 @@ class TestConfigRoundtrip:
         data["array_dim"] = 0
         with pytest.raises(ConfigurationError):
             config_from_dict(data)
+
+
+class TestMaskRoundtrip:
+    def test_masked_config_roundtrips(self):
+        from repro.faults import AvailabilityMask
+
+        mask = AvailabilityMask.from_failures(16, dead_pes=[(1, 2), (7, 0)])
+        config = ArchConfig(pe_mask=mask)
+        assert config_from_dict(config_to_dict(config)) == config
+        assert config_from_json(config_to_json(config)) == config
+
+    def test_unmasked_config_dict_has_null_mask(self):
+        assert config_to_dict(ArchConfig())["pe_mask"] is None

@@ -1,0 +1,124 @@
+"""Fault-aware mapping: masked parallelism determination and placement."""
+
+import pytest
+
+from repro.dataflow import map_layer, map_network
+from repro.dataflow.placement import physical_pe_targets
+from repro.errors import MappingError
+from repro.faults import AvailabilityMask, FaultModel, live_grid
+from repro.nn import ConvLayer
+from repro.nn.workloads import get_workload
+
+
+def masked(dim, **kwargs):
+    return AvailabilityMask.from_failures(dim, **kwargs)
+
+
+class TestMaskedMapLayer:
+    def test_healthy_mask_identical_to_none(self):
+        layer = ConvLayer("c", in_maps=6, out_maps=16, out_size=10, kernel=5)
+        plain = map_layer(layer, 16)
+        with_mask = map_layer(layer, 16, mask=AvailabilityMask.healthy(16))
+        assert plain.factors == with_mask.factors
+        assert plain.utilization == with_mask.utilization
+
+    def test_masked_factors_fit_live_subgrid(self):
+        layer = ConvLayer("c", in_maps=6, out_maps=16, out_size=10, kernel=5)
+        mask = masked(16, dead_rows=[3, 7], dead_cols=[0])
+        grid = live_grid(mask)
+        factors = map_layer(layer, 16, mask=mask).factors
+        assert factors.column_occupancy <= grid.usable_rows
+        assert factors.row_occupancy <= grid.usable_cols
+
+    def test_mask_reduces_or_keeps_utilization(self):
+        layer = ConvLayer("c", in_maps=6, out_maps=16, out_size=10, kernel=5)
+        healthy_ut = map_layer(layer, 16).utilization.ut
+        mask = FaultModel(seed=9, dead_pe_rate=0.15).mask_for(16)
+        masked_ut = map_layer(layer, 16, mask=mask).utilization.ut
+        # Utilization is against the full fabric, so dead PEs can only hurt.
+        assert masked_ut <= healthy_ut
+
+    def test_mismatched_mask_dim_rejected(self):
+        layer = ConvLayer("c", in_maps=2, out_maps=2, out_size=4, kernel=2)
+        with pytest.raises(MappingError):
+            map_layer(layer, 16, mask=masked(8, dead_pes=[(0, 0)]))
+
+    def test_fully_dead_mask_rejected(self):
+        layer = ConvLayer("c", in_maps=2, out_maps=2, out_size=4, kernel=2)
+        with pytest.raises(MappingError):
+            map_layer(layer, 4, mask=masked(4, dead_rows=[0, 1, 2, 3]))
+
+    def test_cache_distinguishes_masked_configs(self):
+        # A masked mapping must never be served from the unmasked entry
+        # (and vice versa): same layer, different results.
+        layer = ConvLayer("c", in_maps=6, out_maps=16, out_size=12, kernel=5)
+        plain_first = map_layer(layer, 16)
+        mask = masked(16, dead_rows=[0, 1, 2, 3, 4, 5], dead_cols=[0, 1, 2])
+        with_mask = map_layer(layer, 16, mask=mask)
+        plain_again = map_layer(layer, 16)
+        assert plain_first.factors == plain_again.factors
+        grid = live_grid(mask)
+        assert with_mask.factors.column_occupancy <= grid.usable_rows
+        assert with_mask.factors.row_occupancy <= grid.usable_cols
+        assert with_mask.factors != plain_first.factors or (
+            plain_first.factors.column_occupancy <= grid.usable_rows
+            and plain_first.factors.row_occupancy <= grid.usable_cols
+        )
+
+    def test_equal_masks_hit_the_same_cache_entry(self):
+        layer = ConvLayer("c", in_maps=6, out_maps=16, out_size=10, kernel=5)
+        a = masked(16, dead_pes=[(2, 3)])
+        b = masked(16, dead_pes=[(2, 3)])
+        assert map_layer(layer, 16, mask=a) is map_layer(layer, 16, mask=b)
+
+
+class TestMaskedMapNetwork:
+    def test_masked_network_fits_subgrid(self):
+        network = get_workload("LeNet-5")
+        mask = masked(16, dead_rows=[5], dead_cols=[9, 11])
+        grid = live_grid(mask)
+        mapping = map_network(network, 16, mask=mask)
+        for lm in mapping.layers:
+            assert lm.factors.column_occupancy <= grid.usable_rows
+            assert lm.factors.row_occupancy <= grid.usable_cols
+
+    def test_healthy_mask_matches_none(self):
+        network = get_workload("PV")
+        plain = map_network(network, 16)
+        with_mask = map_network(network, 16, mask=AvailabilityMask.healthy(16))
+        assert [lm.factors for lm in plain.layers] == [
+            lm.factors for lm in with_mask.layers
+        ]
+
+
+class TestPhysicalPlacement:
+    def test_healthy_targets_are_prefix(self):
+        layer = ConvLayer("c", in_maps=2, out_maps=2, out_size=4, kernel=2)
+        factors = map_layer(layer, 4).factors
+        rows, cols = physical_pe_targets(factors, 4)
+        assert rows == tuple(range(factors.column_occupancy))
+        assert cols == tuple(range(factors.row_occupancy))
+
+    def test_masked_targets_avoid_dead_lines(self):
+        layer = ConvLayer("c", in_maps=2, out_maps=2, out_size=4, kernel=2)
+        mask = masked(4, dead_rows=[0])
+        factors = map_layer(layer, 4, mask=mask).factors
+        rows, cols = physical_pe_targets(factors, 4, mask=mask)
+        assert 0 not in rows
+        for r in rows:
+            for c in cols:
+                assert not mask.is_dead(r, c)
+
+    def test_overflow_rejected(self):
+        layer = ConvLayer("c", in_maps=6, out_maps=16, out_size=10, kernel=5)
+        factors = map_layer(layer, 16).factors
+        mask = masked(16, dead_rows=list(range(12)))
+        if factors.column_occupancy > 4:
+            with pytest.raises(MappingError):
+                physical_pe_targets(factors, 16, mask=mask)
+
+    def test_mask_dim_mismatch_rejected(self):
+        layer = ConvLayer("c", in_maps=2, out_maps=2, out_size=4, kernel=2)
+        factors = map_layer(layer, 4).factors
+        with pytest.raises(MappingError):
+            physical_pe_targets(factors, 4, mask=masked(8, dead_pes=[(0, 0)]))

@@ -46,6 +46,7 @@ class TestHarness:
             "sensitivity",
             "headline",
             "motivation",
+            "fault_degradation",
         }
 
     def test_unknown_experiment_rejected(self):

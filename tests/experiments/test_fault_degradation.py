@@ -1,0 +1,58 @@
+"""Tests for the fault-degradation sweep experiment."""
+
+import pytest
+
+from repro.experiments import fig_fault_degradation
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return fig_fault_degradation.run(
+        rates=(0.0, 0.1), workload_names=["PV", "LeNet-5"]
+    )
+
+
+class TestFaultDegradation:
+    def test_row_grid_complete(self, small_sweep):
+        # 2 rates x 2 workloads x 4 architectures.
+        assert len(small_sweep.rows) == 16
+
+    def test_healthy_retention_is_one(self, small_sweep):
+        for row in small_sweep.rows:
+            if row["fault_rate"] == 0.0 and row["gops"] > 0:
+                assert row["gops_retention"] == pytest.approx(1.0)
+
+    def test_flexflow_degrades_gracefully(self, small_sweep):
+        # At 10% dead PEs FlexFlow must retain strictly more throughput
+        # than every rigid baseline — the tentpole claim of the study.
+        for workload in ("PV", "LeNet-5"):
+            faulty = {
+                row["arch"]: row["gops_retention"]
+                for row in small_sweep.rows
+                if row["workload"] == workload and row["fault_rate"] == 0.1
+            }
+            for arch in ("Systolic", "2D-Mapping", "Tiling"):
+                assert faulty["FlexFlow"] > faulty[arch], (
+                    f"{workload}: FlexFlow {faulty['FlexFlow']} not above"
+                    f" {arch} {faulty[arch]}"
+                )
+
+    def test_flexflow_keeps_running(self, small_sweep):
+        for row in small_sweep.rows:
+            if row["arch"] == "FlexFlow":
+                assert row["gops"] > 0
+
+    def test_deterministic(self):
+        a = fig_fault_degradation.run(rates=(0.05,), workload_names=["PV"])
+        b = fig_fault_degradation.run(rates=(0.05,), workload_names=["PV"])
+        assert a.rows == b.rows
+
+    def test_retention_without_zero_rate_in_sweep(self):
+        result = fig_fault_degradation.run(rates=(0.1,), workload_names=["PV"])
+        flexflow = [r for r in result.rows if r["arch"] == "FlexFlow"]
+        assert 0.0 < flexflow[0]["gops_retention"] < 1.0
+
+    def test_registered(self):
+        from repro.experiments import ALL_EXPERIMENTS
+
+        assert ALL_EXPERIMENTS["fault_degradation"] is fig_fault_degradation

@@ -1,0 +1,75 @@
+"""Tests for the rigid-baseline fault-retention models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    AvailabilityMask,
+    row_kill_retention,
+    systolic_retention,
+    tiling_retention,
+)
+
+
+def mask_with(dim, pes=(), rows=(), cols=()):
+    return AvailabilityMask.from_failures(
+        dim, dead_pes=pes, dead_rows=rows, dead_cols=cols
+    )
+
+
+class TestSystolicRetention:
+    def test_healthy_is_full(self):
+        assert systolic_retention(AvailabilityMask.healthy(16), 4) == 1.0
+
+    def test_one_dead_pe_kills_single_array_config(self):
+        # One 16x16 array covering the whole fabric: any fault is fatal.
+        assert systolic_retention(mask_with(16, pes=[(7, 7)]), 16) == 0.0
+
+    def test_one_dead_pe_kills_one_subarray(self):
+        # 16 arrays of 4x4=16 PEs tile 256 PEs row-major; one fault
+        # retires exactly one of them.
+        retention = systolic_retention(mask_with(16, pes=[(0, 0)]), 4)
+        assert retention == pytest.approx(15 / 16)
+
+    def test_invalid_array_size(self):
+        with pytest.raises(ConfigurationError):
+            systolic_retention(AvailabilityMask.healthy(8), 0)
+
+
+class TestRowKillRetention:
+    def test_healthy_is_full(self):
+        assert row_kill_retention(AvailabilityMask.healthy(8)) == 1.0
+
+    def test_each_faulty_row_retires(self):
+        assert row_kill_retention(mask_with(8, pes=[(1, 3)])) == pytest.approx(7 / 8)
+        assert row_kill_retention(
+            mask_with(8, pes=[(1, 3), (1, 5), (4, 0)])
+        ) == pytest.approx(6 / 8)
+
+    def test_all_rows_dead_is_zero(self):
+        assert row_kill_retention(mask_with(4, cols=[2])) == 0.0
+
+
+class TestTilingRetention:
+    def test_healthy_is_full(self):
+        assert tiling_retention(AvailabilityMask.healthy(16), tm=16, tn=16) == 1.0
+
+    def test_dead_lane_retires_its_cluster(self):
+        # Cluster 0 is linear PEs 0..15 = physical row 0.
+        assert tiling_retention(
+            mask_with(16, pes=[(0, 3)]), tm=16, tn=16
+        ) == pytest.approx(15 / 16)
+
+    def test_two_faults_same_cluster_cost_one(self):
+        assert tiling_retention(
+            mask_with(16, pes=[(0, 3), (0, 9)]), tm=16, tn=16
+        ) == pytest.approx(15 / 16)
+
+    def test_out_of_structure_pes_absorb_faults(self):
+        # tm*tn = 4 PEs of a 16-PE fabric; faults beyond linear index 3
+        # are free.
+        assert tiling_retention(mask_with(4, pes=[(3, 3)]), tm=2, tn=2) == 1.0
+
+    def test_invalid_shape(self):
+        with pytest.raises(ConfigurationError):
+            tiling_retention(AvailabilityMask.healthy(4), tm=0, tn=4)

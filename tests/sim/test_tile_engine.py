@@ -199,3 +199,145 @@ class TestEngineSelection:
                 np.zeros((layer.in_maps, layer.in_size, layer.in_size)),
                 np.zeros(layer.kernel_shape),
             )
+
+
+class TestFaultParity:
+    """Under faults both engines must stay bitwise- and counter-identical."""
+
+    def fault_equivalent(self, layer, config, fault_model):
+        inputs, kernels = make_inputs(layer), make_kernels(layer)
+        out_ref, tr_ref = FlexFlowFunctionalSim(
+            config, engine="reference", fault_model=fault_model
+        ).run_layer(layer, inputs, kernels)
+        out_tile, tr_tile = FlexFlowFunctionalSim(
+            config, engine="tile", fault_model=fault_model
+        ).run_layer(layer, inputs, kernels)
+        assert np.array_equal(
+            out_tile.view(np.uint64), out_ref.view(np.uint64)
+        ), f"{layer.name}: faulty outputs differ bitwise"
+        assert sim_trace_to_dict(tr_tile) == sim_trace_to_dict(
+            tr_ref
+        ), f"{layer.name}: faulty trace counters differ"
+        return out_tile, tr_tile
+
+    def clean_run(self, layer, config):
+        inputs, kernels = make_inputs(layer), make_kernels(layer)
+        return FlexFlowFunctionalSim(config, engine="tile").run_layer(
+            layer, inputs, kernels
+        )
+
+    def test_dead_pe_parity_and_exact_math(self):
+        from repro.faults import FaultModel
+
+        layer = ConvLayer("c", in_maps=3, out_maps=4, out_size=6, kernel=3)
+        config = ArchConfig(array_dim=4)
+        model = FaultModel(seed=3, dead_pes=((1, 2), (3, 0)))
+        out, _ = self.fault_equivalent(layer, config, model)
+        # Dead PEs shrink the schedule but never change the math.
+        out_clean, tr_clean = self.clean_run(layer, config)
+        np.testing.assert_array_equal(out, out_clean)
+
+    def test_dead_pes_cost_cycles(self):
+        from repro.faults import FaultModel
+
+        layer = ConvLayer("c", in_maps=3, out_maps=4, out_size=6, kernel=3)
+        config = ArchConfig(array_dim=4)
+        _, tr_clean = self.clean_run(layer, config)
+        model = FaultModel(seed=3, dead_pes=((1, 2), (3, 0)))
+        _, tr_faulty = self.fault_equivalent(layer, config, model)
+        assert tr_faulty.cycles > tr_clean.cycles
+
+    def test_dead_row_and_col_parity(self):
+        from repro.faults import FaultModel
+
+        layer = ConvLayer("c", in_maps=2, out_maps=3, out_size=5, kernel=2)
+        config = ArchConfig(array_dim=4)
+        model = FaultModel(seed=0, dead_rows=(1,), dead_cols=(2,))
+        self.fault_equivalent(layer, config, model)
+
+    def test_bitflip_parity_and_corruption(self):
+        from repro.faults import FaultModel
+
+        layer = ConvLayer("c", in_maps=3, out_maps=4, out_size=6, kernel=3)
+        config = ArchConfig(array_dim=4)
+        model = FaultModel(seed=11, bitflip_rate=0.05, dead_pes=((0, 1),))
+        out, _ = self.fault_equivalent(layer, config, model)
+        out_clean, _ = self.clean_run(layer, config)
+        assert not np.array_equal(out, out_clean), "flips should corrupt"
+
+    def test_bitflip_parity_with_starved_stores(self):
+        from dataclasses import replace
+
+        from repro.faults import FaultModel
+
+        # Tiny local stores force evictions and re-pushes, the hard case
+        # for sequence-number agreement between the engines.
+        layer = ConvLayer("c", in_maps=3, out_maps=4, out_size=6, kernel=3)
+        config = replace(
+            ArchConfig(array_dim=4), neuron_store_bytes=32, kernel_store_bytes=32
+        )
+        model = FaultModel(seed=7, bitflip_rate=0.1)
+        self.fault_equivalent(layer, config, model)
+
+    def test_bitflip_determinism(self):
+        from repro.faults import FaultModel
+
+        layer = ConvLayer("c", in_maps=2, out_maps=2, out_size=4, kernel=2)
+        config = ArchConfig(array_dim=4)
+        model = FaultModel(seed=5, bitflip_rate=0.2)
+        a, _ = self.fault_equivalent(layer, config, model)
+        b, _ = self.fault_equivalent(layer, config, model)
+        assert np.array_equal(a.view(np.uint64), b.view(np.uint64))
+
+    def test_null_fault_model_changes_nothing(self):
+        from repro.faults import FaultModel
+
+        layer = ConvLayer("c", in_maps=2, out_maps=3, out_size=5, kernel=3)
+        config = ArchConfig(array_dim=4)
+        inputs, kernels = make_inputs(layer), make_kernels(layer)
+        out_clean, tr_clean = self.clean_run(layer, config)
+        out_null, tr_null = FlexFlowFunctionalSim(
+            config, engine="tile", fault_model=FaultModel()
+        ).run_layer(layer, inputs, kernels)
+        assert np.array_equal(out_clean.view(np.uint64), out_null.view(np.uint64))
+        assert sim_trace_to_dict(tr_clean) == sim_trace_to_dict(tr_null)
+
+    def test_fully_dead_array_raises(self):
+        from repro.faults import FaultModel
+
+        layer = ConvLayer("c", in_maps=1, out_maps=2, out_size=4, kernel=2)
+        config = ArchConfig(array_dim=4)
+        model = FaultModel(seed=0, dead_rows=(0, 1, 2, 3))
+        sim = FlexFlowFunctionalSim(config, fault_model=model)
+        with pytest.raises(SimulationError, match="no usable PE subgrid"):
+            sim.run_layer(layer, make_inputs(layer), make_kernels(layer))
+
+
+class TestAutoFallback:
+    def test_memory_gate_falls_back_to_reference(self, monkeypatch):
+        """engine='auto' must use the reference loop when tables don't fit."""
+        layer = ConvLayer("c", in_maps=2, out_maps=3, out_size=5, kernel=3)
+        config = ArchConfig(array_dim=4)
+        inputs, kernels = make_inputs(layer), make_kernels(layer)
+        out_tile, tr_tile = FlexFlowFunctionalSim(config, engine="tile").run_layer(
+            layer, inputs, kernels
+        )
+
+        monkeypatch.setattr(TileEngine, "MAX_TABLE_BYTES", 0)
+        assert not TileEngine.is_feasible(
+            config, layer, map_layer(layer, 4).factors
+        )
+        ran = {"tile": False}
+        original_run = TileEngine.run
+
+        def tracking_run(self, *args, **kwargs):
+            ran["tile"] = True
+            return original_run(self, *args, **kwargs)
+
+        monkeypatch.setattr(TileEngine, "run", tracking_run)
+        out_auto, tr_auto = FlexFlowFunctionalSim(config, engine="auto").run_layer(
+            layer, inputs, kernels
+        )
+        assert not ran["tile"], "auto should have fallen back to reference"
+        assert np.array_equal(out_auto.view(np.uint64), out_tile.view(np.uint64))
+        assert sim_trace_to_dict(tr_auto) == sim_trace_to_dict(tr_tile)
