@@ -21,7 +21,8 @@ the committed baseline instead of writing it: ratios are wall-clock
 independent (both sides of each ratio move together on a slower
 machine), so this works as a CI perf guard.  A measured speedup below
 ``baseline * (1 - tolerance)`` fails the check (exit 1); faster is
-never an error.
+never an error.  A missing baseline file exits 3 — distinct from a
+regression — so CI can tell "never captured" from "got slower".
 """
 
 from __future__ import annotations
@@ -109,8 +110,21 @@ def capture(rounds: int = 5) -> dict:
     }
 
 
+#: Exit code for "no baseline has been captured yet" (vs 1 = regression
+#: or unreadable/corrupt baseline).
+EXIT_NO_BASELINE = 3
+
+
 def check(baseline_path: Path, tolerance: float) -> int:
     """Compare freshly measured speedups against the committed baseline."""
+    if not baseline_path.exists():
+        print(
+            f"baseline {baseline_path} does not exist; run"
+            f" `PYTHONPATH=src python benchmarks/capture_baseline.py`"
+            f" to capture one",
+            file=sys.stderr,
+        )
+        return EXIT_NO_BASELINE
     try:
         baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
     except (OSError, ValueError) as exc:
@@ -119,23 +133,27 @@ def check(baseline_path: Path, tolerance: float) -> int:
     payload = capture()
     failures = []
     for section in ("headline", "sim_engine"):
+        metric = f"{section}.speedup_median"
         expected = baseline.get(section, {}).get("speedup_median")
         measured = payload[section]["speedup_median"]
         if expected is None:
-            print(f"{section}: no baseline speedup recorded, skipping")
+            print(f"{metric}: no baseline value recorded, skipping")
             continue
         floor = expected * (1.0 - tolerance)
+        delta_pct = (measured - expected) / expected * 100.0
         verdict = "ok" if measured >= floor else "REGRESSION"
         print(
-            f"{section}: speedup {measured:.2f}x vs baseline"
-            f" {expected:.2f}x (floor {floor:.2f}x) -> {verdict}"
+            f"{metric}: {measured:.2f}x vs baseline {expected:.2f}x"
+            f" ({delta_pct:+.1f}%, floor {floor:.2f}x) -> {verdict}"
         )
         if measured < floor:
-            failures.append(section)
+            failures.append((metric, delta_pct))
     if failures:
+        names = ", ".join(
+            f"{metric} ({delta_pct:+.1f}%)" for metric, delta_pct in failures
+        )
         print(
-            f"perf check FAILED: {', '.join(failures)} below"
-            f" {tolerance:.0%} tolerance",
+            f"perf check FAILED: {names} below {tolerance:.0%} tolerance",
             file=sys.stderr,
         )
         return 1

@@ -8,6 +8,8 @@ Commands:
 * ``run <workload>`` — simulate on one (or all) architectures;
 * ``compile <workload>`` — emit the FlexFlow configuration assembly;
 * ``experiment <id> | all`` — regenerate paper tables/figures;
+* ``trace <workload>`` — per-layer/per-phase cycle breakdown + trace.json;
+* ``profile <experiment>`` — run one experiment under the tracer;
 * ``faults sweep | mask`` — fault-degradation study and mask inspection.
 """
 
@@ -109,6 +111,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for running experiments (default 1)",
     )
     _add_resilience_args(report)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="trace a workload: per-layer, per-phase breakdown"
+    )
+    trace_cmd.add_argument("workload", help=workload_help)
+    trace_cmd.add_argument("--dim", type=int, default=16)
+    trace_cmd.add_argument(
+        "--engine", choices=["auto", "tile", "reference"], default="auto",
+        help="simulation engine (span trees are engine-independent)",
+    )
+    trace_cmd.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write a Chrome/Perfetto trace.json (default: no file)",
+    )
+
+    profile_cmd = sub.add_parser(
+        "profile", help="run one experiment under the tracer"
+    )
+    profile_cmd.add_argument("experiment_id", choices=list(ALL_EXPERIMENTS))
+    profile_cmd.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write a Chrome/Perfetto trace.json (default: no file)",
+    )
 
     faults = sub.add_parser(
         "faults", help="fault-injection studies and mask inspection"
@@ -292,6 +317,43 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_trace_file(tracer, path: str) -> None:
+    from repro.obs.export import write_chrome_trace
+
+    try:
+        write_chrome_trace(tracer, path)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot write trace to {path!r}: {exc}"
+        ) from exc
+    print(f"wrote {path}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.profile import format_breakdown, trace_workload
+
+    network = _resolve_workload(args.workload)
+    trace = trace_workload(
+        network, array_dim=args.dim, engine=args.engine
+    )
+    print(format_breakdown(trace))
+    if args.output is not None:
+        _write_trace_file(trace.tracer, args.output)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import format_profile, profile_experiment
+
+    result, tracer = profile_experiment(args.experiment_id)
+    print(result.format_table())
+    print()
+    print(format_profile(args.experiment_id, tracer))
+    if args.output is not None:
+        _write_trace_file(tracer, args.output)
+    return 0
+
+
 def _parse_csv(text: str, convert, what: str) -> list:
     try:
         return [convert(part) for part in text.split(",") if part.strip()]
@@ -363,6 +425,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_experiment(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
         if args.command == "faults":
             if args.faults_command == "sweep":
                 return _cmd_faults_sweep(args)

@@ -38,8 +38,20 @@ from repro.errors import MappingError
 from repro.faults.mask import AvailabilityMask, live_grid
 from repro.nn.layers import ConvLayer
 from repro.nn.network import Network
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracer import current_tracer
 
 Triple = Tuple[int, int, int]
+
+
+def _record_cache_outcome(name: str, before, after) -> None:
+    """Count one memoized call as a hit or a miss in the metrics registry.
+
+    ``before``/``after`` are ``functools`` ``cache_info()`` snapshots
+    taken around the call; exactly one of hits/misses advanced.
+    """
+    outcome = "hit" if after.hits > before.hits else "miss"
+    REGISTRY.counter(f"mapper.{name}", outcome=outcome).inc()
 
 
 def _usable_limits(
@@ -218,9 +230,14 @@ def map_layer(
             its live subgrid while utilization stays measured against the
             full ``D x D`` fabric.
     """
-    return _map_layer_cached(
+    before = _map_layer_cached.cache_info()
+    result = _map_layer_cached(
         layer, array_dim, tr_tc_bound, fixed_input_triple, mask
     )
+    _record_cache_outcome(
+        "layer_cache", before, _map_layer_cached.cache_info()
+    )
+    return result
 
 
 @lru_cache(maxsize=4096)
@@ -231,43 +248,69 @@ def _map_layer_cached(
     fixed_input_triple: Optional[Triple],
     mask: Optional[AvailabilityMask],
 ) -> LayerMapping:
-    row_limit, col_limit = _usable_limits(array_dim, mask)
-    if fixed_input_triple is None:
-        ins = input_candidates(layer, col_limit)
-        best_in = min(ins, key=lambda t: (_input_steps(layer, t), t))
-    else:
-        best_in = fixed_input_triple
-        tn, ti, tj = best_in
-        if tn * ti * tj > col_limit:
-            raise MappingError(
-                f"{layer.name}: fixed input triple {best_in} exceeds the"
-                f" {col_limit} usable columns"
+    # Spans/metrics here describe the actual enumeration, so they appear
+    # once per *distinct* search — cache hits are visible only as
+    # ``mapper.layer_cache{outcome=hit}`` counts (see map_layer).
+    tracer = current_tracer()
+    with tracer.span(
+        f"map:{layer.name}",
+        category="mapper",
+        labels={"dim": str(array_dim)},
+    ) as span:
+        row_limit, col_limit = _usable_limits(array_dim, mask)
+        if fixed_input_triple is None:
+            ins = input_candidates(layer, col_limit)
+            best_in = min(ins, key=lambda t: (_input_steps(layer, t), t))
+            n_input_candidates = len(ins)
+        else:
+            best_in = fixed_input_triple
+            n_input_candidates = 0  # coupled: no intra-row search ran
+            tn, ti, tj = best_in
+            if tn * ti * tj > col_limit:
+                raise MappingError(
+                    f"{layer.name}: fixed input triple {best_in} exceeds the"
+                    f" {col_limit} usable columns"
+                )
+        outs = output_candidates(layer, row_limit, tr_tc_bound)
+        # Tie-break equal-cycle choices toward larger Tm: fewer output-map tile
+        # groups means each input word is re-broadcast fewer times.
+        best_out = min(
+            outs,
+            key=lambda t: (_output_steps(layer, t), ceil_div(layer.out_maps, t[0]), t),
+        )
+        factors = UnrollingFactors(
+            tm=best_out[0], tn=best_in[0], tr=best_out[1], tc=best_out[2],
+            ti=best_in[1], tj=best_in[2],
+        )
+        factors.check(
+            layer,
+            array_dim,
+            tr_tc_bound=tr_tc_bound,
+            max_rows=row_limit,
+            max_cols=col_limit,
+        )
+        REGISTRY.counter("mapper.layers_mapped").inc()
+        REGISTRY.histogram("mapper.candidates", side="input").observe(
+            n_input_candidates
+        )
+        REGISTRY.histogram("mapper.candidates", side="output").observe(
+            len(outs)
+        )
+        if tracer.enabled:
+            span.add_counters(
+                {
+                    "input_candidates": n_input_candidates,
+                    "output_candidates": len(outs),
+                    "compute_cycles": factors.outer_iterations(layer),
+                }
             )
-    outs = output_candidates(layer, row_limit, tr_tc_bound)
-    # Tie-break equal-cycle choices toward larger Tm: fewer output-map tile
-    # groups means each input word is re-broadcast fewer times.
-    best_out = min(
-        outs,
-        key=lambda t: (_output_steps(layer, t), ceil_div(layer.out_maps, t[0]), t),
-    )
-    factors = UnrollingFactors(
-        tm=best_out[0], tn=best_in[0], tr=best_out[1], tc=best_out[2],
-        ti=best_in[1], tj=best_in[2],
-    )
-    factors.check(
-        layer,
-        array_dim,
-        tr_tc_bound=tr_tc_bound,
-        max_rows=row_limit,
-        max_cols=col_limit,
-    )
-    return LayerMapping(
-        layer=layer,
-        factors=factors,
-        array_dim=array_dim,
-        utilization=utilization_report(layer, factors, array_dim),
-        compute_cycles=factors.outer_iterations(layer),
-    )
+        return LayerMapping(
+            layer=layer,
+            factors=factors,
+            array_dim=array_dim,
+            utilization=utilization_report(layer, factors, array_dim),
+            compute_cycles=factors.outer_iterations(layer),
+        )
 
 
 # -- whole-network mapping (the Section 5 compiler pass) -----------------------
@@ -295,7 +338,12 @@ def map_network(
     equality is structural, so re-parsing the same workload still hits the
     cache, and a masked configuration never shares an unmasked entry.
     """
-    return _map_network_cached(network, array_dim, mask)
+    before = _map_network_cached.cache_info()
+    result = _map_network_cached(network, array_dim, mask)
+    _record_cache_outcome(
+        "network_cache", before, _map_network_cached.cache_info()
+    )
+    return result
 
 
 @lru_cache(maxsize=256)
@@ -303,6 +351,20 @@ def _map_network_cached(
     network: Network,
     array_dim: int,
     mask: Optional[AvailabilityMask],
+) -> NetworkMapping:
+    with current_tracer().span(
+        f"map_network:{network.name}",
+        category="mapper",
+        labels={"dim": str(array_dim)},
+    ) as network_span:
+        return _map_network_search(network, array_dim, mask, network_span)
+
+
+def _map_network_search(
+    network: Network,
+    array_dim: int,
+    mask: Optional[AvailabilityMask],
+    network_span,
 ) -> NetworkMapping:
     contexts = network.conv_contexts()
     if not contexts:
@@ -409,6 +471,15 @@ def _map_network_cached(
         network_name=network.name, array_dim=array_dim, layers=tuple(mappings)
     )
     assert result.total_cycles == final_cost, "DP cost must match reconstruction"
+    REGISTRY.counter("mapper.networks_mapped").inc()
+    network_span.add_counters(
+        {
+            "conv_layers": len(contexts),
+            "output_candidates": sum(len(outs) for outs in layer_outs),
+            "total_cycles": result.total_cycles,
+            "relayouts": sum(1 for m in result.layers if not m.coupled),
+        }
+    )
     return result
 
 

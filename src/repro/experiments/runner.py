@@ -21,9 +21,12 @@ worker processes.
 
 from __future__ import annotations
 
+import hashlib
 import importlib
 import json
 import os
+import platform
+import subprocess
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -32,6 +35,8 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments.common import ExperimentResult
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracer import current_tracer
 
 #: Environment variable naming extra experiments: ``"module:attribute"``
 #: where the attribute is a ``dict`` of id -> module-like (has ``run()``).
@@ -178,6 +183,108 @@ def _load_checkpoint(run_dir: str, experiment_id: str) -> Optional[RunOutcome]:
         return None  # corrupt checkpoint: re-run rather than crash
 
 
+# -- run manifest -------------------------------------------------------------
+
+
+def _git_rev() -> str:
+    """The current git commit hash, or ``"unknown"`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else "unknown"
+
+
+def batch_config_hash(
+    experiment_ids: Sequence[str], policy: "RunPolicy"
+) -> str:
+    """Stable digest of what this batch runs and how it is supervised.
+
+    Two runs with the same hash executed the same experiments under the
+    same policy — the key a regression dashboard joins runs on.
+    """
+    payload = json.dumps(
+        {
+            "experiment_ids": list(experiment_ids),
+            "policy": {
+                "jobs": policy.jobs,
+                "timeout_s": policy.timeout_s,
+                "retries": policy.retries,
+                "backoff_s": policy.backoff_s,
+            },
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _write_manifest(
+    run_dir: str,
+    experiment_ids: Sequence[str],
+    policy: "RunPolicy",
+    *,
+    started_unix: float,
+    outcomes: Optional[Sequence["RunOutcome"]] = None,
+) -> None:
+    """Atomically (re)write ``manifest.json``: provenance for the run.
+
+    Written once when the batch starts (``outcomes=None`` -> status
+    ``"running"``) and rewritten when it finishes, so a run directory is
+    self-describing even after a crash mid-batch.
+    """
+    payload: Dict[str, Any] = {
+        "schema": 1,
+        "experiment_ids": list(experiment_ids),
+        "policy": {
+            "jobs": policy.jobs,
+            "timeout_s": policy.timeout_s,
+            "retries": policy.retries,
+            "backoff_s": policy.backoff_s,
+        },
+        "config_hash": batch_config_hash(experiment_ids, policy),
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "started_unix": round(started_unix, 3),
+        "status": "running",
+    }
+    if outcomes is not None:
+        payload["status"] = (
+            "ok" if all(o.ok for o in outcomes) else "partial"
+        )
+        payload["finished_unix"] = round(time.time(), 3)
+        payload["outcomes"] = {
+            o.experiment_id: {
+                "status": o.status,
+                "attempts": o.attempts,
+                "from_checkpoint": o.from_checkpoint,
+            }
+            for o in outcomes
+        }
+    path = Path(run_dir) / "manifest.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+
+
+def load_manifest(run_dir: str) -> Dict[str, Any]:
+    """Read a run directory's manifest (raises on absence/corruption)."""
+    path = Path(run_dir) / "manifest.json"
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(
+            f"cannot read run manifest {path}: {exc}"
+        ) from exc
+
+
 # -- the worker side ----------------------------------------------------------
 
 
@@ -212,6 +319,7 @@ class _Job:
     deadline: Optional[float] = None
     outcome: Optional[RunOutcome] = None
     errors: List[str] = field(default_factory=list)
+    first_launch_wall: float = 0.0
 
     @property
     def running(self) -> bool:
@@ -244,14 +352,35 @@ def run_resilient(
     if len(set(ids)) != len(ids):
         raise ConfigurationError("duplicate experiment ids in one batch")
 
+    tracer = current_tracer()
+    started_unix = time.time()
     jobs = [_Job(experiment_id=eid) for eid in ids]
     if policy.run_dir is not None:
         for job in jobs:
             prior = _load_checkpoint(policy.run_dir, job.experiment_id)
             if prior is not None:
                 job.outcome = prior
+                REGISTRY.counter("runner.checkpoint_reuses").inc()
+        _write_manifest(
+            policy.run_dir, ids, policy, started_unix=started_unix
+        )
 
     ctx = multiprocessing.get_context("spawn")
+
+    def record_outcome(job: _Job) -> None:
+        """One span per finished experiment (first launch -> outcome)."""
+        outcome = job.outcome
+        end = time.perf_counter()
+        start = job.first_launch_wall or end
+        tracer.add_span(
+            f"experiment:{job.experiment_id}",
+            "experiment",
+            start_wall=start,
+            end_wall=end,
+            counters={"attempts": outcome.attempts},
+            labels={"status": outcome.status},
+        )
+        REGISTRY.counter("runner.outcomes", status=outcome.status).inc()
 
     def launch(job: _Job) -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
@@ -264,7 +393,10 @@ def run_resilient(
         child_conn.close()
         job.process = process
         job.conn = parent_conn
+        if job.attempts == 0:
+            job.first_launch_wall = time.perf_counter()
         job.attempts += 1
+        REGISTRY.counter("runner.attempts").inc()
         job.deadline = (
             None
             if policy.timeout_s is None
@@ -276,9 +408,27 @@ def run_resilient(
         job.errors.append(f"attempt {job.attempts}: [{status}] {error}")
         job.process = None
         job.conn = None
+        REGISTRY.counter("runner.attempt_failures", status=status).inc()
+        tracer.event(
+            "timeout" if status == "timeout" else "attempt-failed",
+            category="experiment",
+            labels={
+                "experiment": job.experiment_id,
+                "attempt": str(job.attempts),
+            },
+        )
         if job.attempts <= policy.retries:
             delay = policy.backoff_s * (2 ** (job.attempts - 1))
             job.not_before = time.monotonic() + delay
+            REGISTRY.counter("runner.retries").inc()
+            tracer.event(
+                "retry-scheduled",
+                category="experiment",
+                labels={
+                    "experiment": job.experiment_id,
+                    "delay_s": f"{delay:.3f}",
+                },
+            )
             return
         job.outcome = RunOutcome(
             experiment_id=job.experiment_id,
@@ -286,6 +436,7 @@ def run_resilient(
             error="\n".join(job.errors),
             attempts=job.attempts,
         )
+        record_outcome(job)
         if policy.run_dir is not None:
             _write_checkpoint(policy.run_dir, job.outcome)
 
@@ -316,6 +467,7 @@ def run_resilient(
                     result=result_from_dict(payload),
                     attempts=job.attempts,
                 )
+                record_outcome(job)
                 if policy.run_dir is not None:
                     _write_checkpoint(policy.run_dir, job.outcome)
             else:
@@ -362,7 +514,13 @@ def run_resilient(
                 job.process.terminate()
                 job.process.join(timeout=5)
 
-    return [job.outcome for job in jobs]
+    outcomes = [job.outcome for job in jobs]
+    if policy.run_dir is not None:
+        _write_manifest(
+            policy.run_dir, ids, policy,
+            started_unix=started_unix, outcomes=outcomes,
+        )
+    return outcomes
 
 
 def require_all_ok(outcomes: Sequence[RunOutcome]) -> List[ExperimentResult]:

@@ -1,0 +1,152 @@
+"""A small metrics registry: counters, gauges, histograms with labels.
+
+The registry is the aggregate-statistics counterpart to the span tracer:
+spans answer *where did the time go in this run*, metrics answer *how
+often did this happen across the whole process* — mapper cache hits,
+candidate-search sizes, experiment retries.  Instruments are cheap
+(dict updates), always on, and deterministic given a fresh registry.
+
+>>> reg = MetricsRegistry()
+>>> reg.counter("mapper.layer_cache", outcome="miss").inc()
+>>> reg.counter("mapper.layer_cache", outcome="miss").inc(2)
+>>> reg.counter("mapper.layer_cache", outcome="miss").value
+3
+>>> reg.gauge("run.jobs").set(4)
+>>> reg.histogram("search.candidates").observe(10)
+>>> sorted(reg.snapshot())
+['mapper.layer_cache{outcome=miss}', 'run.jobs', 'search.candidates']
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import SpecificationError
+
+#: Canonical label encoding: sorted ``key=value`` pairs.
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _series_name(name: str, key: _LabelKey) -> str:
+    if not key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise SpecificationError(
+                f"counters only increase; got increment {amount}"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed values: count/sum/min/max."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.minimum is not None else 0.0,
+            "max": self.maximum if self.maximum is not None else 0.0,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Keyed store of instruments; one series per (name, label set)."""
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple[str, _LabelKey], Any] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _get(self, kind: str, name: str, labels: Dict[str, str]) -> Any:
+        known = self._kinds.get(name)
+        if known is not None and known != kind:
+            raise SpecificationError(
+                f"metric {name!r} is a {known}, not a {kind}"
+            )
+        self._kinds[name] = kind
+        key = (name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = self._KINDS[kind]()
+            self._series[key] = series
+        return series
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self._get("histogram", name, labels)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Flat ``series-name -> value`` view (histograms -> summaries)."""
+        out: Dict[str, Any] = {}
+        for (name, key), series in sorted(self._series.items()):
+            label = _series_name(name, key)
+            if isinstance(series, Histogram):
+                out[label] = series.summary()
+            else:
+                out[label] = series.value
+        return out
+
+    def reset(self) -> None:
+        """Drop every series (tests and per-run CLI commands use this)."""
+        self._series.clear()
+        self._kinds.clear()
+
+
+#: The process-wide default registry instrumented code records into.
+REGISTRY = MetricsRegistry()

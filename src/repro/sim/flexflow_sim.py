@@ -41,12 +41,13 @@ from repro.arch.config import ArchConfig
 from repro.arch.local_store import LocalStore
 from repro.dataflow.grouping import GroupGeometry
 from repro.dataflow.mapper import map_layer
-from repro.dataflow.unrolling import UnrollingFactors
+from repro.dataflow.unrolling import UnrollingFactors, ceil_div
 from repro.errors import SimulationError, SpecificationError
 from repro.faults.mask import AvailabilityMask, LiveGrid, live_grid
 from repro.faults.model import FaultModel, apply_flip, transient_flip
 from repro.nn.layers import ConvLayer
 from repro.nn.reference import pad_input
+from repro.obs.tracer import Tracer, counter_delta, current_tracer
 from repro.sim.tile_engine import TileEngine
 from repro.sim.trace import SimTrace
 
@@ -126,6 +127,7 @@ class FlexFlowFunctionalSim:
         factors: Optional[UnrollingFactors] = None,
         engine: str = "auto",
         fault_model: Optional[FaultModel] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if engine not in self.ENGINES:
             raise SpecificationError(
@@ -135,6 +137,10 @@ class FlexFlowFunctionalSim:
         self.factors = factors
         self.engine = engine
         self.fault_model = fault_model
+        #: ``None`` defers to the ambient tracer (``obs.current_tracer``)
+        #: at run time, so an installed tracer is picked up without
+        #: plumbing; the default ambient tracer is disabled.
+        self.tracer = tracer
 
     def _resolve_mask(self) -> Optional[AvailabilityMask]:
         """The effective permanent-fault mask for this run.
@@ -201,15 +207,53 @@ class FlexFlowFunctionalSim:
             self.engine == "auto"
             and TileEngine.is_feasible(self.config, layer, factors)
         )
-        if use_tile:
-            return TileEngine(
-                self.config,
-                layer,
-                factors,
-                grid=grid,
-                fault_model=self.fault_model,
-            ).run(padded, kernels)
-        return self._run_reference(layer, padded, kernels, factors, geometry, grid)
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        # The span tree below (layer -> load/compute/drain phases ->
+        # per-m0 tile groups) is engine-independent by construction: the
+        # engine name is a label, which parity trees exclude, and both
+        # engines emit identical group boundaries and counter deltas —
+        # the tracer-level equivalence the parity tests pin.
+        with tracer.span(
+            f"conv:{layer.name}",
+            category="sim.flexflow",
+            labels={"engine": "tile" if use_tile else "reference"},
+        ) as layer_span:
+            # Load/drain phases model the layer's DMA legs on the
+            # D-banked buffers (the same word/D accounting as the
+            # mapper's re-layout penalty); compute is the simulated PE
+            # array proper.
+            load_cycles = ceil_div(
+                layer.num_input_words + layer.num_kernel_words, dim
+            )
+            drain_cycles = ceil_div(layer.num_output_words, dim)
+            with tracer.span("phase:load", category="sim.flexflow") as sp:
+                sp.set_cycles(load_cycles)
+            with tracer.span("phase:compute", category="sim.flexflow") as sp:
+                if use_tile:
+                    outputs, trace = TileEngine(
+                        self.config,
+                        layer,
+                        factors,
+                        grid=grid,
+                        fault_model=self.fault_model,
+                        tracer=tracer,
+                    ).run(padded, kernels)
+                else:
+                    outputs, trace = self._run_reference(
+                        layer, padded, kernels, factors, geometry, grid,
+                        tracer=tracer,
+                    )
+                if tracer.enabled:
+                    sp.set_cycles(trace.cycles)
+                    sp.add_counters(trace.as_dict())
+            with tracer.span("phase:drain", category="sim.flexflow") as sp:
+                sp.set_cycles(drain_cycles)
+            if tracer.enabled:
+                layer_span.set_cycles(
+                    load_cycles + trace.cycles + drain_cycles
+                )
+                layer_span.add_counters(trace.as_dict())
+        return outputs, trace
 
     def _run_reference(
         self,
@@ -219,8 +263,10 @@ class FlexFlowFunctionalSim:
         factors: UnrollingFactors,
         geometry: GroupGeometry,
         grid: Optional[LiveGrid] = None,
+        tracer: Optional[Tracer] = None,
     ) -> Tuple[np.ndarray, SimTrace]:
         """The golden per-PE loop: one CoordStore pair per PE."""
+        tracer = tracer if tracer is not None else current_tracer()
         stride = layer.stride
         m_total, s_total, k_total = layer.out_maps, layer.out_size, layer.kernel
         n_total = layer.in_maps
@@ -288,34 +334,42 @@ class FlexFlowFunctionalSim:
         f = factors
 
         for m0 in range(0, m_total, f.tm):
-            for r0 in range(0, s_total, f.tr):
-                for c0 in range(0, s_total, f.tc):
-                    accumulators = np.zeros(geometry.active_rows)
-                    row_targets = {}
-                    for row in range(geometry.active_rows):
-                        dm, dr, dc = geometry.decompose_row(row)
-                        m, r, c = m0 + dm, r0 + dr, c0 + dc
-                        if m < m_total and r < s_total and c < s_total:
-                            row_targets[row] = (m, r, c)
-                    for n0 in range(0, n_total, f.tn):
-                        for i0 in range(0, k_total, f.ti):
-                            for j0 in range(0, k_total, f.tj):
-                                trace.cycles += 1
-                                self._execute_cycle(
-                                    pes,
-                                    geometry,
-                                    padded,
-                                    kernels,
-                                    accumulators,
-                                    row_targets,
-                                    trace,
-                                    bases=(m0, n0, r0, c0, i0, j0),
-                                    layer_dims=(m_total, n_total, s_total, k_total),
-                                    stride=stride,
-                                )
-                    for row, (m, r, c) in row_targets.items():
-                        outputs[m, r, c] = accumulators[row]
-                        trace.neuron_buffer_writes += 1
+            with tracer.span(
+                f"group:m0={m0}", category="sim.flexflow"
+            ) as group_span:
+                before = trace.as_dict() if tracer.enabled else None
+                for r0 in range(0, s_total, f.tr):
+                    for c0 in range(0, s_total, f.tc):
+                        accumulators = np.zeros(geometry.active_rows)
+                        row_targets = {}
+                        for row in range(geometry.active_rows):
+                            dm, dr, dc = geometry.decompose_row(row)
+                            m, r, c = m0 + dm, r0 + dr, c0 + dc
+                            if m < m_total and r < s_total and c < s_total:
+                                row_targets[row] = (m, r, c)
+                        for n0 in range(0, n_total, f.tn):
+                            for i0 in range(0, k_total, f.ti):
+                                for j0 in range(0, k_total, f.tj):
+                                    trace.cycles += 1
+                                    self._execute_cycle(
+                                        pes,
+                                        geometry,
+                                        padded,
+                                        kernels,
+                                        accumulators,
+                                        row_targets,
+                                        trace,
+                                        bases=(m0, n0, r0, c0, i0, j0),
+                                        layer_dims=(m_total, n_total, s_total, k_total),
+                                        stride=stride,
+                                    )
+                        for row, (m, r, c) in row_targets.items():
+                            outputs[m, r, c] = accumulators[row]
+                            trace.neuron_buffer_writes += 1
+                if before is not None:
+                    delta = counter_delta(before, trace.as_dict())
+                    group_span.set_cycles(delta["cycles"])
+                    group_span.add_counters(delta)
         return outputs, trace
 
     def _execute_cycle(

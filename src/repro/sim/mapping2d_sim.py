@@ -23,18 +23,22 @@ import numpy as np
 from repro.errors import SimulationError, SpecificationError
 from repro.nn.layers import ConvLayer
 from repro.nn.reference import pad_input
+from repro.obs.tracer import Tracer, current_tracer
 from repro.sim.trace import SimTrace
 
 
 class Mapping2DFunctionalSim:
     """Cycle-level functional model of the 2D-Mapping array."""
 
-    def __init__(self, block_size: int = 16) -> None:
+    def __init__(
+        self, block_size: int = 16, tracer: Optional[Tracer] = None
+    ) -> None:
         if block_size <= 0:
             raise SpecificationError(
                 f"block_size must be positive, got {block_size}"
             )
         self.block_size = block_size
+        self.tracer = tracer
 
     def run_layer(
         self, layer: ConvLayer, inputs: np.ndarray, kernels: np.ndarray
@@ -54,22 +58,29 @@ class Mapping2DFunctionalSim:
         block = self.block_size
         out = np.zeros((layer.out_maps, layer.out_size, layer.out_size))
         trace = SimTrace()
-        for m in range(layer.out_maps):
-            for r0 in range(0, layer.out_size, block):
-                for c0 in range(0, layer.out_size, block):
-                    rows = min(block, layer.out_size - r0)
-                    cols = min(block, layer.out_size - c0)
-                    psum = np.zeros((rows, cols))
-                    for n in range(layer.in_maps):
-                        self._run_block(
-                            padded[n],
-                            kernels[m, n],
-                            psum,
-                            (r0, c0),
-                            trace,
-                        )
-                    out[m, r0:r0 + rows, c0:c0 + cols] = psum
-                    trace.neuron_buffer_writes += rows * cols
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        with tracer.span(
+            f"conv:{layer.name}", category="sim.mapping2d"
+        ) as span:
+            for m in range(layer.out_maps):
+                for r0 in range(0, layer.out_size, block):
+                    for c0 in range(0, layer.out_size, block):
+                        rows = min(block, layer.out_size - r0)
+                        cols = min(block, layer.out_size - c0)
+                        psum = np.zeros((rows, cols))
+                        for n in range(layer.in_maps):
+                            self._run_block(
+                                padded[n],
+                                kernels[m, n],
+                                psum,
+                                (r0, c0),
+                                trace,
+                            )
+                        out[m, r0:r0 + rows, c0:c0 + cols] = psum
+                        trace.neuron_buffer_writes += rows * cols
+            if tracer.enabled:
+                span.set_cycles(trace.cycles)
+                span.add_counters(trace.as_dict())
         return out, trace
 
     def _run_block(

@@ -31,6 +31,7 @@ from repro.arch.interconnect import FifoLink
 from repro.errors import SimulationError, SpecificationError
 from repro.nn.layers import ConvLayer
 from repro.nn.reference import pad_input
+from repro.obs.tracer import Tracer, current_tracer
 from repro.sim.trace import SimTrace
 
 
@@ -45,6 +46,9 @@ class _Flight:
 
 class SystolicFunctionalSim:
     """Cycle-level functional model of one systolic array."""
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self.tracer = tracer
 
     def run_layer(
         self, layer: ConvLayer, inputs: np.ndarray, kernels: np.ndarray
@@ -68,11 +72,18 @@ class SystolicFunctionalSim:
         padded = pad_input(inputs, layer.padding)
         outputs = np.zeros((layer.out_maps, layer.out_size, layer.out_size))
         trace = SimTrace()
-        for m in range(layer.out_maps):
-            for n in range(layer.in_maps):
-                self._run_pair(
-                    padded[n], kernels[m, n], outputs[m], layer.out_size, trace
-                )
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        with tracer.span(
+            f"conv:{layer.name}", category="sim.systolic"
+        ) as span:
+            for m in range(layer.out_maps):
+                for n in range(layer.in_maps):
+                    self._run_pair(
+                        padded[n], kernels[m, n], outputs[m], layer.out_size, trace
+                    )
+            if tracer.enabled:
+                span.set_cycles(trace.cycles)
+                span.add_counters(trace.as_dict())
         return outputs, trace
 
     def _run_pair(

@@ -51,6 +51,7 @@ from repro.errors import SimulationError
 from repro.faults.mask import LiveGrid
 from repro.faults.model import FaultModel, apply_flip, transient_flip
 from repro.nn.layers import ConvLayer
+from repro.obs.tracer import Tracer, counter_delta, current_tracer
 from repro.sim.trace import SimTrace
 
 #: Live bit-flip overrides: ``(row, col, coord) -> (push_sequence, value)``.
@@ -84,6 +85,7 @@ class TileEngine:
         *,
         grid: Optional[LiveGrid] = None,
         fault_model: Optional[FaultModel] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.config = config
         self.layer = layer
@@ -91,6 +93,7 @@ class TileEngine:
         self.geometry = GroupGeometry(factors, config.array_dim)
         self.grid = grid
         self.fault_model = fault_model
+        self.tracer = tracer
 
     # -- feasibility ---------------------------------------------------------
 
@@ -192,102 +195,114 @@ class TileEngine:
         outputs = np.zeros((m_total, s_total, s_total))
         outputs_flat = outputs.reshape(-1)
         trace = SimTrace()
+        tracer = self.tracer if self.tracer is not None else current_tracer()
 
         for m0 in range(0, m_total, f.tm):
-            m_r = m0 + dm  # (R,) per-row output coordinates
-            kernel_m = m_r * (n_total * k_total * k_total)
-            for r0 in range(0, s_total, f.tr):
-                r_r = r0 + dr
-                for c0 in range(0, s_total, f.tc):
-                    c_r = c0 + dc
-                    trace.cycles += n_steps
-                    row_ok = (m_r < m_total) & (r_r < s_total) & (c_r < s_total)
-                    n_rows_ok = int(row_ok.sum())
-                    if n_rows_ok == 0:
-                        continue
-                    active = row_ok[None, :, None] & col_ok[:, None, :]
+            # One span per output-map tile group, with the group's exact
+            # counter deltas — the same boundaries the reference loop
+            # traces, so both engines' span trees compare equal.
+            with tracer.span(
+                f"group:m0={m0}", category="sim.flexflow"
+            ) as group_span:
+                before = trace.as_dict() if tracer.enabled else None
+                m_r = m0 + dm  # (R,) per-row output coordinates
+                kernel_m = m_r * (n_total * k_total * k_total)
+                for r0 in range(0, s_total, f.tr):
+                    r_r = r0 + dr
+                    for c0 in range(0, s_total, f.tc):
+                        c_r = c0 + dc
+                        trace.cycles += n_steps
+                        row_ok = (m_r < m_total) & (r_r < s_total) & (c_r < s_total)
+                        n_rows_ok = int(row_ok.sum())
+                        if n_rows_ok == 0:
+                            continue
+                        active = row_ok[None, :, None] & col_ok[:, None, :]
 
-                    # Coordinates for every (cycle, row, col) of this tile.
-                    neuron_tile = (r_r * stride) * padded_size + c_r * stride
-                    neuron_flat = np.where(
-                        active,
-                        neuron_base_tc[:, None, :] + neuron_tile[None, :, None],
-                        0,
-                    )
-                    kernel_flat = np.where(
-                        active,
-                        kernel_base_tc[:, None, :] + kernel_m[None, :, None],
-                        0,
-                    )
-
-                    # Demand-fill both stores (misses, pushes, bus words).
-                    neuron_miss, neuron_seq = self._resolve_misses(
-                        neuron_last, neuron_count, neuron_flat, active,
-                        w_neuron, r_ix, c_ix,
-                    )
-                    kernel_miss, kernel_seq = self._resolve_misses(
-                        kernel_last, kernel_count, kernel_flat, active,
-                        w_kernel, r_ix, c_ix,
-                    )
-                    if flips_active:
-                        self._push_flips(
-                            "neuron", neuron_miss, neuron_seq, neuron_flat,
-                            padded_flat, neuron_over, phys_rows, phys_cols,
+                        # Coordinates for every (cycle, row, col) of this tile.
+                        neuron_tile = (r_r * stride) * padded_size + c_r * stride
+                        neuron_flat = np.where(
+                            active,
+                            neuron_base_tc[:, None, :] + neuron_tile[None, :, None],
+                            0,
                         )
-                        self._push_flips(
-                            "kernel", kernel_miss, kernel_seq, kernel_flat,
-                            kernels_flat, kernel_over, phys_rows, phys_cols,
+                        kernel_flat = np.where(
+                            active,
+                            kernel_base_tc[:, None, :] + kernel_m[None, :, None],
+                            0,
                         )
-                    n_neuron_miss = int(neuron_miss.sum())
-                    n_kernel_miss = int(kernel_miss.sum())
-                    # Bus sharing (RA/RS): a word already driven this cycle
-                    # is free for every other PE on that bus.  A neuron word
-                    # is shared by the rows that differ only in their dm
-                    # offset (the coordinate has no m dependence); a kernel
-                    # word is shared by all (Tr*Tc) rows of its (m % Tm)
-                    # group.  Any other row pair touches distinct words.
-                    by_group = (n_steps, f.tm, f.tr * f.tc, cols)
-                    neuron_bus = int(
-                        neuron_miss.reshape(by_group).any(axis=1).sum()
-                    )
-                    kernel_bus = int(
-                        kernel_miss.reshape(by_group).any(axis=2).sum()
-                    )
-                    trace.neuron_buffer_reads += neuron_bus
-                    trace.kernel_buffer_reads += kernel_bus
-                    trace.bus_transfers += neuron_bus + kernel_bus
-                    trace.local_store_writes += n_neuron_miss + n_kernel_miss
 
-                    macs = n_rows_ok * int(cols_per_step.sum())
-                    trace.mac_ops += macs
-                    trace.local_store_reads += 2 * macs
-                    trace.register_accesses += 2 * n_steps * n_rows_ok
-
-                    # Adder trees and accumulators, in the reference
-                    # float-addition order: columns left to right within a
-                    # cycle, cycles first to last within the tile.
-                    neuron_vals = padded_flat[neuron_flat]
-                    kernel_vals = kernels_flat[kernel_flat]
-                    if flips_active:
-                        self._apply_overrides(
-                            neuron_over, neuron_last, neuron_count,
-                            neuron_flat, active, neuron_vals, w_neuron,
+                        # Demand-fill both stores (misses, pushes, bus words).
+                        neuron_miss, neuron_seq = self._resolve_misses(
+                            neuron_last, neuron_count, neuron_flat, active,
+                            w_neuron, r_ix, c_ix,
                         )
-                        self._apply_overrides(
-                            kernel_over, kernel_last, kernel_count,
-                            kernel_flat, active, kernel_vals, w_kernel,
+                        kernel_miss, kernel_seq = self._resolve_misses(
+                            kernel_last, kernel_count, kernel_flat, active,
+                            w_kernel, r_ix, c_ix,
                         )
-                    products = np.where(active, neuron_vals * kernel_vals, 0.0)
-                    tree = np.zeros((n_steps, rows))
-                    for col in range(cols):
-                        tree += products[:, :, col]
-                    accumulators = np.zeros(rows)
-                    for step in range(n_steps):
-                        accumulators += tree[step]
+                        if flips_active:
+                            self._push_flips(
+                                "neuron", neuron_miss, neuron_seq, neuron_flat,
+                                padded_flat, neuron_over, phys_rows, phys_cols,
+                            )
+                            self._push_flips(
+                                "kernel", kernel_miss, kernel_seq, kernel_flat,
+                                kernels_flat, kernel_over, phys_rows, phys_cols,
+                            )
+                        n_neuron_miss = int(neuron_miss.sum())
+                        n_kernel_miss = int(kernel_miss.sum())
+                        # Bus sharing (RA/RS): a word already driven this cycle
+                        # is free for every other PE on that bus.  A neuron word
+                        # is shared by the rows that differ only in their dm
+                        # offset (the coordinate has no m dependence); a kernel
+                        # word is shared by all (Tr*Tc) rows of its (m % Tm)
+                        # group.  Any other row pair touches distinct words.
+                        by_group = (n_steps, f.tm, f.tr * f.tc, cols)
+                        neuron_bus = int(
+                            neuron_miss.reshape(by_group).any(axis=1).sum()
+                        )
+                        kernel_bus = int(
+                            kernel_miss.reshape(by_group).any(axis=2).sum()
+                        )
+                        trace.neuron_buffer_reads += neuron_bus
+                        trace.kernel_buffer_reads += kernel_bus
+                        trace.bus_transfers += neuron_bus + kernel_bus
+                        trace.local_store_writes += n_neuron_miss + n_kernel_miss
 
-                    out_flat = (m_r * s_total + r_r) * s_total + c_r
-                    outputs_flat[out_flat[row_ok]] = accumulators[row_ok]
-                    trace.neuron_buffer_writes += n_rows_ok
+                        macs = n_rows_ok * int(cols_per_step.sum())
+                        trace.mac_ops += macs
+                        trace.local_store_reads += 2 * macs
+                        trace.register_accesses += 2 * n_steps * n_rows_ok
+
+                        # Adder trees and accumulators, in the reference
+                        # float-addition order: columns left to right within a
+                        # cycle, cycles first to last within the tile.
+                        neuron_vals = padded_flat[neuron_flat]
+                        kernel_vals = kernels_flat[kernel_flat]
+                        if flips_active:
+                            self._apply_overrides(
+                                neuron_over, neuron_last, neuron_count,
+                                neuron_flat, active, neuron_vals, w_neuron,
+                            )
+                            self._apply_overrides(
+                                kernel_over, kernel_last, kernel_count,
+                                kernel_flat, active, kernel_vals, w_kernel,
+                            )
+                        products = np.where(active, neuron_vals * kernel_vals, 0.0)
+                        tree = np.zeros((n_steps, rows))
+                        for col in range(cols):
+                            tree += products[:, :, col]
+                        accumulators = np.zeros(rows)
+                        for step in range(n_steps):
+                            accumulators += tree[step]
+
+                        out_flat = (m_r * s_total + r_r) * s_total + c_r
+                        outputs_flat[out_flat[row_ok]] = accumulators[row_ok]
+                        trace.neuron_buffer_writes += n_rows_ok
+                if before is not None:
+                    delta = counter_delta(before, trace.as_dict())
+                    group_span.set_cycles(delta["cycles"])
+                    group_span.add_counters(delta)
 
         expected = f.outer_iterations(layer)
         if trace.cycles != expected:

@@ -15,24 +15,28 @@ input maps exceed ``Tn``.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.errors import SpecificationError
 from repro.nn.layers import ConvLayer
 from repro.nn.reference import pad_input
+from repro.obs.tracer import Tracer, current_tracer
 from repro.sim.trace import SimTrace
 
 
 class TilingFunctionalSim:
     """Cycle-level functional model of the tiling engine."""
 
-    def __init__(self, tm: int = 16, tn: int = 16) -> None:
+    def __init__(
+        self, tm: int = 16, tn: int = 16, tracer: Optional[Tracer] = None
+    ) -> None:
         if tm <= 0 or tn <= 0:
             raise SpecificationError("tile factors must be positive")
         self.tm = tm
         self.tn = tn
+        self.tracer = tracer
 
     def run_layer(
         self, layer: ConvLayer, inputs: np.ndarray, kernels: np.ndarray
@@ -51,32 +55,39 @@ class TilingFunctionalSim:
         trace = SimTrace()
         stride = layer.stride
         k = layer.kernel
-        for m0 in range(0, layer.out_maps, self.tm):
-            m_hi = min(m0 + self.tm, layer.out_maps)
-            for n0 in range(0, layer.in_maps, self.tn):
-                n_hi = min(n0 + self.tn, layer.in_maps)
-                first_round = n0 == 0
-                for r in range(layer.out_size):
-                    for c in range(layer.out_size):
-                        # Partial-sum read-back when accumulating a later
-                        # input-map tile onto stored partials.
-                        if not first_round:
-                            trace.neuron_buffer_partial_reads += m_hi - m0
-                        acc = np.zeros(m_hi - m0)
-                        for i in range(k):
-                            for j in range(k):
-                                trace.cycles += 1
-                                neurons = padded[
-                                    n0:n_hi, r * stride + i, c * stride + j
-                                ]
-                                trace.neuron_buffer_reads += n_hi - n0
-                                trace.bus_transfers += n_hi - n0
-                                synapses = kernels[m0:m_hi, n0:n_hi, i, j]
-                                trace.kernel_buffer_reads += synapses.size
-                                products = synapses * neurons[np.newaxis, :]
-                                acc += products.sum(axis=1)
-                                trace.mac_ops += synapses.size
-                                trace.register_accesses += 2 * (m_hi - m0)
-                        out[m0:m_hi, r, c] += acc
-                        trace.neuron_buffer_writes += m_hi - m0
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        with tracer.span(
+            f"conv:{layer.name}", category="sim.tiling"
+        ) as span:
+            for m0 in range(0, layer.out_maps, self.tm):
+                m_hi = min(m0 + self.tm, layer.out_maps)
+                for n0 in range(0, layer.in_maps, self.tn):
+                    n_hi = min(n0 + self.tn, layer.in_maps)
+                    first_round = n0 == 0
+                    for r in range(layer.out_size):
+                        for c in range(layer.out_size):
+                            # Partial-sum read-back when accumulating a later
+                            # input-map tile onto stored partials.
+                            if not first_round:
+                                trace.neuron_buffer_partial_reads += m_hi - m0
+                            acc = np.zeros(m_hi - m0)
+                            for i in range(k):
+                                for j in range(k):
+                                    trace.cycles += 1
+                                    neurons = padded[
+                                        n0:n_hi, r * stride + i, c * stride + j
+                                    ]
+                                    trace.neuron_buffer_reads += n_hi - n0
+                                    trace.bus_transfers += n_hi - n0
+                                    synapses = kernels[m0:m_hi, n0:n_hi, i, j]
+                                    trace.kernel_buffer_reads += synapses.size
+                                    products = synapses * neurons[np.newaxis, :]
+                                    acc += products.sum(axis=1)
+                                    trace.mac_ops += synapses.size
+                                    trace.register_accesses += 2 * (m_hi - m0)
+                            out[m0:m_hi, r, c] += acc
+                            trace.neuron_buffer_writes += m_hi - m0
+            if tracer.enabled:
+                span.set_cycles(trace.cycles)
+                span.add_counters(trace.as_dict())
         return out, trace

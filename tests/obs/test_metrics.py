@@ -1,0 +1,84 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_monotone(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc()
+        reg.counter("hits").inc(4)
+        assert reg.counter("hits").value == 5
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(SpecificationError):
+            reg.counter("hits").inc(-1)
+
+    def test_label_sets_are_separate_series(self):
+        reg = MetricsRegistry()
+        reg.counter("cache", outcome="hit").inc(2)
+        reg.counter("cache", outcome="miss").inc()
+        snap = reg.snapshot()
+        assert snap["cache{outcome=hit}"] == 2
+        assert snap["cache{outcome=miss}"] == 1
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        reg.counter("c", a="1", b="2").inc()
+        reg.counter("c", b="2", a="1").inc()
+        assert reg.snapshot() == {"c{a=1,b=2}": 2}
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("jobs").set(4)
+        reg.gauge("jobs").set(2)
+        assert reg.snapshot() == {"jobs": 2}
+
+
+class TestHistogram:
+    def test_summary(self):
+        reg = MetricsRegistry()
+        for value in (10, 2, 6):
+            reg.histogram("sizes").observe(value)
+        summary = reg.snapshot()["sizes"]
+        assert summary["count"] == 3
+        assert summary["sum"] == 18
+        assert summary["min"] == 2
+        assert summary["max"] == 10
+        assert summary["mean"] == 6
+
+    def test_empty_summary_is_zeroed(self):
+        reg = MetricsRegistry()
+        reg.histogram("sizes")
+        assert reg.snapshot()["sizes"] == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+
+class TestRegistry:
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        with pytest.raises(SpecificationError):
+            reg.gauge("x")
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.snapshot() == {}
+        # After reset the name may be reused with a different kind.
+        reg.gauge("x").set(1)
+        assert reg.snapshot() == {"x": 1}
+
+    def test_snapshot_is_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        assert list(reg.snapshot()) == ["a", "b"]

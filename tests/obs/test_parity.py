@@ -1,0 +1,99 @@
+"""Engine-parity tests: both FlexFlow engines emit identical span trees.
+
+This is the structural layer of the tile-engine equivalence guarantee:
+beyond final outputs and counters, the *shape* of the computation —
+layer/phase/group span boundaries and the counter deltas inside each —
+must match the per-PE reference loop exactly.
+"""
+
+import pytest
+
+from repro.nn import get_workload
+from repro.obs.export import parity_report
+from repro.obs.profile import breakdown_rows, format_breakdown, trace_workload
+
+#: Two Table 1 workloads, small enough for the per-PE reference engine.
+WORKLOADS = ["PV", "LeNet-5"]
+DIM = 8
+
+
+def _traces(name):
+    tile = trace_workload(get_workload(name), array_dim=DIM, engine="tile")
+    ref = trace_workload(
+        get_workload(name), array_dim=DIM, engine="reference"
+    )
+    return tile, ref
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+class TestEngineSpanParity:
+    def test_parity_trees_identical(self, name):
+        tile, ref = _traces(name)
+        assert parity_report(tile.tracer) == parity_report(ref.tracer)
+
+    def test_span_tree_shape(self, name):
+        tile, _ = _traces(name)
+        network = get_workload(name)
+        roots = tile.tracer.roots
+        assert [r.name for r in roots] == [
+            f"conv:{layer.name}" for layer in network.conv_layers
+        ]
+        for root in roots:
+            phases = [c.name for c in root.children]
+            assert phases == ["phase:load", "phase:compute", "phase:drain"]
+            compute = root.children[1]
+            assert compute.children, "compute phase must contain group spans"
+            assert all(
+                child.name.startswith("group:m0=")
+                for child in compute.children
+            )
+
+    def test_group_deltas_sum_to_compute_totals(self, name):
+        tile, _ = _traces(name)
+        for root in tile.tracer.roots:
+            compute = root.children[1]
+            assert (
+                sum(g.counters["mac_ops"] for g in compute.children)
+                == compute.counters["mac_ops"]
+            )
+            assert (
+                sum(g.cycles for g in compute.children) == compute.cycles
+            )
+
+    def test_layer_cycles_are_phase_sum(self, name):
+        tile, _ = _traces(name)
+        for root in tile.tracer.roots:
+            assert root.cycles == sum(c.cycles for c in root.children)
+
+    def test_breakdown_tables_identical(self, name):
+        tile, ref = _traces(name)
+        assert breakdown_rows(tile.tracer, DIM) == breakdown_rows(
+            ref.tracer, DIM
+        )
+        # Full rendered tables differ only in the engine name.
+        assert format_breakdown(tile).replace(
+            "engine tile", "engine X"
+        ) == format_breakdown(ref).replace("engine reference", "engine X")
+
+
+class TestEngineLabels:
+    def test_spans_record_which_engine_ran(self):
+        tile, ref = _traces("LeNet-5")
+        assert tile.tracer.roots[0].labels["engine"] == "tile"
+        assert ref.tracer.roots[0].labels["engine"] == "reference"
+
+    def test_auto_matches_explicit_engines(self):
+        auto = trace_workload(
+            get_workload("LeNet-5"), array_dim=DIM, engine="auto"
+        )
+        tile, _ = _traces("LeNet-5")
+        assert parity_report(auto.tracer) == parity_report(tile.tracer)
+
+
+class TestOccupancy:
+    def test_occupancy_within_unit_interval(self):
+        trace = trace_workload(
+            get_workload("PV"), array_dim=DIM, engine="tile"
+        )
+        for row in trace.rows:
+            assert 0.0 < row["occupancy"] <= 1.0

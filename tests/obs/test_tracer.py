@@ -1,0 +1,169 @@
+"""Unit tests for the span tracer."""
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Tracer,
+    counter_delta,
+    current_tracer,
+    tracing,
+    use_tracer,
+)
+
+
+class TestSpanNesting:
+    def test_spans_nest_into_a_tree(self):
+        t = Tracer()
+        with t.span("outer", category="a"):
+            with t.span("inner", category="b"):
+                pass
+            with t.span("inner2", category="b"):
+                pass
+        assert [r.name for r in t.roots] == ["outer"]
+        assert [c.name for c in t.roots[0].children] == ["inner", "inner2"]
+
+    def test_sequential_roots(self):
+        t = Tracer()
+        with t.span("first"):
+            pass
+        with t.span("second"):
+            pass
+        assert [r.name for r in t.roots] == ["first", "second"]
+
+    def test_stack_unwinds_on_exception(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("outer"):
+                raise ValueError("boom")
+        # The next span must be a fresh root, not a child of "outer".
+        with t.span("after"):
+            pass
+        assert [r.name for r in t.roots] == ["outer", "after"]
+        assert t.roots[0].end_wall >= t.roots[0].start_wall
+
+    def test_iter_spans_depth_first(self):
+        t = Tracer()
+        with t.span("a"):
+            with t.span("b"):
+                with t.span("c"):
+                    pass
+            with t.span("d"):
+                pass
+        assert [s.name for s in t.iter_spans()] == ["a", "b", "c", "d"]
+
+
+class TestSpanData:
+    def test_cycles_and_counters_accumulate(self):
+        t = Tracer()
+        with t.span("work") as sp:
+            sp.set_cycles(10)
+            sp.add_counters({"mac_ops": 5})
+            sp.add_counters({"mac_ops": 3, "bus_transfers": 1})
+        assert sp.cycles == 10
+        assert sp.counters == {"mac_ops": 8, "bus_transfers": 1}
+
+    def test_wall_times_recorded(self):
+        t = Tracer()
+        with t.span("work"):
+            pass
+        span = t.roots[0]
+        assert span.end_wall >= span.start_wall
+        assert span.duration_wall >= 0.0
+
+    def test_parity_tree_excludes_wall_and_labels(self):
+        def build(label):
+            t = Tracer()
+            with t.span("work", category="x", labels={"engine": label}) as sp:
+                sp.set_cycles(4)
+                sp.add_counters({"mac_ops": 2})
+                with t.span("child") as c:
+                    c.set_cycles(1)
+            return t.roots[0].parity_tree()
+
+        assert build("tile") == build("reference")
+        tree = build("tile")
+        assert tree["name"] == "work"
+        assert tree["cycles"] == 4
+        assert tree["children"][0]["name"] == "child"
+        assert "labels" not in tree and "start_wall" not in tree
+
+    def test_events_attach_to_innermost_span(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                t.event("retry", labels={"experiment": "fig16"})
+        inner = t.roots[0].children[0]
+        assert inner.events[0]["name"] == "retry"
+        assert inner.events[0]["labels"] == {"experiment": "fig16"}
+
+    def test_event_without_open_span_creates_root_holder(self):
+        t = Tracer()
+        t.event("orphan")
+        assert [r.name for r in t.roots] == ["orphan"]
+
+    def test_add_span_appends_pretimed_root(self):
+        t = Tracer()
+        span = t.add_span(
+            "experiment:fig16", "experiment",
+            start_wall=1.0, end_wall=3.5, cycles=7,
+            counters={"attempts": 2}, labels={"status": "ok"},
+        )
+        assert t.roots == [span]
+        assert span.duration_wall == 2.5
+        assert span.counters == {"attempts": 2}
+
+
+class TestDisabledTracer:
+    def test_records_nothing(self):
+        t = Tracer(enabled=False)
+        with t.span("work") as sp:
+            sp.set_cycles(99)
+            sp.add_counters({"mac_ops": 1})
+            sp.set_label("k", "v")
+        t.event("never")
+        assert t.add_span("x", "y", start_wall=0.0, end_wall=1.0) is None
+        assert t.roots == []
+        assert list(t.iter_spans()) == []
+
+    def test_hands_out_the_shared_null_span(self):
+        t = Tracer(enabled=False)
+        with t.span("a") as sa:
+            pass
+        with t.span("b") as sb:
+            pass
+        assert sa is NULL_SPAN and sb is NULL_SPAN
+
+
+class TestAmbientTracer:
+    def test_default_is_disabled(self):
+        assert current_tracer() is NULL_TRACER
+        assert not current_tracer().enabled
+
+    def test_tracing_installs_and_restores(self):
+        with tracing() as t:
+            assert current_tracer() is t
+            assert t.enabled
+        assert current_tracer() is NULL_TRACER
+
+    def test_tracing_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with tracing():
+                raise RuntimeError
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_none_restores_default(self):
+        mine = Tracer()
+        previous = use_tracer(mine)
+        assert current_tracer() is mine
+        use_tracer(None)
+        assert current_tracer() is NULL_TRACER
+        use_tracer(previous)
+
+
+class TestCounterDelta:
+    def test_delta(self):
+        before = {"a": 2, "b": 5}
+        after = {"a": 3, "b": 5, "c": 7}
+        assert counter_delta(before, after) == {"a": 1, "b": 0, "c": 7}

@@ -1,0 +1,105 @@
+"""Documentation health: links resolve, code blocks compile, doctests run.
+
+Three guards over the repo's Markdown:
+
+* every intra-repo link (``[text](relative/path)``) points at a file
+  that exists;
+* every fenced ``python`` code block parses (we compile, not execute —
+  blocks may assume optional extras or long runtimes);
+* documents containing ``>>>`` interpreter sessions pass ``doctest``
+  (these are live examples, executed here).
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown covered by the link and code-block checks.
+DOC_FILES = sorted(
+    [
+        *REPO_ROOT.glob("*.md"),
+        *(REPO_ROOT / "docs").glob("*.md"),
+    ]
+)
+
+#: Documents whose ``>>>`` examples are executed as doctests.
+DOCTEST_FILES = [
+    REPO_ROOT / "docs" / "OBSERVABILITY.md",
+    REPO_ROOT / "docs" / "FAULTS.md",
+]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"```(\w*)\n(.*?)```", re.DOTALL)
+
+
+def _strip_fences(text: str) -> str:
+    """Drop fenced code blocks so example links aren't link-checked."""
+    return _FENCE.sub("", text)
+
+
+def _doc_ids(paths):
+    return [str(p.relative_to(REPO_ROOT)) for p in paths]
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=_doc_ids(DOC_FILES))
+def test_intra_repo_links_resolve(path):
+    text = _strip_fences(path.read_text(encoding="utf-8"))
+    broken = []
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{path.name}: broken links {broken}"
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=_doc_ids(DOC_FILES))
+def test_python_code_blocks_compile(path):
+    text = path.read_text(encoding="utf-8")
+    failures = []
+    for index, match in enumerate(_FENCE.finditer(text)):
+        language, body = match.group(1), match.group(2)
+        if language != "python" or ">>>" in body:
+            continue  # doctest blocks are executed, not just compiled
+        try:
+            compile(body, f"{path.name}[block {index}]", "exec")
+        except SyntaxError as exc:
+            failures.append(f"block {index}: {exc}")
+    assert not failures, f"{path.name}: {failures}"
+
+
+@pytest.mark.parametrize(
+    "path", DOCTEST_FILES, ids=_doc_ids(DOCTEST_FILES)
+)
+def test_doc_examples_run(path):
+    results = doctest.testfile(
+        str(path),
+        module_relative=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.attempted > 0, f"{path.name}: no examples found"
+    assert results.failed == 0
+
+
+def test_doctest_coverage_list_is_current():
+    """Any doc that grows ``>>>`` examples must join DOCTEST_FILES."""
+    with_examples = {
+        path
+        for path in DOC_FILES
+        if any(
+            lang == "" and ">>>" in body or lang == "python" and ">>>" in body
+            for lang, body in _FENCE.findall(
+                path.read_text(encoding="utf-8")
+            )
+        )
+    }
+    missing = with_examples - set(DOCTEST_FILES)
+    assert not missing, f"add {sorted(missing)} to DOCTEST_FILES"
