@@ -14,7 +14,11 @@ trajectory to compare against.  Two configurations are timed:
 
 A third section times the functional cycle simulator's two engines on a
 representative layer, since ``repro run`` / full-inference examples are
-bound by it rather than by the mapper.
+bound by it rather than by the mapper.  Two further sections cover the
+fast-path work: ``analytic_engine`` times the closed-form analytic
+engine against the tile engine, and ``sweep`` times the full
+``generate_report`` pipeline with the persistent result cache off /
+cold (empty store) / warm (populated store).
 
 ``--check`` mode re-measures and compares the *speedup ratios* against
 the committed baseline instead of writing it: ratios are wall-clock
@@ -28,10 +32,13 @@ regression — so CI can tell "never captured" from "got slower".
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import platform
 import statistics
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -65,25 +72,106 @@ def _summary(samples: list) -> dict:
     }
 
 
+@contextlib.contextmanager
+def _env(**overrides):
+    """Temporarily set (or, with ``None``, unset) environment variables."""
+    saved = {key: os.environ.get(key) for key in overrides}
+    try:
+        for key, value in overrides.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _sweep(rounds: int) -> dict:
+    """Time ``generate_report`` with the result cache off / cold / warm.
+
+    Cold rounds each get a fresh (empty) store directory so every sample
+    pays the compute *and* the writes; warm rounds share one populated
+    store.  The speedup ratios are what the CI guard pins — absolute
+    wall-clock shifts with the machine, the ratios do not.
+    """
+    from repro.cache import reset_cache_handles
+    from repro.experiments.report import generate_report
+
+    def run_report():
+        clear_mapping_cache()
+        generate_report()
+
+    with _env(REPRO_CACHE="off", REPRO_CACHE_DIR=None,
+              REPRO_CACHE_MAX_ENTRIES=None):
+        reset_cache_handles()
+        off = _time(run_report, rounds)
+
+    cold = []
+    for _ in range(rounds):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+            with _env(REPRO_CACHE="on", REPRO_CACHE_DIR=tmp,
+                      REPRO_CACHE_MAX_ENTRIES=None):
+                reset_cache_handles()
+                cold.extend(_time(run_report, 1))
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        with _env(REPRO_CACHE="on", REPRO_CACHE_DIR=tmp,
+                  REPRO_CACHE_MAX_ENTRIES=None):
+            reset_cache_handles()
+            run_report()  # populate the store
+            warm = _time(run_report, rounds)
+    reset_cache_handles()
+
+    off_median = statistics.median(off)
+    return {
+        "off": _summary(off),
+        "cold": _summary(cold),
+        "warm": _summary(warm),
+        "cold_speedup_median": round(
+            off_median / statistics.median(cold), 2
+        ),
+        "warm_speedup_median": round(
+            off_median / statistics.median(warm), 2
+        ),
+    }
+
+
 def capture(rounds: int = 5) -> dict:
     def headline_no_cache():
         clear_mapping_cache()
         headline_claims.run()
 
-    clear_mapping_cache()
-    no_cache = _time(headline_no_cache, rounds)
-    headline_claims.run()  # warm the cache before steady-state timing
-    steady = _time(headline_claims.run, rounds)
+    # The mapper/experiment sections measure in-process cache behaviour;
+    # keep the persistent store out of them so the pre-existing numbers
+    # retain their meaning (the store gets its own ``sweep`` section).
+    with _env(REPRO_CACHE="off"):
+        clear_mapping_cache()
+        no_cache = _time(headline_no_cache, rounds)
+        headline_claims.run()  # warm the cache before steady-state timing
+        steady = _time(headline_claims.run, rounds)
 
-    inputs = make_inputs(ENGINE_LAYER)
-    kernels = make_kernels(ENGINE_LAYER)
-    config = ArchConfig(array_dim=16)
-    engines = {}
-    for engine in ("tile", "reference"):
-        sim = FlexFlowFunctionalSim(config, engine=engine)
-        engines[engine] = _summary(
-            _time(lambda: sim.run_layer(ENGINE_LAYER, inputs, kernels), 3)
-        )
+        inputs = make_inputs(ENGINE_LAYER)
+        kernels = make_kernels(ENGINE_LAYER)
+        config = ArchConfig(array_dim=16)
+        engines = {}
+        for engine in ("tile", "reference", "analytic"):
+            sim = FlexFlowFunctionalSim(config, engine=engine)
+
+            def run_engine(sim=sim):
+                sim.run_layer(ENGINE_LAYER, inputs, kernels)
+
+            # Warm up once (allocator/numpy amortized setup), then take
+            # the min over several rounds — the stable statistic for
+            # sub-millisecond micro-benchmarks.
+            run_engine()
+            engines[engine] = _summary(_time(run_engine, 5))
+
+    sweep = _sweep(max(2, rounds - 2))
 
     return {
         "benchmark": "bench_headline",
@@ -102,11 +190,21 @@ def capture(rounds: int = 5) -> dict:
         "sim_engine": {
             "layer": ENGINE_LAYER.name,
             "layer_macs": ENGINE_LAYER.macs,
-            **engines,
-            "speedup_median": round(
-                engines["reference"]["median_s"] / engines["tile"]["median_s"], 2
+            "tile": engines["tile"],
+            "reference": engines["reference"],
+            "speedup_min": round(
+                engines["reference"]["min_s"] / engines["tile"]["min_s"], 2
             ),
         },
+        "analytic_engine": {
+            "layer": ENGINE_LAYER.name,
+            "tile": engines["tile"],
+            "analytic": engines["analytic"],
+            "speedup_min": round(
+                engines["tile"]["min_s"] / engines["analytic"]["min_s"], 2
+            ),
+        },
+        "sweep": sweep,
     }
 
 
@@ -132,14 +230,33 @@ def check(baseline_path: Path, tolerance: float) -> int:
         return 1
     payload = capture()
     failures = []
-    for section in ("headline", "sim_engine"):
-        metric = f"{section}.speedup_median"
-        expected = baseline.get(section, {}).get("speedup_median")
-        measured = payload[section]["speedup_median"]
+    # Per-metric tolerance overrides (None -> the --tolerance default).
+    # sweep.cold_speedup_median is recorded in the baseline but not
+    # guarded: cold runs are disk-write bound (ratio ~1x) and too noisy
+    # to pin without false alarms.  sweep.warm is hundreds-of-x with a
+    # millisecond denominator, so its run-to-run swing is large; a 75%
+    # band still catches the failure mode that matters (a broken cache
+    # collapses the ratio to ~1x).
+    # The engine micro-bench ratios get 0.5: their denominators are
+    # sub-millisecond, so honest runs swing ~30%; losing the fast path
+    # entirely would drop the ratio below half of any recorded baseline.
+    checked_metrics = (
+        ("headline", "speedup_median", None),
+        ("sim_engine", "speedup_min", 0.5),
+        ("analytic_engine", "speedup_min", 0.5),
+        ("sweep", "warm_speedup_median", 0.75),
+    )
+    for section, field, tolerance_override in checked_metrics:
+        metric = f"{section}.{field}"
+        expected = baseline.get(section, {}).get(field)
+        measured = payload[section][field]
         if expected is None:
             print(f"{metric}: no baseline value recorded, skipping")
             continue
-        floor = expected * (1.0 - tolerance)
+        metric_tolerance = (
+            tolerance if tolerance_override is None else tolerance_override
+        )
+        floor = expected * (1.0 - metric_tolerance)
         delta_pct = (measured - expected) / expected * 100.0
         verdict = "ok" if measured >= floor else "REGRESSION"
         print(
@@ -153,7 +270,7 @@ def check(baseline_path: Path, tolerance: float) -> int:
             f"{metric} ({delta_pct:+.1f}%)" for metric, delta_pct in failures
         )
         print(
-            f"perf check FAILED: {names} below {tolerance:.0%} tolerance",
+            f"perf check FAILED: {names} below tolerance",
             file=sys.stderr,
         )
         return 1
@@ -189,11 +306,16 @@ def main(argv: list) -> int:
     payload = capture()
     out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     headline = payload["headline"]
+    sweep = payload["sweep"]
     print(
         f"wrote {out}: headline {headline['no_cache']['median_s']*1000:.1f} ms"
         f" -> {headline['steady_state']['median_s']*1000:.1f} ms"
         f" ({headline['speedup_median']}x),"
-        f" sim engine {payload['sim_engine']['speedup_median']}x"
+        f" sim engine {payload['sim_engine']['speedup_min']}x,"
+        f" analytic engine {payload['analytic_engine']['speedup_min']}x,"
+        f" sweep {sweep['off']['median_s']*1000:.1f} ms"
+        f" -> {sweep['warm']['median_s']*1000:.1f} ms warm"
+        f" ({sweep['warm_speedup_median']}x)"
     )
     return 0
 

@@ -62,10 +62,14 @@ class FlexFlowAccelerator(Accelerator):
             )
         return self._result_from_mapping(mapping)
 
-    def simulate_network(
+    def _simulate_network_uncached(
         self, network: Network, *, include_fc: bool = False
     ) -> NetworkResult:
-        """Execute a network using the joint (DP) mapping."""
+        """Execute a network using the joint (DP) mapping.
+
+        The persistent-cache wrapper lives in the base class's
+        :meth:`~repro.accelerators.base.Accelerator.simulate_network`.
+        """
         net_mapping = map_network(
             network, self.config.array_dim, mask=self.config.pe_mask
         )

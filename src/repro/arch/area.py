@@ -18,6 +18,7 @@ reproducing Figure 19(c)'s ordering.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict
 
 from repro.arch.config import ArchConfig
@@ -96,8 +97,16 @@ def pe_area_mm2(kind: str, config: ArchConfig) -> float:
     raise ConfigurationError(f"unknown architecture kind {kind!r}")
 
 
+@lru_cache(maxsize=1024)
 def area_report(kind: str, config: ArchConfig) -> AreaReport:
-    """Full area breakdown of one accelerator instance."""
+    """Full area breakdown of one accelerator instance.
+
+    Memoized per ``(kind, config)``: the report is pure in its inputs
+    (both hashable) and sweeps query it repeatedly — once per design
+    point and once more inside every power computation's static term —
+    so the hoisted result is shared instead of rebuilt.  Callers treat
+    the returned report as read-only.
+    """
     if kind not in ARCH_KINDS:
         raise ConfigurationError(
             f"unknown architecture kind {kind!r}; known: {', '.join(ARCH_KINDS)}"

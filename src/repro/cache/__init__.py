@@ -1,0 +1,49 @@
+"""Persistent result cache: content-addressed, process-shared, versioned.
+
+Tier 2 of the performance layer (see ``docs/PERFORMANCE.md``): mapping
+searches, accelerator network simulations, and whole experiment results
+are stored on disk keyed by a SHA-256 over the full request (shapes,
+configuration, factors) plus a code-version salt, so repeated sweeps —
+including ``--jobs N`` worker processes sharing one directory — pay for
+each unique design point once.
+"""
+
+from repro.cache.keys import (
+    CACHE_SCHEMA_VERSION,
+    canonical_json,
+    config_payload,
+    factors_payload,
+    hash_payload,
+    layer_payload,
+    mask_payload,
+    network_payload,
+)
+from repro.cache.store import (
+    ENV_DIR,
+    ENV_ENABLE,
+    ENV_MAX_ENTRIES,
+    ResultCache,
+    active_cache,
+    cache_enabled,
+    cache_root,
+    reset_cache_handles,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ENV_DIR",
+    "ENV_ENABLE",
+    "ENV_MAX_ENTRIES",
+    "ResultCache",
+    "active_cache",
+    "cache_enabled",
+    "cache_root",
+    "canonical_json",
+    "config_payload",
+    "factors_payload",
+    "hash_payload",
+    "layer_payload",
+    "mask_payload",
+    "network_payload",
+    "reset_cache_handles",
+]

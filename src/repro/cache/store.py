@@ -1,0 +1,329 @@
+"""Persistent, content-addressed result store shared across processes.
+
+Entries live under ``<root>/<section>/<key[:2]>/<key>.json`` where the key
+is a SHA-256 over the full request (:mod:`repro.cache.keys`).  The store
+is safe for concurrent writers — ``--jobs N`` experiment workers share
+one directory — because every write lands in a unique temp file and is
+published with ``os.replace`` (atomic on POSIX), and eviction serializes
+on an advisory ``fcntl`` lock where the platform provides one.  A corrupt
+or truncated entry is never fatal: reads count it, delete it best-effort,
+and report a miss so the caller recomputes.
+
+Configuration is environment-driven so it crosses the ``spawn`` boundary
+to worker processes:
+
+* ``REPRO_CACHE`` — ``off``/``0``/``false``/``no`` disables the store
+  entirely (default: on).
+* ``REPRO_CACHE_DIR`` — store root (default:
+  ``$XDG_CACHE_HOME/repro-flexflow`` or ``~/.cache/repro-flexflow``).
+* ``REPRO_CACHE_MAX_ENTRIES`` — optional positive bound; writes beyond it
+  evict oldest-mtime entries first.
+
+Hit/miss/corrupt/evict counts flow into the :mod:`repro.obs` metrics
+registry (``cache.lookups{section,outcome}``, ``cache.writes{section}``,
+``cache.evictions``) so ``repro profile`` and the benchmark harness can
+report cache effectiveness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.cache.keys import CACHE_SCHEMA_VERSION
+from repro.errors import ConfigurationError
+from repro.obs.metrics import REGISTRY
+
+try:  # pragma: no cover - platform-dependent import
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+#: Default store location, under the user cache directory.
+DEFAULT_SUBDIR = "repro-flexflow"
+
+#: Environment variables (read on every :func:`active_cache` call so
+#: tests and subprocesses can reconfigure without reimporting).
+ENV_ENABLE = "REPRO_CACHE"
+ENV_DIR = "REPRO_CACHE_DIR"
+ENV_MAX_ENTRIES = "REPRO_CACHE_MAX_ENTRIES"
+
+#: Per-process memo bound (entries), independent of the on-disk store.
+_MEMO_MAX = 4096
+
+_FALSEY = {"0", "off", "false", "no"}
+_TRUTHY = {"1", "on", "true", "yes", ""}
+
+
+class ResultCache:
+    """One on-disk store plus a bounded in-process memo in front of it."""
+
+    def __init__(self, root: Path, *, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries <= 0:
+            raise ConfigurationError(
+                f"cache max_entries must be positive, got {max_entries}"
+            )
+        self.root = Path(root)
+        self.max_entries = max_entries
+        self._memo: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+
+    # -- paths ----------------------------------------------------------------
+
+    def _entry_path(self, section: str, key: str) -> Path:
+        return self.root / section / key[:2] / f"{key}.json"
+
+    def _entry_files(self):
+        if not self.root.is_dir():
+            return
+        for section_dir in sorted(self.root.iterdir()):
+            if not section_dir.is_dir():
+                continue
+            yield from sorted(section_dir.glob("*/*.json"))
+
+    # -- core operations ------------------------------------------------------
+
+    def get(self, section: str, key: str) -> Optional[Any]:
+        """The stored payload, or ``None`` on miss/corruption (never raises)."""
+        memo_key = (section, key)
+        if memo_key in self._memo:
+            self._memo.move_to_end(memo_key)
+            REGISTRY.counter("cache.lookups", section=section, outcome="hit").inc()
+            REGISTRY.counter("cache.memo_hits", section=section).inc()
+            return self._memo[memo_key]
+        path = self._entry_path(section, key)
+        try:
+            text = path.read_text()
+        except OSError:
+            REGISTRY.counter("cache.lookups", section=section, outcome="miss").inc()
+            return None
+        entry = self._decode_entry(text, section, key)
+        if entry is None:
+            REGISTRY.counter(
+                "cache.lookups", section=section, outcome="corrupt"
+            ).inc()
+            try:  # a bad entry only costs one recompute, then it is gone
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        REGISTRY.counter("cache.lookups", section=section, outcome="hit").inc()
+        self._remember(memo_key, entry["payload"])
+        return entry["payload"]
+
+    def put(self, section: str, key: str, payload: Any) -> None:
+        """Publish one entry atomically (last concurrent writer wins)."""
+        path = self._entry_path(section, key)
+        document = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "section": section,
+            "key": key,
+            "payload": payload,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+            # No sort_keys: payload dict order is meaning-bearing (e.g.
+            # ExperimentResult rows derive their column order from it).
+            tmp.write_text(json.dumps(document))
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError):
+            # A full/read-only disk or a non-JSON payload degrades to a
+            # slower (uncached) run, never a crash.
+            return
+        REGISTRY.counter("cache.writes", section=section).inc()
+        self._remember((section, key), payload)
+        if self.max_entries is not None:
+            self._evict_to_limit()
+
+    # -- maintenance ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry and byte counts per section for ``repro cache stats``."""
+        sections: Dict[str, Dict[str, int]] = {}
+        total_entries = 0
+        total_bytes = 0
+        for path in self._entry_files():
+            section = path.parent.parent.name
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            bucket = sections.setdefault(section, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+            total_entries += 1
+            total_bytes += size
+        return {
+            "root": str(self.root),
+            "schema": CACHE_SCHEMA_VERSION,
+            "max_entries": self.max_entries,
+            "entries": total_entries,
+            "bytes": total_bytes,
+            "sections": sections,
+        }
+
+    def verify(self) -> Dict[str, int]:
+        """Validate every entry, deleting the unreadable/stale ones."""
+        checked = ok = removed = 0
+        for path in list(self._entry_files()):
+            checked += 1
+            section = path.parent.parent.name
+            key = path.stem
+            try:
+                text = path.read_text()
+            except OSError:
+                continue
+            if self._decode_entry(text, section, key) is None:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            else:
+                ok += 1
+        return {"checked": checked, "ok": ok, "removed": removed}
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entry_files()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self._memo.clear()
+        return removed
+
+    # -- internals ------------------------------------------------------------
+
+    def _remember(self, memo_key: Tuple[str, str], payload: Any) -> None:
+        self._memo[memo_key] = payload
+        self._memo.move_to_end(memo_key)
+        while len(self._memo) > _MEMO_MAX:
+            self._memo.popitem(last=False)
+
+    @staticmethod
+    def _decode_entry(text: str, section: str, key: str) -> Optional[Dict[str, Any]]:
+        """Parse + integrity-check one entry; ``None`` marks it corrupt/stale."""
+        try:
+            entry = json.loads(text)
+        except ValueError:
+            return None
+        if not isinstance(entry, dict) or "payload" not in entry:
+            return None
+        if entry.get("schema") != CACHE_SCHEMA_VERSION:
+            return None  # written by an incompatible code version
+        if entry.get("section") != section or entry.get("key") != key:
+            return None
+        return entry
+
+    def _evict_to_limit(self) -> None:
+        """Drop oldest-mtime entries until the store fits ``max_entries``."""
+        lock_path = self.root / ".lock"
+        lock_file = None
+        try:
+            if fcntl is not None:
+                lock_file = open(lock_path, "w")
+                fcntl.flock(lock_file, fcntl.LOCK_EX)
+            entries = []
+            for path in self._entry_files():
+                try:
+                    entries.append((path.stat().st_mtime, path))
+                except OSError:
+                    continue
+            excess = len(entries) - self.max_entries
+            if excess <= 0:
+                return
+            entries.sort(key=lambda item: item[0])
+            for _, path in entries[:excess]:
+                try:
+                    path.unlink()
+                    REGISTRY.counter("cache.evictions").inc()
+                except OSError:
+                    pass
+        except OSError:
+            pass
+        finally:
+            if lock_file is not None:
+                try:
+                    fcntl.flock(lock_file, fcntl.LOCK_UN)
+                except OSError:
+                    pass
+                lock_file.close()
+
+
+# -- the ambient cache handle -------------------------------------------------
+
+_instances: Dict[Tuple[str, Optional[int]], ResultCache] = {}
+
+
+def cache_enabled() -> bool:
+    """Whether the persistent cache is on (``REPRO_CACHE``, default on)."""
+    raw = os.environ.get(ENV_ENABLE)
+    if raw is None:
+        return True
+    value = raw.strip().lower()
+    if value in _TRUTHY:
+        return True
+    if value in _FALSEY:
+        return False
+    raise ConfigurationError(
+        f"{ENV_ENABLE} must be one of on/off/1/0/true/false/yes/no,"
+        f" got {raw!r}"
+    )
+
+
+def cache_root() -> Path:
+    """The configured store root (the directory need not exist yet)."""
+    configured = os.environ.get(ENV_DIR)
+    if configured:
+        return Path(configured)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / DEFAULT_SUBDIR
+
+
+def _max_entries_from_env() -> Optional[int]:
+    raw = os.environ.get(ENV_MAX_ENTRIES)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{ENV_MAX_ENTRIES} must be a positive integer, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ConfigurationError(
+            f"{ENV_MAX_ENTRIES} must be a positive integer, got {raw!r}"
+        )
+    return value
+
+
+def active_cache() -> Optional[ResultCache]:
+    """The process-wide cache handle, or ``None`` when disabled.
+
+    The environment is re-read on every call (cheap), so tests and
+    subprocesses can flip ``REPRO_CACHE``/``REPRO_CACHE_DIR`` without
+    reimporting; instances are shared per ``(root, max_entries)`` so the
+    in-process memo survives across call sites.
+    """
+    if not cache_enabled():
+        return None
+    root = cache_root()
+    max_entries = _max_entries_from_env()
+    instance_key = (str(root), max_entries)
+    instance = _instances.get(instance_key)
+    if instance is None:
+        instance = ResultCache(root, max_entries=max_entries)
+        _instances[instance_key] = instance
+    return instance
+
+
+def reset_cache_handles() -> None:
+    """Drop process-wide handles (and their memos); tests use this."""
+    _instances.clear()

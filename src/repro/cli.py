@@ -118,7 +118,8 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("workload", help=workload_help)
     trace_cmd.add_argument("--dim", type=int, default=16)
     trace_cmd.add_argument(
-        "--engine", choices=["auto", "tile", "reference"], default="auto",
+        "--engine", choices=["auto", "tile", "reference", "analytic"],
+        default="auto",
         help="simulation engine (span trees are engine-independent)",
     )
     trace_cmd.add_argument(
@@ -133,6 +134,18 @@ def _build_parser() -> argparse.ArgumentParser:
     profile_cmd.add_argument(
         "-o", "--output", default=None, metavar="FILE",
         help="write a Chrome/Perfetto trace.json (default: no file)",
+    )
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or maintain the persistent result cache"
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser(
+        "stats", help="entry/byte counts per section and configuration"
+    )
+    cache_sub.add_parser("clear", help="delete every cached entry")
+    cache_sub.add_parser(
+        "verify", help="validate all entries, deleting corrupt/stale ones"
     )
 
     faults = sub.add_parser(
@@ -354,6 +367,37 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import ResultCache, cache_enabled, cache_root
+
+    # Maintenance works on the configured root even when REPRO_CACHE=off,
+    # so a disabled cache can still be inspected and cleaned up.
+    store = ResultCache(cache_root())
+    if args.cache_command == "stats":
+        stats = store.stats()
+        state = "on" if cache_enabled() else "off"
+        print(f"root:    {stats['root']}")
+        print(f"enabled: {state}")
+        print(f"schema:  {stats['schema']}")
+        print(f"entries: {stats['entries']} ({stats['bytes']} bytes)")
+        for section, bucket in sorted(stats["sections"].items()):
+            print(
+                f"  {section:<18} {bucket['entries']:>6} entries"
+                f" {bucket['bytes']:>10} bytes"
+            )
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached entries from {store.root}")
+        return 0
+    report = store.verify()
+    print(
+        f"checked {report['checked']} entries:"
+        f" {report['ok']} ok, {report['removed']} removed"
+    )
+    return 0
+
+
 def _parse_csv(text: str, convert, what: str) -> list:
     try:
         return [convert(part) for part in text.split(",") if part.strip()]
@@ -429,6 +473,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "faults":
             if args.faults_command == "sweep":
                 return _cmd_faults_sweep(args)

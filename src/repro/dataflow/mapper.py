@@ -23,10 +23,18 @@ choices (e.g. LeNet-5 C1's ``Tc = 5`` instead of a perfectly-packed
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.cache import (
+    active_cache,
+    factors_payload,
+    hash_payload,
+    mask_payload,
+    network_payload,
+)
 from repro.dataflow.styles import ProcessingStyle, classify
 from repro.dataflow.unrolling import (
     UnrollingFactors,
@@ -34,7 +42,7 @@ from repro.dataflow.unrolling import (
     iter_triples,
 )
 from repro.dataflow.utilization import UtilizationReport, utilization_report
-from repro.errors import MappingError
+from repro.errors import ConfigurationError, MappingError, ReproError
 from repro.faults.mask import AvailabilityMask, live_grid
 from repro.nn.layers import ConvLayer
 from repro.nn.network import Network
@@ -42,6 +50,31 @@ from repro.obs.metrics import REGISTRY
 from repro.obs.tracer import current_tracer
 
 Triple = Tuple[int, int, int]
+
+#: Environment variable bounding the in-memory ``map_layer`` memo (the
+#: ``map_network`` memo scales along at 1/16th, floor 1).
+ENV_MAPPING_CACHE_SIZE = "REPRO_MAPPING_CACHE_SIZE"
+
+#: Default ``map_layer`` memo bound when the env var is unset.
+DEFAULT_MAPPING_CACHE_SIZE = 4096
+
+
+def mapping_cache_size() -> int:
+    """The configured ``map_layer`` memo bound (``REPRO_MAPPING_CACHE_SIZE``)."""
+    raw = os.environ.get(ENV_MAPPING_CACHE_SIZE)
+    if raw is None or not raw.strip():
+        return DEFAULT_MAPPING_CACHE_SIZE
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{ENV_MAPPING_CACHE_SIZE} must be a positive integer, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ConfigurationError(
+            f"{ENV_MAPPING_CACHE_SIZE} must be a positive integer, got {raw!r}"
+        )
+    return value
 
 
 def _record_cache_outcome(name: str, before, after) -> None:
@@ -230,18 +263,16 @@ def map_layer(
             its live subgrid while utilization stays measured against the
             full ``D x D`` fabric.
     """
-    before = _map_layer_cached.cache_info()
-    result = _map_layer_cached(
+    layer_cache, _ = _mapping_caches()
+    before = layer_cache.cache_info()
+    result = layer_cache(
         layer, array_dim, tr_tc_bound, fixed_input_triple, mask
     )
-    _record_cache_outcome(
-        "layer_cache", before, _map_layer_cached.cache_info()
-    )
+    _record_cache_outcome("layer_cache", before, layer_cache.cache_info())
     return result
 
 
-@lru_cache(maxsize=4096)
-def _map_layer_cached(
+def _map_layer_impl(
     layer: ConvLayer,
     array_dim: int,
     tr_tc_bound: Optional[int],
@@ -337,27 +368,110 @@ def map_network(
     Results are memoized on ``(network, D, mask)`` — :class:`Network`
     equality is structural, so re-parsing the same workload still hits the
     cache, and a masked configuration never shares an unmasked entry.
+    Behind the in-memory memo sits the persistent result cache
+    (:mod:`repro.cache`): a DP search that any prior run (or a sibling
+    worker process) already solved restores from disk instead of
+    re-enumerating.
     """
-    before = _map_network_cached.cache_info()
-    result = _map_network_cached(network, array_dim, mask)
+    _, network_cache = _mapping_caches()
+    before = network_cache.cache_info()
+    result = network_cache(network, array_dim, mask)
     _record_cache_outcome(
-        "network_cache", before, _map_network_cached.cache_info()
+        "network_cache", before, network_cache.cache_info()
     )
     return result
 
 
-@lru_cache(maxsize=256)
-def _map_network_cached(
+def _map_network_impl(
     network: Network,
     array_dim: int,
     mask: Optional[AvailabilityMask],
 ) -> NetworkMapping:
+    cache = active_cache()
+    key = None
+    if cache is not None:
+        key = hash_payload(
+            "map_network",
+            {
+                "network": network_payload(network),
+                "array_dim": array_dim,
+                "mask": mask_payload(mask),
+            },
+        )
+        stored = cache.get("map_network", key)
+        if stored is not None:
+            restored = _network_mapping_from_payload(
+                network, array_dim, stored
+            )
+            if restored is not None:
+                return restored
     with current_tracer().span(
         f"map_network:{network.name}",
         category="mapper",
         labels={"dim": str(array_dim)},
     ) as network_span:
-        return _map_network_search(network, array_dim, mask, network_span)
+        result = _map_network_search(network, array_dim, mask, network_span)
+    if cache is not None:
+        cache.put("map_network", key, _network_mapping_payload(result))
+    return result
+
+
+def _network_mapping_payload(result: NetworkMapping) -> Dict[str, Any]:
+    """A NetworkMapping reduced to what the restore path cannot recompute."""
+    return {
+        "layers": [
+            {
+                "name": m.layer.name,
+                "factors": factors_payload(m.factors),
+                "relayout_cycles": m.relayout_cycles,
+            }
+            for m in result.layers
+        ],
+    }
+
+
+def _network_mapping_from_payload(
+    network: Network, array_dim: int, payload: Any
+) -> Optional[NetworkMapping]:
+    """Rebuild a NetworkMapping from its cached factors, or ``None``.
+
+    Utilization reports and cycle counts are recomputed from the factors
+    (cheap closed forms), so only the DP's *choices* are trusted from
+    disk; any inconsistency — wrong layer list, infeasible factors,
+    malformed entry — falls back to re-running the search.
+    """
+    contexts = network.conv_contexts()
+    try:
+        entries = payload["layers"]
+        if len(entries) != len(contexts):
+            return None
+        mappings = []
+        for ctx, entry in zip(contexts, entries):
+            if entry["name"] != ctx.layer.name:
+                return None
+            factors = UnrollingFactors(
+                **{k: int(v) for k, v in entry["factors"].items()}
+            )
+            factors.check(ctx.layer, array_dim, tr_tc_bound=ctx.tr_tc_bound)
+            mappings.append(
+                LayerMapping(
+                    layer=ctx.layer,
+                    factors=factors,
+                    array_dim=array_dim,
+                    utilization=utilization_report(
+                        ctx.layer, factors, array_dim
+                    ),
+                    compute_cycles=factors.outer_iterations(ctx.layer),
+                    relayout_cycles=int(entry["relayout_cycles"]),
+                )
+            )
+    except (KeyError, TypeError, ValueError, AttributeError, ReproError):
+        return None
+    return NetworkMapping(
+        network_name=network.name,
+        array_dim=array_dim,
+        layers=tuple(mappings),
+    )
 
 
 def _map_network_search(
@@ -485,16 +599,51 @@ def _map_network_search(
 
 # -- cache management ---------------------------------------------------------
 
+_map_layer_cached = None
+_map_network_cached = None
+
+
+def _mapping_caches():
+    """The two ``lru_cache`` wrappers, built on first use.
+
+    Building lazily (instead of at import) lets a bad
+    ``REPRO_MAPPING_CACHE_SIZE`` surface as a catchable one-line
+    :class:`~repro.errors.ConfigurationError` instead of an import-time
+    traceback, and lets :func:`clear_mapping_cache` re-read the
+    environment.
+    """
+    global _map_layer_cached, _map_network_cached
+    if _map_layer_cached is None:
+        size = mapping_cache_size()
+        _map_layer_cached = lru_cache(maxsize=size)(_map_layer_impl)
+        _map_network_cached = lru_cache(maxsize=max(1, size // 16))(
+            _map_network_impl
+        )
+    return _map_layer_cached, _map_network_cached
+
 
 def mapping_cache_info() -> Dict[str, object]:
-    """``functools`` cache statistics for both memoized mapping searches."""
+    """``functools`` cache statistics for both memoized mapping searches.
+
+    The ``map_layer``/``map_network`` values are ``cache_info()``
+    snapshots (their ``maxsize`` reflects ``REPRO_MAPPING_CACHE_SIZE``);
+    ``configured_size`` is the raw configured bound.
+    """
+    layer_cache, network_cache = _mapping_caches()
     return {
-        "map_layer": _map_layer_cached.cache_info(),
-        "map_network": _map_network_cached.cache_info(),
+        "map_layer": layer_cache.cache_info(),
+        "map_network": network_cache.cache_info(),
+        "configured_size": mapping_cache_size(),
     }
 
 
 def clear_mapping_cache() -> None:
-    """Drop all memoized mapping results (tests and benchmarks use this)."""
-    _map_layer_cached.cache_clear()
-    _map_network_cached.cache_clear()
+    """Drop all memoized mapping results (tests and benchmarks use this).
+
+    The caches are rebuilt on next use, re-reading
+    ``REPRO_MAPPING_CACHE_SIZE`` — so changing the env var mid-process
+    takes effect after a clear.
+    """
+    global _map_layer_cached, _map_network_cached
+    _map_layer_cached = None
+    _map_network_cached = None

@@ -69,7 +69,7 @@ ALL_EXPERIMENTS = {
 def run_experiment(experiment_id: str) -> ExperimentResult:
     """Run one experiment by its id (e.g. ``"fig16"``)."""
     from repro.errors import ConfigurationError
-    from repro.experiments.runner import experiment_registry
+    from repro.experiments.runner import experiment_registry, run_module_cached
 
     module = experiment_registry().get(experiment_id)
     if module is None:
@@ -77,7 +77,7 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
             f"unknown experiment {experiment_id!r}; known:"
             f" {', '.join(ALL_EXPERIMENTS)}"
         )
-    return module.run()
+    return run_module_cached(experiment_id, module)
 
 
 def run_experiments(

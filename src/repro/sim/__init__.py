@@ -1,5 +1,11 @@
 """Functional cycle-level simulators validating each dataflow's numerics."""
 
+from repro.sim.analytic import (
+    analytic_flexflow_trace,
+    analytic_mapping2d_trace,
+    analytic_systolic_trace,
+    analytic_tiling_trace,
+)
 from repro.sim.export import (
     compare_runs,
     load_run,
@@ -17,6 +23,10 @@ from repro.sim.tiling_sim import TilingFunctionalSim
 from repro.sim.trace import SimTrace
 
 __all__ = [
+    "analytic_flexflow_trace",
+    "analytic_mapping2d_trace",
+    "analytic_systolic_trace",
+    "analytic_tiling_trace",
     "CoordStore",
     "FlexFlowFunctionalSim",
     "FlexFlowNetworkSim",

@@ -25,9 +25,16 @@ Two interchangeable engines execute the tile stream:
 * ``"tile"`` — the batched-NumPy :class:`~repro.sim.tile_engine.TileEngine`
   fast path, bit-identical on outputs and exact on every counter (the
   equivalence suite in ``tests/sim/test_tile_engine.py`` pins this).
+* ``"analytic"`` — the closed-form model in :mod:`repro.sim.analytic`:
+  counters are computed, not observed, yet exactly equal to the cycle
+  engines' (``tests/sim/test_analytic.py`` pins this); outputs come from
+  the NumPy golden model rather than the simulated adder trees, so this
+  engine refuses transient-fault runs (a bit flip changes outputs but not
+  traffic, which only the executing engines can show).
 
-The default ``"auto"`` picks the fast path whenever its index tables fit
-in memory and falls back to the reference loop otherwise.
+The default ``"auto"`` picks the tile path whenever its index tables fit
+in memory and falls back to the reference loop otherwise; the analytic
+engine is only used when explicitly selected.
 """
 
 from __future__ import annotations
@@ -46,8 +53,9 @@ from repro.errors import SimulationError, SpecificationError
 from repro.faults.mask import AvailabilityMask, LiveGrid, live_grid
 from repro.faults.model import FaultModel, apply_flip, transient_flip
 from repro.nn.layers import ConvLayer
-from repro.nn.reference import pad_input
+from repro.nn.reference import conv2d, pad_input
 from repro.obs.tracer import Tracer, counter_delta, current_tracer
+from repro.sim.analytic import analytic_flexflow_trace
 from repro.sim.tile_engine import TileEngine
 from repro.sim.trace import SimTrace
 
@@ -118,7 +126,7 @@ class FlexFlowFunctionalSim:
     """Cycle-level functional model of the FlexFlow convolutional unit."""
 
     #: Recognized execution engines (see module docstring).
-    ENGINES = ("auto", "tile", "reference")
+    ENGINES = ("auto", "tile", "reference", "analytic")
 
     def __init__(
         self,
@@ -203,9 +211,21 @@ class FlexFlowFunctionalSim:
 
         padded = pad_input(inputs, layer.padding)
 
+        use_analytic = self.engine == "analytic"
+        if use_analytic and (
+            self.fault_model is not None
+            and self.fault_model.has_transient_faults
+        ):
+            raise SimulationError(
+                f"{layer.name}: the analytic engine cannot model transient"
+                f" bit flips; use the tile or reference engine"
+            )
         use_tile = self.engine == "tile" or (
             self.engine == "auto"
             and TileEngine.is_feasible(self.config, layer, factors)
+        )
+        engine_label = (
+            "analytic" if use_analytic else "tile" if use_tile else "reference"
         )
         tracer = self.tracer if self.tracer is not None else current_tracer()
         # The span tree below (layer -> load/compute/drain phases ->
@@ -216,7 +236,7 @@ class FlexFlowFunctionalSim:
         with tracer.span(
             f"conv:{layer.name}",
             category="sim.flexflow",
-            labels={"engine": "tile" if use_tile else "reference"},
+            labels={"engine": engine_label},
         ) as layer_span:
             # Load/drain phases model the layer's DMA legs on the
             # D-banked buffers (the same word/D accounting as the
@@ -229,7 +249,18 @@ class FlexFlowFunctionalSim:
             with tracer.span("phase:load", category="sim.flexflow") as sp:
                 sp.set_cycles(load_cycles)
             with tracer.span("phase:compute", category="sim.flexflow") as sp:
-                if use_tile:
+                if use_analytic:
+                    # Counters from the closed-form model, outputs from the
+                    # golden convolution — numerically the same result the
+                    # adder trees converge to, without executing them.
+                    outputs = conv2d(padded, kernels, stride=layer.stride)
+                    trace = analytic_flexflow_trace(
+                        layer,
+                        factors,
+                        neuron_store_words=self.config.neuron_store_words,
+                        kernel_store_words=self.config.kernel_store_words,
+                    )
+                elif use_tile:
                     outputs, trace = TileEngine(
                         self.config,
                         layer,

@@ -1,0 +1,20 @@
+"""Fixtures for the persistent-cache suite.
+
+The repo-wide conftest disables the store (so every other suite stays
+hermetic); tests here re-enable it against a per-test temp directory.
+"""
+
+import pytest
+
+from repro.cache import reset_cache_handles
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """A live persistent cache rooted in ``tmp_path``; yields the root."""
+    root = tmp_path / "store"
+    monkeypatch.setenv("REPRO_CACHE", "on")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+    reset_cache_handles()
+    yield root
+    reset_cache_handles()

@@ -1,0 +1,222 @@
+"""Unit tests for the content-addressed result store itself."""
+
+import json
+import os
+import threading
+
+import pytest
+
+import repro.cache.store as store_mod
+from repro.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    active_cache,
+    cache_enabled,
+    cache_root,
+    canonical_json,
+    hash_payload,
+    reset_cache_handles,
+)
+from repro.errors import ConfigurationError
+
+
+class TestKeys:
+    def test_canonical_json_is_order_independent(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+    def test_key_changes_with_payload_and_section(self):
+        key = hash_payload("s", {"x": 1})
+        assert key != hash_payload("s", {"x": 2})
+        assert key != hash_payload("t", {"x": 1})
+        assert len(key) == 64
+
+    def test_key_salted_by_schema_version(self, monkeypatch):
+        import repro.cache.keys as keys_mod
+
+        before = hash_payload("s", {"x": 1})
+        monkeypatch.setattr(
+            keys_mod, "CACHE_SCHEMA_VERSION", CACHE_SCHEMA_VERSION + 1
+        )
+        assert hash_payload("s", {"x": 1}) != before
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestRoundTrip:
+    def test_payload_survives_new_instance(self, tmp_path):
+        key = hash_payload("unit", {"q": 1})
+        ResultCache(tmp_path).put("unit", key, {"rows": [1, 2, 3]})
+        # A brand-new instance has an empty memo: this read hits the disk.
+        assert ResultCache(tmp_path).get("unit", key) == {"rows": [1, 2, 3]}
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("unit", hash_payload("unit", {})) is None
+
+    def test_dict_key_order_preserved(self, tmp_path):
+        # Column order of experiment tables derives from dict order, so
+        # the store must not normalize it.
+        payload = {"zeta": 1, "alpha": 2, "mid": 3}
+        key = hash_payload("unit", {"case": "order"})
+        ResultCache(tmp_path).put("unit", key, payload)
+        restored = ResultCache(tmp_path).get("unit", key)
+        assert list(restored) == ["zeta", "alpha", "mid"]
+
+
+class TestCorruptionRecovery:
+    def _entry_path(self, root, section, key):
+        return root / section / key[:2] / f"{key}.json"
+
+    def test_truncated_entry_is_removed_and_missed(self, tmp_path):
+        key = hash_payload("unit", {"q": 2})
+        ResultCache(tmp_path).put("unit", key, [1, 2])
+        path = self._entry_path(tmp_path, "unit", key)
+        path.write_text(path.read_text()[:10])
+        assert ResultCache(tmp_path).get("unit", key) is None
+        assert not path.exists()
+
+    def test_stale_schema_entry_is_removed(self, tmp_path):
+        key = hash_payload("unit", {"q": 3})
+        cache = ResultCache(tmp_path)
+        cache.put("unit", key, [1])
+        path = self._entry_path(tmp_path, "unit", key)
+        entry = json.loads(path.read_text())
+        entry["schema"] = CACHE_SCHEMA_VERSION + 999
+        path.write_text(json.dumps(entry))
+        assert ResultCache(tmp_path).get("unit", key) is None
+        assert not path.exists()
+
+    def test_mismatched_key_field_rejected(self, tmp_path):
+        key_a = hash_payload("unit", {"q": "a"})
+        key_b = hash_payload("unit", {"q": "b"})
+        cache = ResultCache(tmp_path)
+        cache.put("unit", key_a, "A")
+        # Copy A's document under B's path: the embedded key disagrees.
+        doc = self._entry_path(tmp_path, "unit", key_a).read_text()
+        path_b = self._entry_path(tmp_path, "unit", key_b)
+        path_b.parent.mkdir(parents=True, exist_ok=True)
+        path_b.write_text(doc)
+        assert ResultCache(tmp_path).get("unit", key_b) is None
+
+    def test_unserializable_payload_degrades_silently(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("unit", hash_payload("unit", {"q": 4}), object())
+        assert cache.stats()["entries"] == 0
+
+    def test_verify_removes_only_bad_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        good = hash_payload("unit", {"n": 1})
+        bad = hash_payload("unit", {"n": 2})
+        cache.put("unit", good, "ok")
+        cache.put("unit", bad, "soon-garbage")
+        self._entry_path(tmp_path, "unit", bad).write_text("{not json")
+        report = ResultCache(tmp_path).verify()
+        assert report == {"checked": 2, "ok": 1, "removed": 1}
+        assert ResultCache(tmp_path).get("unit", good) == "ok"
+
+
+class TestEvictionAndMaintenance:
+    def test_oldest_entries_evicted_beyond_limit(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        keys = [hash_payload("unit", {"n": n}) for n in range(4)]
+        for age, key in enumerate(keys):
+            cache.put("unit", key, age)
+            path = tmp_path / "unit" / key[:2] / f"{key}.json"
+            if path.exists():  # age the earlier entries explicitly
+                os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        stats = ResultCache(tmp_path).stats()
+        assert stats["entries"] == 2
+        fresh = ResultCache(tmp_path)
+        assert fresh.get("unit", keys[0]) is None
+        assert fresh.get("unit", keys[3]) == 3
+
+    def test_invalid_max_entries_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="positive"):
+            ResultCache(tmp_path, max_entries=0)
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for n in range(3):
+            cache.put("unit", hash_payload("unit", {"n": n}), n)
+        assert cache.clear() == 3
+        assert ResultCache(tmp_path).stats()["entries"] == 0
+
+    def test_stats_breaks_down_by_section(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("alpha", hash_payload("alpha", {}), [1])
+        cache.put("beta", hash_payload("beta", {}), [2])
+        stats = cache.stats()
+        assert set(stats["sections"]) == {"alpha", "beta"}
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0
+
+
+class TestConcurrentWriters:
+    def test_threaded_putters_and_getters_never_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = [hash_payload("unit", {"n": n}) for n in range(8)]
+        errors = []
+
+        def hammer(worker):
+            try:
+                for round_no in range(25):
+                    for n, key in enumerate(keys):
+                        # Same key always carries the same payload, as in
+                        # real use (keys are content hashes of the request).
+                        ResultCache(tmp_path).put("unit", key, {"n": n})
+                        got = cache.get("unit", key)
+                        if got is not None and got != {"n": n}:
+                            errors.append((worker, round_no, n, got))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((worker, exc))
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        report = ResultCache(tmp_path).verify()
+        assert report["checked"] == len(keys)
+        assert report["removed"] == 0
+
+
+class TestEnvironmentKnobs:
+    def test_disabled_by_default_in_tests(self):
+        # The repo conftest turns the store off for every other suite.
+        assert cache_enabled() is False
+        assert active_cache() is None
+
+    def test_enable_roundtrip(self, cache_dir):
+        cache = active_cache()
+        assert cache is not None
+        assert cache.root == cache_dir
+
+    def test_invalid_enable_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "banana")
+        with pytest.raises(ConfigurationError, match="REPRO_CACHE"):
+            cache_enabled()
+
+    def test_invalid_max_entries_env_rejected(self, cache_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "-3")
+        reset_cache_handles()
+        with pytest.raises(
+            ConfigurationError, match="REPRO_CACHE_MAX_ENTRIES"
+        ):
+            active_cache()
+
+    def test_max_entries_env_applies(self, cache_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "5")
+        reset_cache_handles()
+        assert active_cache().max_entries == 5
+
+    def test_default_root_under_user_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", "/somewhere/cache")
+        assert str(cache_root()) == f"/somewhere/cache/{store_mod.DEFAULT_SUBDIR}"
+
+    def test_instances_shared_per_root(self, cache_dir):
+        assert active_cache() is active_cache()

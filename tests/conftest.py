@@ -1,0 +1,28 @@
+"""Shared fixtures: keep the persistent result cache out of the tests.
+
+The on-disk cache (:mod:`repro.cache`) defaults to ON under the user's
+cache directory, which is right for real runs but wrong for tests — they
+must be hermetic, deterministic, and unable to poison (or be poisoned
+by) a developer's store.  Every test therefore runs with ``REPRO_CACHE``
+off; cache-specific tests re-enable it against a ``tmp_path`` via their
+own ``monkeypatch.setenv`` calls (which land after this fixture).
+
+The environment variable (rather than an in-process flag) is the switch
+because it crosses the ``spawn`` boundary to the resilient runner's
+worker processes.
+"""
+
+import pytest
+
+from repro.cache import reset_cache_handles
+
+
+@pytest.fixture(autouse=True)
+def _no_persistent_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "off")
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_MAX_ENTRIES", raising=False)
+    monkeypatch.delenv("REPRO_MAPPING_CACHE_SIZE", raising=False)
+    reset_cache_handles()
+    yield
+    reset_cache_handles()

@@ -65,3 +65,34 @@ class TestVerification:
     def test_flexflow_cycles_exact(self, result):
         for row in result.rows:
             assert row["ff_cycles"] == row["ff_cycles_predicted"]
+
+
+class TestSweepDeduplication:
+    """Sweeps must pay the mapper once per unique design point."""
+
+    def test_dse_maps_each_point_once(self):
+        from repro.dataflow import clear_mapping_cache
+        from repro.experiments import dse_array_scale
+        from repro.obs.metrics import REGISTRY
+
+        clear_mapping_cache()
+        REGISTRY.reset()
+        workloads = ("PV", "FR")
+        scales = (4, 8)
+        dse_array_scale.run(workloads=workloads, scales=scales)
+        mapped = REGISTRY.snapshot().get("mapper.networks_mapped", 0)
+        assert mapped == len(workloads) * len(scales)
+        # A repeat sweep is fully served by the in-process memo.
+        dse_array_scale.run(workloads=workloads, scales=scales)
+        assert (
+            REGISTRY.snapshot()["mapper.networks_mapped"]
+            == len(workloads) * len(scales)
+        )
+        clear_mapping_cache()
+
+    def test_area_report_memoized_per_point(self):
+        from repro.arch.area import area_report
+        from repro.arch.config import ArchConfig
+
+        config = ArchConfig().scaled_to(8)
+        assert area_report("flexflow", config) is area_report("flexflow", config)

@@ -247,3 +247,59 @@ class TestResilienceFlags:
         assert args.timeout == 60.0
         assert args.retries == 2
         assert args.run_dir == "/tmp/x"
+
+
+class TestCacheCommand:
+    @pytest.fixture(autouse=True)
+    def _isolated_store(self, tmp_path, monkeypatch):
+        from repro.cache import reset_cache_handles
+        from repro.dataflow import clear_mapping_cache
+
+        monkeypatch.setenv("REPRO_CACHE", "on")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+        # The in-process mapping memo would satisfy map_network before
+        # the persistent store ever saw the request.
+        clear_mapping_cache()
+        reset_cache_handles()
+        yield
+        clear_mapping_cache()
+        reset_cache_handles()
+
+    def test_stats_on_empty_store(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "enabled: on" in out
+        assert "entries: 0" in out
+
+    def test_populate_stats_verify_clear(self, capsys):
+        assert main(["run", "PV", "--arch", "flexflow"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "map_network" in out and "simulate_network" in out
+        assert main(["cache", "verify"]) == 0
+        assert "0 removed" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_maintenance_works_when_disabled(self, monkeypatch, capsys):
+        # A disabled cache can still be inspected and cleaned.
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert main(["cache", "stats"]) == 0
+        assert "enabled: off" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+
+    def test_invalid_cache_env_is_clean_error(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE", "banana")
+        assert main(["run", "PV", "--arch", "flexflow"]) == 1
+        assert "REPRO_CACHE" in capsys.readouterr().err
+
+
+class TestTraceAnalyticEngine:
+    def test_trace_accepts_analytic(self, capsys):
+        assert main(["trace", "PV", "--engine", "analytic"]) == 0
+        out = capsys.readouterr().out
+        assert "engine analytic" in out
+        assert "occupancy" in out
