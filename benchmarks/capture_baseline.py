@@ -18,7 +18,9 @@ bound by it rather than by the mapper.  Two further sections cover the
 fast-path work: ``analytic_engine`` times the closed-form analytic
 engine against the tile engine, and ``sweep`` times the full
 ``generate_report`` pipeline with the persistent result cache off /
-cold (empty store) / warm (populated store).
+cold (empty store) / warm (populated store).  ``dse_batched`` times the
+cold ``dse_array_scale`` sweep under the legacy scalar mapper loops
+(``REPRO_BATCHED_MAPPER=off``) vs the batched SoA path.
 
 ``--check`` mode re-measures and compares the *speedup ratios* against
 the committed baseline instead of writing it: ratios are wall-clock
@@ -141,6 +143,53 @@ def _sweep(rounds: int) -> dict:
     }
 
 
+def _dse_batched(rounds: int) -> dict:
+    """Time the cold ``dse_array_scale`` sweep: scalar vs batched mapper.
+
+    Every round clears the in-process mapping caches first, so both
+    engines pay the full candidate-enumeration + coupling-DP cost — the
+    honest cold-sweep comparison the batched SoA path was built for.
+    The persistent store stays off so only mapper speed is measured.
+
+    A round is tens of milliseconds — the same order as one gen-2
+    collection of the heap the earlier sections leave behind — so GC is
+    collected once and paused across the timed region (for both engines
+    alike), and each engine gets one untimed warm-up run.
+    """
+    import gc
+
+    from repro.experiments import dse_array_scale
+
+    def run_sweep():
+        clear_mapping_cache()
+        dse_array_scale.run()
+
+    samples = {}
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        with _env(REPRO_CACHE="off"):
+            for engine in ("off", "on"):
+                with _env(REPRO_BATCHED_MAPPER=engine):
+                    run_sweep()
+                    samples[engine] = _time(run_sweep, rounds)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    clear_mapping_cache()
+    return {
+        "experiment": "dse_array_scale",
+        "scalar": _summary(samples["off"]),
+        "batched": _summary(samples["on"]),
+        "speedup_median": round(
+            statistics.median(samples["off"])
+            / statistics.median(samples["on"]),
+            2,
+        ),
+    }
+
+
 def capture(rounds: int = 5) -> dict:
     def headline_no_cache():
         clear_mapping_cache()
@@ -172,6 +221,7 @@ def capture(rounds: int = 5) -> dict:
             engines[engine] = _summary(_time(run_engine, 5))
 
     sweep = _sweep(max(2, rounds - 2))
+    dse_batched = _dse_batched(rounds)
 
     return {
         "benchmark": "bench_headline",
@@ -205,6 +255,7 @@ def capture(rounds: int = 5) -> dict:
             ),
         },
         "sweep": sweep,
+        "dse_batched": dse_batched,
     }
 
 
@@ -240,11 +291,16 @@ def check(baseline_path: Path, tolerance: float) -> int:
     # The engine micro-bench ratios get 0.5: their denominators are
     # sub-millisecond, so honest runs swing ~30%; losing the fast path
     # entirely would drop the ratio below half of any recorded baseline.
+    # dse_batched.speedup_median compares two in-process compute paths
+    # (no disk in either denominator), so it is steadier than the cache
+    # ratios; 0.5 still catches the real failure mode — the batched
+    # path silently degrading back toward scalar speed.
     checked_metrics = (
         ("headline", "speedup_median", None),
         ("sim_engine", "speedup_min", 0.5),
         ("analytic_engine", "speedup_min", 0.5),
         ("sweep", "warm_speedup_median", 0.75),
+        ("dse_batched", "speedup_median", 0.5),
     )
     for section, field, tolerance_override in checked_metrics:
         metric = f"{section}.{field}"
@@ -315,7 +371,8 @@ def main(argv: list) -> int:
         f" analytic engine {payload['analytic_engine']['speedup_min']}x,"
         f" sweep {sweep['off']['median_s']*1000:.1f} ms"
         f" -> {sweep['warm']['median_s']*1000:.1f} ms warm"
-        f" ({sweep['warm_speedup_median']}x)"
+        f" ({sweep['warm_speedup_median']}x),"
+        f" dse batched {payload['dse_batched']['speedup_median']}x"
     )
     return 0
 

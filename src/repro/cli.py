@@ -8,6 +8,7 @@ Commands:
 * ``run <workload>`` — simulate on one (or all) architectures;
 * ``compile <workload>`` — emit the FlexFlow configuration assembly;
 * ``experiment <id> | all`` — regenerate paper tables/figures;
+* ``dse <workload> | all`` — sweep the FlexFlow array scale (batched);
 * ``trace <workload>`` — per-layer/per-phase cycle breakdown + trace.json;
 * ``profile <experiment>`` — run one experiment under the tracer;
 * ``faults sweep | mask`` — fault-degradation study and mask inspection.
@@ -99,6 +100,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for running experiments (default 1)",
     )
     _add_resilience_args(experiment)
+
+    dse_cmd = sub.add_parser(
+        "dse", help="design-space sweep of the FlexFlow array scale"
+    )
+    dse_cmd.add_argument(
+        "workload", help=workload_help + ", or 'all' for every Table 1 workload"
+    )
+    dse_cmd.add_argument(
+        "--dims", default="8,16,32,64",
+        help="comma-separated PE array dimensions to sweep (default 8,16,32,64)",
+    )
+    dse_cmd.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes across workloads (default 1)",
+    )
+    dse_cmd.add_argument(
+        "--engine", choices=["batched", "scalar"], default="batched",
+        help="candidate-scoring path: vectorized (default) or the legacy"
+        " scalar loops (results are identical; scalar exists for"
+        " cross-checking and benchmarking)",
+    )
 
     report = sub.add_parser(
         "report", help="write a Markdown report of all experiments"
@@ -308,6 +330,111 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dse_rows(spec: str, dims: List[int]) -> List[dict]:
+    """The ``dse`` table rows for one workload across the dim sweep."""
+    from repro.arch.area import area_report
+    from repro.experiments.common import evaluate_sweep
+
+    network = _resolve_workload(spec)
+    base = ArchConfig()
+    per_dim = [(dim, base.scaled_to(dim)) for dim in dims]
+    results = evaluate_sweep(
+        f"dse_cli:{network.name}",
+        [((dim), "flexflow", network, cfg) for dim, cfg in per_dim],
+    )
+    rows = []
+    best_dim = None
+    best_density = -1.0
+    for dim, cfg in per_dim:
+        result = results[dim]
+        area = area_report("flexflow", cfg).total_mm2
+        density = result.gops / area
+        rows.append(
+            {
+                "workload": network.name,
+                "dim": f"{dim}x{dim}",
+                "utilization": result.overall_utilization,
+                "gops": result.gops,
+                "area_mm2": area,
+                "gops_per_mm2": density,
+                "best": "",
+            }
+        )
+        if density > best_density:
+            best_density = density
+            best_dim = dim
+    for dim_row, (dim, _) in zip(rows, per_dim):
+        if dim == best_dim:
+            dim_row["best"] = "*"
+    return rows
+
+
+def _dse_worker(task) -> List[dict]:
+    """Process-pool entry for one workload of the ``dse`` sweep."""
+    import os
+
+    from repro.dataflow.mapper import ENV_BATCHED_MAPPER
+
+    spec, dims, engine = task
+    os.environ[ENV_BATCHED_MAPPER] = "on" if engine == "batched" else "off"
+    return _dse_rows(spec, list(dims))
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.dataflow.mapper import ENV_BATCHED_MAPPER, clear_mapping_cache
+    from repro.experiments.common import ExperimentResult
+
+    dims = _parse_csv(args.dims, int, "dimension")
+    if not dims:
+        raise ConfigurationError("--dims must name at least one dimension")
+    if any(dim <= 0 for dim in dims):
+        raise ConfigurationError(
+            f"array dimensions must be positive, got {dims}"
+        )
+    if args.jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {args.jobs}")
+    saved_flag = os.environ.get(ENV_BATCHED_MAPPER)
+    os.environ[ENV_BATCHED_MAPPER] = (
+        "on" if args.engine == "batched" else "off"
+    )
+    # In-process memos may hold entries computed under the other engine
+    # (they agree bit-for-bit, but a benchmark run should not mix paths).
+    clear_mapping_cache()
+    specs = (
+        list(WORKLOAD_NAMES) if args.workload == "all" else [args.workload]
+    )
+    tasks = [(spec, tuple(dims), args.engine) for spec in specs]
+    try:
+        if args.jobs > 1 and len(specs) > 1:
+            import multiprocessing as mp
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                max_workers=min(args.jobs, len(specs)),
+                mp_context=mp.get_context("spawn"),
+            ) as pool:
+                row_lists = list(pool.map(_dse_worker, tasks))
+        else:
+            row_lists = [_dse_rows(spec, dims) for spec in specs]
+    finally:
+        if saved_flag is None:
+            os.environ.pop(ENV_BATCHED_MAPPER, None)
+        else:
+            os.environ[ENV_BATCHED_MAPPER] = saved_flag
+    result = ExperimentResult(
+        experiment_id="dse",
+        title=(
+            f"FlexFlow array-scale sweep ({args.engine} candidate scoring)"
+        ),
+        rows=[row for rows in row_lists for row in rows],
+        notes="* marks the GOPS/mm^2-optimal scale per workload.",
+    )
+    print(result.format_table())
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
@@ -467,6 +594,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compile(args.workload, args.dim, args.execute)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "dse":
+            return _cmd_dse(args)
         if args.command == "report":
             return _cmd_report(args)
         if args.command == "trace":

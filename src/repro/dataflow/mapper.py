@@ -26,7 +26,9 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.cache import (
     active_cache,
@@ -40,6 +42,7 @@ from repro.dataflow.unrolling import (
     UnrollingFactors,
     ceil_div,
     iter_triples,
+    useful_values,
 )
 from repro.dataflow.utilization import UtilizationReport, utilization_report
 from repro.errors import ConfigurationError, MappingError, ReproError
@@ -57,6 +60,29 @@ ENV_MAPPING_CACHE_SIZE = "REPRO_MAPPING_CACHE_SIZE"
 
 #: Default ``map_layer`` memo bound when the env var is unset.
 DEFAULT_MAPPING_CACHE_SIZE = 4096
+
+#: Environment variable selecting the candidate-scoring implementation:
+#: ``on`` (default) scores candidates through the vectorized
+#: structure-of-arrays path with dominated-candidate pruning; ``off``
+#: falls back to the legacy scalar per-candidate loops.  Both produce
+#: identical mappings (pinned by ``tests/dataflow/test_candidates.py``);
+#: the flag exists so benchmarks can measure one against the other.
+ENV_BATCHED_MAPPER = "REPRO_BATCHED_MAPPER"
+
+
+def batched_mapper_enabled() -> bool:
+    """Whether the vectorized candidate-scoring path is active."""
+    raw = os.environ.get(ENV_BATCHED_MAPPER)
+    if raw is None:
+        return True
+    value = raw.strip().lower()
+    if value in ("", "on", "1", "true", "yes"):
+        return True
+    if value in ("off", "0", "false", "no"):
+        return False
+    raise ConfigurationError(
+        f"{ENV_BATCHED_MAPPER} must be 'on' or 'off', got {raw!r}"
+    )
 
 
 def mapping_cache_size() -> int:
@@ -170,21 +196,186 @@ class NetworkMapping:
 # -- per-side candidate enumeration -------------------------------------------
 
 
+# Memoized per-dimension useful values for the batched path only: one
+# cold sweep re-derives the same few (dimension, limit) sets hundreds of
+# times.  The legacy scalar loops keep calling ``useful_values`` directly
+# so ``REPRO_BATCHED_MAPPER=off`` stays a faithful baseline.
+_useful_cached = lru_cache(maxsize=None)(useful_values)
+
+
+@lru_cache(maxsize=4096)
+def _candidate_cache(dims: Triple, product_limit: int, caps: Triple) -> np.ndarray:
+    """Vectorized candidate enumeration: ``(array, tuples)``, both sorted.
+
+    Builds the full ``useful_values`` meshgrid per dimension and masks it
+    with the per-factor caps and the Eq. 1 product limit — exactly the set
+    :func:`~repro.dataflow.unrolling.iter_triples` yields (its per-level
+    ``limit // a`` clipping is the same predicate, since ``b <= L // a``
+    iff ``a * b <= L`` over positive ints).  Each dimension's useful
+    values are distinct, so the meshgrid is duplicate-free by construction
+    and — because distinct useful values give distinct quotients — no
+    candidate dominates another in (steps, footprint) space
+    (``tests/dataflow/test_candidates.py`` pins both properties).
+    """
+    if min(caps) <= 0:
+        raise MappingError("candidate caps must be positive")
+    a = np.array(_useful_cached(dims[0], dims[0]), dtype=np.int64)
+    b = np.array(_useful_cached(dims[1], dims[1]), dtype=np.int64)
+    c = np.array(_useful_cached(dims[2], dims[2]), dtype=np.int64)
+    a = a[a <= min(caps[0], product_limit)]
+    b = b[b <= caps[1]]
+    c = c[c <= caps[2]]
+    # Broadcasted product grid; np.nonzero walks it in C order, which —
+    # with each axis sorted ascending — is lexicographic order.
+    prod = a[:, None, None] * b[None, :, None] * c[None, None, :]
+    ia, ib, ic = np.nonzero(prod <= product_limit)
+    arr = np.stack([a[ia], b[ib], c[ic]], axis=1)
+    arr.setflags(write=False)
+    return arr
+
+
+@lru_cache(maxsize=4096)
+def _candidate_tuples(
+    dims: Triple, product_limit: int, caps: Triple
+) -> Tuple[Triple, ...]:
+    """The candidate array as python tuples, materialized on demand."""
+    arr = _candidate_cache(dims, product_limit, caps)
+    return tuple(map(tuple, arr.tolist()))
+
+
+def _candidate_list(dims: Triple, product_limit: int, caps: Triple) -> List[Triple]:
+    if product_limit <= 0:
+        raise MappingError("product_limit must be positive")
+    if batched_mapper_enabled():
+        return list(_candidate_tuples(dims, product_limit, caps))
+    return sorted(set(iter_triples(dims, product_limit, caps)))
+
+
+def candidate_array(dims: Triple, product_limit: int, caps: Triple) -> np.ndarray:
+    """The deduplicated candidate set as a read-only ``(N, 3)`` array."""
+    if product_limit <= 0:
+        raise MappingError("product_limit must be positive")
+    return _candidate_cache(dims, product_limit, caps)
+
+
 def input_candidates(layer: ConvLayer, array_dim: int) -> List[Triple]:
     """Feasible ``(Tn, Ti, Tj)`` triples (Eq. 1 intra-row side)."""
     dims = (layer.in_maps, layer.kernel, layer.kernel)
     caps = (layer.in_maps, layer.kernel, layer.kernel)
-    return sorted(set(iter_triples(dims, array_dim, caps)))
+    return _candidate_list(dims, array_dim, caps)
 
 
 def output_candidates(
     layer: ConvLayer, array_dim: int, tr_tc_bound: Optional[int] = None
 ) -> List[Triple]:
     """Feasible ``(Tm, Tr, Tc)`` triples (Eq. 1 inter-row side)."""
+    dims, caps = _output_space(layer, tr_tc_bound)
+    return _candidate_list(dims, array_dim, caps)
+
+
+def _input_space(layer: ConvLayer) -> Tuple[Triple, Triple]:
+    dims = (layer.in_maps, layer.kernel, layer.kernel)
+    return dims, dims
+
+
+def _output_space(
+    layer: ConvLayer, tr_tc_bound: Optional[int]
+) -> Tuple[Triple, Triple]:
     bound = layer.out_size if tr_tc_bound is None else min(layer.out_size, tr_tc_bound)
     dims = (layer.out_maps, layer.out_size, layer.out_size)
-    caps = (layer.out_maps, bound, bound)
-    return sorted(set(iter_triples(dims, array_dim, caps)))
+    return dims, (layer.out_maps, bound, bound)
+
+
+def _steps_array(dims: Triple, triples: np.ndarray) -> np.ndarray:
+    """Vectorized ``prod(ceil(dim / t))`` over an ``(N, 3)`` triple array."""
+    return (
+        (-(-dims[0] // triples[:, 0]))
+        * (-(-dims[1] // triples[:, 1]))
+        * (-(-dims[2] // triples[:, 2]))
+    )
+
+
+@dataclass(frozen=True)
+class CandidateScores:
+    """Batched scores for all ``input x output`` candidate pairs of a layer.
+
+    ``cycles[i, j]`` is the compute-cycle count of pairing input triple
+    ``i`` with output triple ``j`` — the product of the two step counts,
+    exactly what the scalar ``_input_steps * _output_steps`` evaluates
+    pair by pair.
+    """
+
+    input_triples: np.ndarray  # (n_in, 3)
+    output_triples: np.ndarray  # (n_out, 3)
+    input_steps: np.ndarray  # (n_in,)
+    output_steps: np.ndarray  # (n_out,)
+    cycles: np.ndarray  # (n_in, n_out)
+
+
+def score_candidates_batch(
+    layer: ConvLayer,
+    input_triples: Union[np.ndarray, Sequence[Triple]],
+    output_triples: Union[np.ndarray, Sequence[Triple]],
+) -> CandidateScores:
+    """Score every input x output candidate pair in one vectorized pass."""
+    ins = np.atleast_2d(np.asarray(input_triples, dtype=np.int64))
+    outs = np.atleast_2d(np.asarray(output_triples, dtype=np.int64))
+    for arr, side in ((ins, "input"), (outs, "output")):
+        if arr.size and arr.shape[1] != 3:
+            raise MappingError(
+                f"{side} triples must have shape (N, 3), got {arr.shape}"
+            )
+    fin = _steps_array((layer.in_maps, layer.kernel, layer.kernel), ins)
+    fout = _steps_array((layer.out_maps, layer.out_size, layer.out_size), outs)
+    return CandidateScores(
+        input_triples=ins,
+        output_triples=outs,
+        input_steps=fin,
+        output_steps=fout,
+        cycles=fin[:, None] * fout[None, :],
+    )
+
+
+@lru_cache(maxsize=4096)
+def _best_input_cached(
+    in_maps: int, kernel: int, col_limit: int
+) -> Tuple[Triple, int, int]:
+    dims = (in_maps, kernel, kernel)
+    arr = candidate_array(dims, col_limit, dims)
+    fin = _steps_array(dims, arr)
+    pick = int(np.argmin(fin))
+    triple = (int(arr[pick, 0]), int(arr[pick, 1]), int(arr[pick, 2]))
+    return triple, int(fin[pick]), len(arr)
+
+
+def _best_input_batched(layer: ConvLayer, col_limit: int) -> Tuple[Triple, int, int]:
+    """``(best_triple, steps, n_candidates)`` via the vectorized path.
+
+    ``np.argmin`` returns the first minimum and the candidate array is in
+    lexicographic order, so this reproduces the scalar
+    ``min(ins, key=(steps, triple))`` selection exactly.  Memoized on the
+    layer's input space — a DSE sweep re-asks the same question for every
+    network that shares a layer shape.
+    """
+    return _best_input_cached(layer.in_maps, layer.kernel, col_limit)
+
+
+def _best_output_batched(
+    layer: ConvLayer, row_limit: int, tr_tc_bound: Optional[int]
+) -> Tuple[Triple, int]:
+    """``(best_triple, n_candidates)`` via the vectorized path.
+
+    ``np.lexsort`` is stable, so sorting by ``(steps, ceil(M/Tm))`` and
+    taking the first element reproduces the scalar
+    ``min(outs, key=(steps, ceil(M/Tm), triple))`` tie-break chain.
+    """
+    dims, caps = _output_space(layer, tr_tc_bound)
+    arr = candidate_array(dims, row_limit, caps)
+    fout = _steps_array(dims, arr)
+    ceil_m = -(-layer.out_maps // arr[:, 0])
+    pick = int(np.lexsort((ceil_m, fout))[0])
+    triple = (int(arr[pick, 0]), int(arr[pick, 1]), int(arr[pick, 2]))
+    return triple, len(arr)
 
 
 def _input_steps(layer: ConvLayer, triple: Triple) -> int:
@@ -289,10 +480,16 @@ def _map_layer_impl(
         labels={"dim": str(array_dim)},
     ) as span:
         row_limit, col_limit = _usable_limits(array_dim, mask)
+        batched = batched_mapper_enabled()
         if fixed_input_triple is None:
-            ins = input_candidates(layer, col_limit)
-            best_in = min(ins, key=lambda t: (_input_steps(layer, t), t))
-            n_input_candidates = len(ins)
+            if batched:
+                best_in, _, n_input_candidates = _best_input_batched(
+                    layer, col_limit
+                )
+            else:
+                ins = input_candidates(layer, col_limit)
+                best_in = min(ins, key=lambda t: (_input_steps(layer, t), t))
+                n_input_candidates = len(ins)
         else:
             best_in = fixed_input_triple
             n_input_candidates = 0  # coupled: no intra-row search ran
@@ -302,13 +499,23 @@ def _map_layer_impl(
                     f"{layer.name}: fixed input triple {best_in} exceeds the"
                     f" {col_limit} usable columns"
                 )
-        outs = output_candidates(layer, row_limit, tr_tc_bound)
         # Tie-break equal-cycle choices toward larger Tm: fewer output-map tile
         # groups means each input word is re-broadcast fewer times.
-        best_out = min(
-            outs,
-            key=lambda t: (_output_steps(layer, t), ceil_div(layer.out_maps, t[0]), t),
-        )
+        if batched:
+            best_out, n_output_candidates = _best_output_batched(
+                layer, row_limit, tr_tc_bound
+            )
+        else:
+            outs = output_candidates(layer, row_limit, tr_tc_bound)
+            best_out = min(
+                outs,
+                key=lambda t: (
+                    _output_steps(layer, t),
+                    ceil_div(layer.out_maps, t[0]),
+                    t,
+                ),
+            )
+            n_output_candidates = len(outs)
         factors = UnrollingFactors(
             tm=best_out[0], tn=best_in[0], tr=best_out[1], tc=best_out[2],
             ti=best_in[1], tj=best_in[2],
@@ -325,13 +532,13 @@ def _map_layer_impl(
             n_input_candidates
         )
         REGISTRY.histogram("mapper.candidates", side="output").observe(
-            len(outs)
+            n_output_candidates
         )
         if tracer.enabled:
             span.add_counters(
                 {
                     "input_candidates": n_input_candidates,
-                    "output_candidates": len(outs),
+                    "output_candidates": n_output_candidates,
                     "compute_cycles": factors.outer_iterations(layer),
                 }
             )
@@ -485,6 +692,56 @@ def _map_network_search(
         raise MappingError(f"network {network.name!r} has no CONV layers")
     row_limit, col_limit = _usable_limits(array_dim, mask)
 
+    if batched_mapper_enabled():
+        final_cost, final_trace, counters = _search_batched(
+            contexts, array_dim, row_limit, col_limit
+        )
+    else:
+        final_cost, final_trace, counters = _search_scalar(
+            contexts, array_dim, row_limit, col_limit
+        )
+    mappings: List[LayerMapping] = []
+    for ctx, (in_triple, out_triple, relayout) in zip(contexts, final_trace):
+        factors = UnrollingFactors(
+            tm=out_triple[0], tn=in_triple[0], tr=out_triple[1],
+            tc=out_triple[2], ti=in_triple[1], tj=in_triple[2],
+        )
+        factors.check(
+            ctx.layer,
+            array_dim,
+            tr_tc_bound=ctx.tr_tc_bound,
+            max_rows=row_limit,
+            max_cols=col_limit,
+        )
+        mappings.append(
+            LayerMapping(
+                layer=ctx.layer,
+                factors=factors,
+                array_dim=array_dim,
+                utilization=utilization_report(ctx.layer, factors, array_dim),
+                compute_cycles=factors.outer_iterations(ctx.layer),
+                relayout_cycles=relayout,
+            )
+        )
+    result = NetworkMapping(
+        network_name=network.name, array_dim=array_dim, layers=tuple(mappings)
+    )
+    assert result.total_cycles == final_cost, "DP cost must match reconstruction"
+    REGISTRY.counter("mapper.networks_mapped").inc()
+    span_counters = {
+        "conv_layers": len(contexts),
+        "total_cycles": result.total_cycles,
+        "relayouts": sum(1 for m in result.layers if not m.coupled),
+    }
+    span_counters.update(counters)
+    network_span.add_counters(span_counters)
+    return result
+
+
+def _search_scalar(
+    contexts, array_dim: int, row_limit: int, col_limit: int
+) -> Tuple[int, tuple, Dict[str, int]]:
+    """The legacy per-candidate DP (``REPRO_BATCHED_MAPPER=off``)."""
     # Per-layer candidate sets and their step counts.
     layer_outs: List[List[Triple]] = []
     for ctx in contexts:
@@ -558,43 +815,207 @@ def _map_network_search(
             item[0],
         ),
     )[1]
-    mappings: List[LayerMapping] = []
-    for ctx, (in_triple, out_triple, relayout) in zip(contexts, final_trace):
-        factors = UnrollingFactors(
-            tm=out_triple[0], tn=in_triple[0], tr=out_triple[1],
-            tc=out_triple[2], ti=in_triple[1], tj=in_triple[2],
+    counters = {"output_candidates": sum(len(outs) for outs in layer_outs)}
+    return final_cost, final_trace, counters
+
+
+def _pruned_layer_outs(
+    layer: ConvLayer,
+    tr_tc_bound: Optional[int],
+    row_limit: int,
+    col_limit: int,
+    next_layer: Optional[ConvLayer],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """One layer's output candidates, Pareto-pruned for the coupling DP.
+
+    Every output candidate of a layer shares the same downstream option
+    set (the coupled/free transition costs of the *next* layer), and each
+    of those costs is strictly increasing in the candidate's step count
+    ``fout``.  Two candidates that induce the same coupled input triple
+    for the next layer (the DP's transition bucket, with infeasible
+    coupling as a shared ``None`` bucket) are therefore totally ordered:
+    only the bucket's earliest minimum-``fout`` member can ever win the
+    bucket or the global best-predecessor slot, with ties resolved to the
+    earliest candidate in lexicographic order — exactly the scalar DP's
+    strict-``<`` first-wins updates.  For the last layer the final
+    selection key ``(cost, ceil(M/Tm), triple)`` collapses the whole set
+    to a single survivor the same way.
+
+    Returns ``(kept_triples, kept_fout, coupled_arr, coupled_ok,
+    kept_bucket_first, n_full)`` with kept entries in candidate
+    (lexicographic) order; ``coupled_arr[i]`` is the coupled triple the
+    entry offers the next layer (valid only where ``coupled_ok[i]`` —
+    infeasible coupling and the last layer share the all-false bucket)
+    and ``kept_bucket_first[i]`` the position where the entry's bucket
+    *first appears* in the full candidate list — the scalar DP's
+    bucket-visit order, which decides exact cost ties in Option A.
+    """
+    dims, caps = _output_space(layer, tr_tc_bound)
+    arr = candidate_array(dims, row_limit, caps)
+    fout = _steps_array(dims, arr)
+    n_full = len(arr)
+    if next_layer is None:
+        # Final layer: the selection key (cost, ceil(M/Tm), triple) with
+        # cost strictly increasing in fout keeps exactly one candidate.
+        # argmin of the packed (fout, ceil_m) key is the lexicographic
+        # first minimum, matching the scalar tie-break chain.
+        ceil_m = -(-layer.out_maps // arr[:, 0])
+        pick = int(np.argmin(fout * (np.int64(layer.out_maps) + 1) + ceil_m))
+        keep = np.asarray([pick])
+        return (
+            arr[keep],
+            fout[keep],
+            np.zeros((1, 3), dtype=np.int64),
+            np.zeros(1, dtype=bool),
+            keep,
+            n_full,
         )
-        factors.check(
-            ctx.layer,
-            array_dim,
-            tr_tc_bound=ctx.tr_tc_bound,
-            max_rows=row_limit,
-            max_cols=col_limit,
+    tn = np.minimum(arr[:, 0], next_layer.in_maps)
+    ti = np.minimum(arr[:, 1], next_layer.kernel)
+    tj = np.minimum(arr[:, 2], next_layer.kernel)
+    feasible = (tn * ti * tj) <= col_limit
+    # Each bucket is (feasible, tn, ti, tj); the factors are bounded by
+    # the next layer's extents, so packing them into one int64 (with -1
+    # for the shared infeasible bucket) is collision-free and lets the
+    # grouping run as a 1-D unique instead of a row-wise one.
+    span = np.int64(next_layer.kernel) + 1
+    codes = np.where(feasible, (tn * span + ti) * span + tj, np.int64(-1))
+    _, inv = np.unique(codes, return_inverse=True)
+    inv = inv.reshape(-1)
+    # Group by bucket, order by (fout, position) inside each group; the
+    # first row of each group is its earliest minimum-fout member.
+    # Stable argsort of the packed (inv, fout) key gives exactly that
+    # (positions break remaining ties by stability); a second stable
+    # pass on inv alone yields each bucket's first appearance (same
+    # primary key, so the group boundaries coincide).
+    order = np.argsort(inv * (np.int64(fout.max()) + 1) + fout, kind="stable")
+    grouped = inv[order]
+    starts = np.flatnonzero(np.r_[True, grouped[1:] != grouped[:-1]])
+    winners = order[starts]
+    bucket_first = np.argsort(inv, kind="stable")[starts]
+    by_position = np.argsort(winners)
+    keep = winners[by_position]
+    return (
+        arr[keep],
+        fout[keep],
+        np.stack([tn[keep], ti[keep], tj[keep]], axis=1),
+        feasible[keep],
+        bucket_first[by_position],
+        n_full,
+    )
+
+
+def _search_batched(
+    contexts, array_dim: int, row_limit: int, col_limit: int
+) -> Tuple[int, tuple, Dict[str, int]]:
+    """The vectorized coupling DP over Pareto-pruned candidate sets.
+
+    Produces bit-identical mappings to :func:`_search_scalar`: the pruning
+    argument lives in :func:`_pruned_layer_outs`, and every argmin below
+    resolves ties the way the scalar strict-``<`` loops do (first
+    occurrence, with buckets visited in first-appearance order).
+    """
+    first = contexts[0].layer
+    next_layer = contexts[1].layer if len(contexts) > 1 else None
+    outs, fout, coupled_arr, coupled_ok, bucket_first, n_full = _pruned_layer_outs(
+        first, contexts[0].tr_tc_bound, row_limit, col_limit, next_layer
+    )
+    free_in_first, fin_first, _ = _best_input_batched(first, col_limit)
+    state_cost = fout * fin_first
+    state_coupled_arr = coupled_arr
+    state_coupled_ok = coupled_ok
+    state_bucket_first = bucket_first
+    first_outs_list = outs.tolist()
+    total_candidates = n_full
+    kept_candidates = len(outs)
+    # One backpointer record per non-first layer; the single surviving
+    # final candidate's trace is reconstructed from them afterwards —
+    # materializing a trace tuple per live candidate per layer is the
+    # one thing the scalar DP does that batching doesn't need.
+    records = []
+
+    for idx in range(1, len(contexts)):
+        layer = contexts[idx].layer
+        free_in, fin_free, _ = _best_input_batched(layer, col_limit)
+        penalty = relayout_penalty_cycles(layer, array_dim)
+        next_layer = contexts[idx + 1].layer if idx + 1 < len(contexts) else None
+        outs, fout, coupled_arr, coupled_ok, bucket_first, n_full = _pruned_layer_outs(
+            layer, contexts[idx].tr_tc_bound, row_limit, col_limit, next_layer
         )
-        mappings.append(
-            LayerMapping(
-                layer=ctx.layer,
-                factors=factors,
-                array_dim=array_dim,
-                utilization=utilization_report(ctx.layer, factors, array_dim),
-                compute_cycles=factors.outer_iterations(ctx.layer),
-                relayout_cycles=relayout,
+        total_candidates += n_full
+        kept_candidates += len(outs)
+
+        # The scalar DP visits transition buckets in first-appearance
+        # order and updates on strict <, so exact cost ties resolve to
+        # the bucket appearing earliest in the full candidate list.
+        feas = np.flatnonzero(state_coupled_ok)
+        feas = feas[np.argsort(state_bucket_first[feas], kind="stable")]
+        if feas.size:
+            fin_coupled = _steps_array(
+                (layer.in_maps, layer.kernel, layer.kernel),
+                state_coupled_arr[feas],
+            )
+            prev_costs = state_cost[feas]
+            # (n_buckets, n_outs) transition matrix; first-occurrence
+            # argmin reproduces the strict-< bucket scan.
+            cost_a = prev_costs[:, None] + fin_coupled[:, None] * fout[None, :]
+            pick_a = np.argmin(cost_a, axis=0)
+            best_a = cost_a[pick_a, np.arange(len(outs))]
+        # Option B: break coupling from the globally best predecessor.
+        # State entries sit in ascending candidate-position order, so
+        # argmin's first-minimum is the scalar items() scan's tie-break.
+        best_prev = int(np.argmin(state_cost))
+        cost_b = state_cost[best_prev] + fin_free * fout + penalty
+
+        if feas.size:
+            use_b = cost_b < best_a
+            new_cost = np.where(use_b, cost_b, best_a)
+            pick_a_list = pick_a.tolist()
+        else:
+            use_b = np.ones(len(outs), dtype=bool)
+            new_cost = cost_b
+            pick_a_list = []
+        records.append(
+            (
+                use_b.tolist(),
+                pick_a_list,
+                feas.tolist(),
+                best_prev,
+                free_in,
+                penalty,
+                state_coupled_arr,
+                outs.tolist(),
             )
         )
-    result = NetworkMapping(
-        network_name=network.name, array_dim=array_dim, layers=tuple(mappings)
-    )
-    assert result.total_cycles == final_cost, "DP cost must match reconstruction"
-    REGISTRY.counter("mapper.networks_mapped").inc()
-    network_span.add_counters(
-        {
-            "conv_layers": len(contexts),
-            "output_candidates": sum(len(outs) for outs in layer_outs),
-            "total_cycles": result.total_cycles,
-            "relayouts": sum(1 for m in result.layers if not m.coupled),
-        }
-    )
-    return result
+        state_cost = new_cost
+        state_coupled_arr = coupled_arr
+        state_coupled_ok = coupled_ok
+        state_bucket_first = bucket_first
+
+    # The last layer was pruned to the scalar DP's unique final pick;
+    # walk the backpointers from it to rebuild the winning trace.
+    assert len(state_cost) == 1
+    j = 0
+    steps_rev = []
+    for use_b, pick_a, feasible_idx, best_prev, free_in, penalty, prev_coupled, outs_list in reversed(
+        records
+    ):
+        out_triple = tuple(outs_list[j])
+        if use_b[j]:
+            steps_rev.append((free_in, out_triple, penalty))
+            j = best_prev
+        else:
+            winner = feasible_idx[pick_a[j]]
+            coupled_in = tuple(prev_coupled[winner].tolist())
+            steps_rev.append((coupled_in, out_triple, 0))
+            j = winner
+    steps_rev.append((free_in_first, tuple(first_outs_list[j]), 0))
+    counters = {
+        "output_candidates": total_candidates,
+        "candidates_pruned": total_candidates - kept_candidates,
+        "configs_evaluated": kept_candidates,
+    }
+    return int(state_cost[0]), tuple(reversed(steps_rev)), counters
 
 
 # -- cache management ---------------------------------------------------------
@@ -633,6 +1054,7 @@ def mapping_cache_info() -> Dict[str, object]:
     return {
         "map_layer": layer_cache.cache_info(),
         "map_network": network_cache.cache_info(),
+        "candidates": _candidate_cache.cache_info(),
         "configured_size": mapping_cache_size(),
     }
 
@@ -647,3 +1069,7 @@ def clear_mapping_cache() -> None:
     global _map_layer_cached, _map_network_cached
     _map_layer_cached = None
     _map_network_cached = None
+    _candidate_cache.cache_clear()
+    _candidate_tuples.cache_clear()
+    _useful_cached.cache_clear()
+    _best_input_cached.cache_clear()

@@ -11,8 +11,12 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.arch.config import ArchConfig
-from repro.dataflow.rectangular import best_aspect_ratio, map_layer_rect
-from repro.experiments.common import ExperimentResult
+from repro.dataflow.rectangular import (
+    aspect_ratio_candidates,
+    best_aspect_ratio,
+    map_layer_rect,
+)
+from repro.experiments.common import ExperimentResult, sweep_span
 from repro.nn.workloads import WORKLOAD_NAMES, get_workload
 
 
@@ -23,28 +27,37 @@ def run(
 ) -> ExperimentResult:
     rows = []
     square_dim = int(pe_budget**0.5)
-    for name in workloads:
-        network = get_workload(name)
-        square_util = 0.0
-        total_macs = 0
-        total_cycles = 0
-        for ctx in network.conv_contexts():
-            mapping = map_layer_rect(
-                ctx.layer, square_dim, square_dim, tr_tc_bound=ctx.tr_tc_bound
+    # Each (workload, shape) design point runs the vectorized per-layer
+    # candidate scorer; the span records the sweep's full grid size.
+    shape_count = len(aspect_ratio_candidates(pe_budget))
+    with sweep_span(
+        "aspect_ratio_study",
+        configs_evaluated=len(workloads) * (shape_count + 1),
+    ):
+        for name in workloads:
+            network = get_workload(name)
+            square_util = 0.0
+            total_macs = 0
+            total_cycles = 0
+            for ctx in network.conv_contexts():
+                mapping = map_layer_rect(
+                    ctx.layer, square_dim, square_dim, tr_tc_bound=ctx.tr_tc_bound
+                )
+                total_macs += ctx.layer.macs
+                total_cycles += mapping.compute_cycles
+            square_util = total_macs / (total_cycles * pe_budget)
+            (best_rows, best_cols), best_util = best_aspect_ratio(
+                network, pe_budget
             )
-            total_macs += ctx.layer.macs
-            total_cycles += mapping.compute_cycles
-        square_util = total_macs / (total_cycles * pe_budget)
-        (best_rows, best_cols), best_util = best_aspect_ratio(network, pe_budget)
-        rows.append(
-            {
-                "workload": name,
-                "square_util": square_util,
-                "best_shape": f"{best_rows}x{best_cols}",
-                "best_util": best_util,
-                "gain": best_util / square_util if square_util else float("inf"),
-            }
-        )
+            rows.append(
+                {
+                    "workload": name,
+                    "square_util": square_util,
+                    "best_shape": f"{best_rows}x{best_cols}",
+                    "best_util": best_util,
+                    "gain": best_util / square_util if square_util else float("inf"),
+                }
+            )
     return ExperimentResult(
         experiment_id="aspect",
         title=f"Rectangular-array study at a {pe_budget}-PE budget",

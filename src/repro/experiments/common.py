@@ -7,15 +7,19 @@ for EXPERIMENTS.md and the benchmark harness to print paper-style tables.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.accelerators import make_accelerator
 from repro.accelerators.base import NetworkResult
 from repro.arch.config import ArchConfig
+from repro.dataflow.mapper import batched_mapper_enabled
 from repro.errors import ConfigurationError
 from repro.nn.network import Network
 from repro.nn.workloads import get_workload
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracer import current_tracer
 
 #: Canonical architecture order used across all experiments.
 ARCH_ORDER = ("systolic", "mapping2d", "tiling", "flexflow")
@@ -85,6 +89,63 @@ def run_all_architectures(
         ).simulate_network(network)
         for kind in kinds
     }
+
+
+#: A sweep design point: ``(key, kind, network, config)``.  ``key`` is the
+#: caller's row identifier; the other three say what to evaluate.
+SweepPoint = Tuple[Any, str, Network, Optional[ArchConfig]]
+
+
+@contextmanager
+def sweep_span(label: str, **counters: int):
+    """A tracer span wrapping one batched sweep evaluation.
+
+    Yields the span so callers can add counters discovered mid-sweep;
+    the ``configs_evaluated``-style counts passed here are recorded up
+    front together with which candidate-scoring path was active.
+    """
+    tracer = current_tracer()
+    with tracer.span(
+        f"sweep:{label}",
+        category="sweep",
+        labels={"batched": "on" if batched_mapper_enabled() else "off"},
+    ) as span:
+        if tracer.enabled and counters:
+            span.add_counters(dict(counters))
+        yield span
+
+
+def evaluate_sweep(
+    label: str, points: Sequence[SweepPoint]
+) -> Dict[Any, NetworkResult]:
+    """Evaluate a batch of ``(kind, network, config)`` design points.
+
+    This is the shared entry for sweep-shaped experiments (`dse`,
+    `fig19`, `sensitivity`, ...).  The heavy lifting is batched
+    underneath: every FlexFlow point funnels through the vectorized
+    candidate-scoring mapper (see ``REPRO_BATCHED_MAPPER``), each
+    distinct ``(kind, config, workload)`` accelerator instance is
+    constructed once, and repeated points hit the mapping memo and the
+    persistent result cache exactly as before (``simulate_network``
+    keeps both intact).  The whole batch runs under one ``sweep:{label}``
+    span reporting configs-evaluated counts.
+    """
+    results: Dict[Any, NetworkResult] = {}
+    with sweep_span(label, configs_evaluated=len(points)) as span:
+        accelerators: Dict[Tuple[str, Optional[ArchConfig], str], Any] = {}
+        for key, kind, network, config in points:
+            acc_key = (kind, config, network.name)
+            accelerator = accelerators.get(acc_key)
+            if accelerator is None:
+                accelerator = make_accelerator(
+                    kind, config, workload_name=network.name
+                )
+                accelerators[acc_key] = accelerator
+            results[key] = accelerator.simulate_network(network)
+        if current_tracer().enabled:
+            span.add_counters({"accelerators": len(accelerators)})
+    REGISTRY.counter("experiments.sweep_points", sweep=label).inc(len(points))
+    return results
 
 
 def run_matrix(

@@ -12,10 +12,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.accelerators import FlexFlowAccelerator
 from repro.arch.area import area_report
 from repro.arch.config import ArchConfig
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, evaluate_sweep
 from repro.nn.workloads import WORKLOAD_NAMES, get_workload
 
 DEFAULT_SCALES = (8, 16, 32, 64)
@@ -27,26 +26,33 @@ def run(
     config: Optional[ArchConfig] = None,
 ) -> ExperimentResult:
     base = config or ArchConfig()
-    # Everything that depends only on the scale — the scaled config, the
-    # accelerator instance, and its area — is hoisted out of the workload
-    # loop: one entry per unique dim instead of one per (workload, dim)
-    # point.  The mapper then runs once per unique (network, array_dim,
-    # mask) via the shared accelerator's memoized ``map_network``.
-    per_dim = []
-    for dim in scales:
-        cfg = base.scaled_to(dim)
-        per_dim.append(
-            (dim, FlexFlowAccelerator(cfg), area_report("flexflow", cfg).total_mm2)
-        )
+    # Per-scale state (the scaled config and its area) is hoisted out of
+    # the workload loop; the (workload x dim) grid itself is evaluated as
+    # one batched sweep — every design point funnels through the
+    # vectorized candidate-scoring mapper, deduped per unique
+    # (network, array_dim, mask) by the mapping memo.
+    per_dim = [
+        (dim, base.scaled_to(dim)) for dim in scales
+    ]
+    areas = {
+        dim: area_report("flexflow", cfg).total_mm2 for dim, cfg in per_dim
+    }
+    networks = {name: get_workload(name) for name in workloads}
+    results = evaluate_sweep(
+        "dse_array_scale",
+        [
+            ((name, dim), "flexflow", networks[name], cfg)
+            for name in workloads
+            for dim, cfg in per_dim
+        ],
+    )
     rows = []
     for name in workloads:
-        network = get_workload(name)
         best_scale = None
         best_density = -1.0
         row = {"workload": name}
-        for dim, accelerator, area in per_dim:
-            result = accelerator.simulate_network(network)
-            density = result.gops / area
+        for dim, _cfg in per_dim:
+            density = results[(name, dim)].gops / areas[dim]
             row[f"gops_per_mm2_at_{dim}"] = density
             if density > best_density:
                 best_density = density

@@ -24,7 +24,12 @@ from typing import Optional, Sequence
 from repro.accelerators import make_accelerator
 from repro.arch.config import ArchConfig
 from repro.errors import MappingError, SimulationError
-from repro.experiments.common import ARCH_LABELS, ARCH_ORDER, ExperimentResult
+from repro.experiments.common import (
+    ARCH_LABELS,
+    ARCH_ORDER,
+    ExperimentResult,
+    sweep_span,
+)
 from repro.faults.model import FaultModel
 from repro.nn.workloads import WORKLOAD_NAMES, get_workload
 
@@ -52,45 +57,54 @@ def run(
 
     rows = []
     healthy_gops: dict = {}
-    for rate in rates:
-        mask = FaultModel(seed=seed, dead_pe_rate=rate).mask_for(array_dim)
-        config = replace(
-            base_config, pe_mask=None if mask.is_healthy else mask
-        )
-        for name in names:
-            network = get_workload(name)
-            for kind in ARCH_ORDER:
-                try:
-                    result = make_accelerator(
-                        kind, config, workload_name=name
-                    ).simulate_network(network)
-                    gops = result.gops
-                    utilization = result.overall_utilization
-                except (MappingError, SimulationError):
-                    gops = 0.0
-                    utilization = 0.0
-                key = (name, kind)
-                if rate == 0.0 or key not in healthy_gops:
-                    baseline = healthy_gops.setdefault(
-                        key,
-                        _healthy_gops(kind, base_config, name)
-                        if rate != 0.0
-                        else gops,
+    # This sweep cannot funnel through ``evaluate_sweep`` wholesale — a
+    # design point may legitimately fail to map under its fault mask and
+    # must degrade to a zero row instead of aborting the batch — but it
+    # still runs under the shared sweep span (and the vectorized mapper
+    # underneath) so tracing reports the grid like the other sweeps.
+    with sweep_span(
+        "fault_degradation",
+        configs_evaluated=len(rates) * len(names) * len(ARCH_ORDER),
+    ):
+        for rate in rates:
+            mask = FaultModel(seed=seed, dead_pe_rate=rate).mask_for(array_dim)
+            config = replace(
+                base_config, pe_mask=None if mask.is_healthy else mask
+            )
+            for name in names:
+                network = get_workload(name)
+                for kind in ARCH_ORDER:
+                    try:
+                        result = make_accelerator(
+                            kind, config, workload_name=name
+                        ).simulate_network(network)
+                        gops = result.gops
+                        utilization = result.overall_utilization
+                    except (MappingError, SimulationError):
+                        gops = 0.0
+                        utilization = 0.0
+                    key = (name, kind)
+                    if rate == 0.0 or key not in healthy_gops:
+                        baseline = healthy_gops.setdefault(
+                            key,
+                            _healthy_gops(kind, base_config, name)
+                            if rate != 0.0
+                            else gops,
+                        )
+                    else:
+                        baseline = healthy_gops[key]
+                    retention = gops / baseline if baseline > 0 else 0.0
+                    rows.append(
+                        {
+                            "workload": name,
+                            "fault_rate": rate,
+                            "dead_pes": mask.num_dead,
+                            "arch": ARCH_LABELS[kind],
+                            "utilization": utilization,
+                            "gops": gops,
+                            "gops_retention": retention,
+                        }
                     )
-                else:
-                    baseline = healthy_gops[key]
-                retention = gops / baseline if baseline > 0 else 0.0
-                rows.append(
-                    {
-                        "workload": name,
-                        "fault_rate": rate,
-                        "dead_pes": mask.num_dead,
-                        "arch": ARCH_LABELS[kind],
-                        "utilization": utilization,
-                        "gops": gops,
-                        "gops_retention": retention,
-                    }
-                )
     return ExperimentResult(
         experiment_id="fault_degradation",
         title="Throughput degradation under stuck-at-dead PE faults",

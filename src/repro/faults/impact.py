@@ -24,13 +24,18 @@ tiles them); leftover PEs outside any structure absorb faults for free.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.faults.mask import AvailabilityMask
 
 
-def _linear_dead_indices(mask: AvailabilityMask) -> set:
-    """Dead PEs as row-major linear indices."""
-    return {r * mask.array_dim + c for r, c in mask.dead}
+def _dead_flags(mask: AvailabilityMask) -> np.ndarray:
+    """Row-major boolean PE grid, True where the mask marks a PE dead."""
+    flags = np.zeros(mask.array_dim * mask.array_dim, dtype=bool)
+    for r, c in mask.dead:
+        flags[r * mask.array_dim + c] = True
+    return flags
 
 
 def systolic_retention(mask: AvailabilityMask, array_size: int) -> float:
@@ -39,16 +44,14 @@ def systolic_retention(mask: AvailabilityMask, array_size: int) -> float:
         raise ConfigurationError(f"array_size must be positive, got {array_size}")
     pes_per_array = array_size * array_size
     num_arrays = max(1, (mask.array_dim * mask.array_dim) // pes_per_array)
-    dead = _linear_dead_indices(mask)
-    surviving = sum(
-        1
-        for index in range(num_arrays)
-        if not any(
-            pe in dead
-            for pe in range(index * pes_per_array, (index + 1) * pes_per_array)
-        )
-    )
-    return surviving / num_arrays
+    covered = num_arrays * pes_per_array
+    flags = _dead_flags(mask)[:covered]
+    if flags.size < covered:
+        # An array larger than the grid still counts as one structure;
+        # pad the missing (nonexistent, hence fault-free) PEs.
+        flags = np.pad(flags, (0, covered - flags.size))
+    per_array_dead = flags.reshape(num_arrays, pes_per_array).any(axis=1)
+    return int((~per_array_dead).sum()) / num_arrays
 
 
 def row_kill_retention(mask: AvailabilityMask) -> float:
@@ -61,11 +64,10 @@ def tiling_retention(mask: AvailabilityMask, tm: int, tn: int) -> float:
     """Fraction of ``Tm`` clusters (of ``Tn`` lanes) that survive the mask."""
     if tm <= 0 or tn <= 0:
         raise ConfigurationError(f"tm/tn must be positive, got ({tm},{tn})")
-    dead = _linear_dead_indices(mask)
-    total_pes = mask.array_dim * mask.array_dim
-    surviving = 0
-    for cluster in range(tm):
-        lanes = range(cluster * tn, (cluster + 1) * tn)
-        if all(pe >= total_pes or pe not in dead for pe in lanes):
-            surviving += 1
-    return surviving / tm
+    flags = _dead_flags(mask)
+    covered = tm * tn
+    if flags.size < covered:
+        # Lane indices past the physical grid absorb faults for free.
+        flags = np.pad(flags, (0, covered - flags.size))
+    per_cluster_dead = flags[:covered].reshape(tm, tn).any(axis=1)
+    return int((~per_cluster_dead).sum()) / tm

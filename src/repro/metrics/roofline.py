@@ -12,10 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.arch.config import ArchConfig
 from repro.compiler.codegen import compile_network
 from repro.compiler.executor import ProgramExecutor
+from repro.compiler.isa import Opcode
 from repro.errors import ConfigurationError
+from repro.experiments.common import sweep_span
 from repro.nn.network import Network
 
 #: Bandwidths swept, in 16-bit words per engine cycle (1 word/cycle at
@@ -50,23 +54,56 @@ def bandwidth_sweep(
     bandwidths: Sequence[int] = DEFAULT_BANDWIDTHS,
     config: Optional[ArchConfig] = None,
 ) -> List[RooflinePoint]:
-    """Execute the compiled network across the bandwidth sweep."""
+    """Execute the compiled network across the bandwidth sweep.
+
+    Only DMA instructions cost bandwidth-dependent cycles and the
+    capacity checks are bandwidth-independent, so the program is walked
+    *once* (at the first swept bandwidth, validating every instruction)
+    and the remaining points are re-costed in one vectorized pass over
+    the program's DMA word counts — exactly ``ceil(words / bw)`` per
+    transfer, identical to a fresh executor run at each bandwidth.
+    """
     if not bandwidths:
         raise ConfigurationError("bandwidths must be non-empty")
-    cfg = config or ArchConfig().scaled_to(array_dim)
-    program = compile_network(network, array_dim)
-    points = []
     for words in bandwidths:
-        report = ProgramExecutor(cfg, dma_words_per_cycle=words).execute(program)
-        points.append(
-            RooflinePoint(
-                words_per_cycle=words,
-                total_cycles=report.total_cycles,
-                compute_cycles=report.compute_cycles,
-                dma_cycles=report.dma_cycles,
+        if words <= 0:
+            raise ConfigurationError(
+                f"dma_words_per_cycle must be positive, got {words}"
             )
+    cfg = config or ArchConfig().scaled_to(array_dim)
+    with sweep_span(
+        "bandwidth_study", configs_evaluated=len(bandwidths)
+    ) as span:
+        program = compile_network(network, array_dim)
+        report = ProgramExecutor(
+            cfg, dma_words_per_cycle=bandwidths[0]
+        ).execute(program)
+        fixed_cycles = report.total_cycles - report.dma_cycles
+        dma_word_counts = np.array(
+            [
+                instr.operands[0]
+                for instr in program.instructions
+                if instr.opcode in (Opcode.LDN, Opcode.LDK, Opcode.WB)
+            ],
+            dtype=np.int64,
         )
-    return points
+        bws = np.asarray(bandwidths, dtype=np.int64)
+        if dma_word_counts.size:
+            dma_totals = (-(-dma_word_counts[None, :] // bws[:, None])).sum(
+                axis=1
+            )
+        else:
+            dma_totals = np.zeros(len(bws), dtype=np.int64)
+        span.add_counters({"dma_instructions": int(dma_word_counts.size)})
+    return [
+        RooflinePoint(
+            words_per_cycle=int(bw),
+            total_cycles=int(fixed_cycles + dma),
+            compute_cycles=report.compute_cycles,
+            dma_cycles=int(dma),
+        )
+        for bw, dma in zip(bandwidths, dma_totals)
+    ]
 
 
 def required_bandwidth(points: Sequence[RooflinePoint], threshold: float = 0.9) -> int:

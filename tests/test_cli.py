@@ -303,3 +303,66 @@ class TestTraceAnalyticEngine:
         out = capsys.readouterr().out
         assert "engine analytic" in out
         assert "occupancy" in out
+
+
+class TestDseCommand:
+    #: Exact table for ``dse PV --dims 8,16`` (trailing pad stripped) —
+    #: a golden pin of row content, float formatting, and the best marker.
+    GOLDEN_PV = [
+        "== dse: FlexFlow array-scale sweep (batched candidate scoring) ==",
+        "workload  dim    utilization  gops     area_mm2  gops_per_mm2  best",
+        "--------  -----  -----------  -------  --------  ------------  ----",
+        "PV        8x8    0.822        105.231  1.249     84.246",
+        "PV        16x16  0.749        383.699  3.893     98.565        *",
+        "note: * marks the GOPS/mm^2-optimal scale per workload.",
+    ]
+
+    def test_golden_table(self, capsys):
+        assert main(["dse", "PV", "--dims", "8,16"]) == 0
+        out = capsys.readouterr().out
+        assert [line.rstrip() for line in out.strip().splitlines()] == self.GOLDEN_PV
+
+    def test_scalar_engine_rows_identical(self, capsys):
+        assert main(["dse", "PV", "--dims", "8,16", "--engine", "scalar"]) == 0
+        out = capsys.readouterr().out
+        lines = [line.rstrip() for line in out.strip().splitlines()]
+        assert lines[0] == (
+            "== dse: FlexFlow array-scale sweep (scalar candidate scoring) =="
+        )
+        assert lines[1:] == self.GOLDEN_PV[1:]
+
+    def test_engine_flag_does_not_leak(self, capsys):
+        import os
+
+        from repro.dataflow.mapper import ENV_BATCHED_MAPPER
+
+        before = os.environ.get(ENV_BATCHED_MAPPER)
+        assert main(["dse", "PV", "--dims", "8", "--engine", "scalar"]) == 0
+        capsys.readouterr()
+        assert os.environ.get(ENV_BATCHED_MAPPER) == before
+
+    def test_all_workloads(self, capsys):
+        assert main(["dse", "all", "--dims", "8"]) == 0
+        out = capsys.readouterr().out
+        for name in ("PV", "FR", "LeNet-5", "HG", "AlexNet", "VGG-11"):
+            assert name in out
+
+    def test_workload_file_accepted(self, tmp_path, capsys):
+        path = tmp_path / "tiny.net"
+        path.write_text("network Tiny\ninput 1 8\nconv C1 maps 2 kernel 3\n")
+        assert main(["dse", str(path), "--dims", "4,8"]) == 0
+        assert "Tiny" in capsys.readouterr().out
+
+    def test_jobs_flag_accepted(self, capsys):
+        assert main(["dse", "PV", "--dims", "8", "--jobs", "2"]) == 0
+        assert "PV" in capsys.readouterr().out
+
+    def test_invalid_dims_rejected(self, capsys):
+        assert main(["dse", "PV", "--dims", "0,8"]) == 1
+        assert "positive" in capsys.readouterr().err
+        assert main(["dse", "PV", "--dims", "eight"]) == 1
+        assert "bad dimension list" in capsys.readouterr().err
+
+    def test_invalid_jobs_rejected(self, capsys):
+        assert main(["dse", "PV", "--jobs", "0"]) == 1
+        assert "jobs must be >= 1" in capsys.readouterr().err
