@@ -1,0 +1,96 @@
+"""Boot a fresh serve instance, run the load-test protocol, print JSON.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--check]
+
+The server subprocess gets its own temporary cache directory, so every
+run starts cold.  ``--check`` turns the run into the CI smoke gate: it
+exits non-zero unless
+
+* the dedup phase proves coalescing — N identical concurrent cold
+  requests cost exactly ONE backend computation, dedup hit-rate > 0
+  (read from the service's own ``/metrics`` counters);
+* the warm phase was served entirely from the cache;
+* the service answered zero 5xx responses.
+
+The warm/cold throughput *ratio* is recorded here but guarded by
+``capture_baseline.py --check`` against the committed baseline, where
+machine-independent ratio comparison lives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+from repro.serve.loadtest import run_load_test, start_server
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fanout", type=int, default=16,
+        help="identical concurrent requests in the dedup phase (default 16)",
+    )
+    parser.add_argument(
+        "--warm-rounds", type=int, default=20,
+        help="replays of the cold point set in the warm phase (default 20)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="server worker processes (default 2)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless dedup/cache/5xx invariants hold",
+    )
+    args = parser.parse_args(argv[1:])
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        env = dict(os.environ)
+        env.update(REPRO_CACHE="on", REPRO_CACHE_DIR=tmp)
+        proc, client = start_server(jobs=args.jobs, env=env)
+        try:
+            report = run_load_test(
+                client, fanout=args.fanout, warm_rounds=args.warm_rounds
+            )
+        finally:
+            client.close()
+            proc.terminate()
+            proc.wait(timeout=30)
+
+    print(json.dumps(report, indent=2))
+    if not args.check:
+        return 0
+
+    failures = []
+    dedup = report["dedup"]
+    if dedup["backend_computations"] != 1:
+        failures.append(
+            f"{args.fanout} identical concurrent requests cost"
+            f" {dedup['backend_computations']} backend computations, not 1"
+        )
+    if dedup["dedup_hit_rate"] <= 0:
+        failures.append("dedup hit-rate is 0: no request was coalesced")
+    warm_sources = report["warm"]["sources"]
+    if warm_sources.get("cache", 0) != report["warm"]["requests"]:
+        failures.append(f"warm phase not fully cached: {warm_sources}")
+    if report["responses_5xx"] != 0:
+        failures.append(f"{report['responses_5xx']} 5xx responses")
+    if failures:
+        for failure in failures:
+            print(f"serve check FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"serve check passed: dedup {dedup['dedup_hit_rate']:.2f},"
+        f" warm/cold {report['warm_over_cold_throughput']:.1f}x, zero 5xx"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

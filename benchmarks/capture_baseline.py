@@ -20,7 +20,10 @@ engine against the tile engine, and ``sweep`` times the full
 ``generate_report`` pipeline with the persistent result cache off /
 cold (empty store) / warm (populated store).  ``dse_batched`` times the
 cold ``dse_array_scale`` sweep under the legacy scalar mapper loops
-(``REPRO_BATCHED_MAPPER=off``) vs the batched SoA path.
+(``REPRO_BATCHED_MAPPER=off``) vs the batched SoA path.  ``serve``
+boots a fresh ``repro serve`` instance against an empty store and runs
+the load-test protocol (:mod:`repro.serve.loadtest`): coalescing of
+identical concurrent requests, then cold vs warm request throughput.
 
 ``--check`` mode re-measures and compares the *speedup ratios* against
 the committed baseline instead of writing it: ratios are wall-clock
@@ -190,6 +193,32 @@ def _dse_batched(rounds: int) -> dict:
     }
 
 
+def _serve() -> dict:
+    """Load-test a freshly booted serve instance against an empty store.
+
+    The subprocess gets its own temporary cache directory, so the cold
+    numbers are honest and the parent's store is untouched.  The
+    headline ratio (warm/cold request throughput) is a ratio of two
+    same-machine measurements, like the other guarded metrics.
+    """
+    from repro.serve.loadtest import run_load_test, start_server
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        env = dict(os.environ)
+        env.update(REPRO_CACHE="on", REPRO_CACHE_DIR=tmp)
+        proc, client = start_server(jobs=2, env=env)
+        try:
+            report = run_load_test(client)
+        finally:
+            client.close()
+            proc.terminate()
+            proc.wait(timeout=30)
+    report["warm_over_cold_throughput"] = round(
+        report["warm_over_cold_throughput"], 2
+    )
+    return report
+
+
 def capture(rounds: int = 5) -> dict:
     def headline_no_cache():
         clear_mapping_cache()
@@ -222,6 +251,7 @@ def capture(rounds: int = 5) -> dict:
 
     sweep = _sweep(max(2, rounds - 2))
     dse_batched = _dse_batched(rounds)
+    serve = _serve()
 
     return {
         "benchmark": "bench_headline",
@@ -256,6 +286,7 @@ def capture(rounds: int = 5) -> dict:
         },
         "sweep": sweep,
         "dse_batched": dse_batched,
+        "serve": serve,
     }
 
 
@@ -295,12 +326,17 @@ def check(baseline_path: Path, tolerance: float) -> int:
     # (no disk in either denominator), so it is steadier than the cache
     # ratios; 0.5 still catches the real failure mode — the batched
     # path silently degrading back toward scalar speed.
+    # serve.warm_over_cold_throughput shares sweep.warm's shape — a
+    # sub-millisecond cached path over a compute-bound cold path — so it
+    # gets the same 75% band; a broken serve cache or coalescer drags
+    # the ratio to ~1x, far below any plausible floor.
     checked_metrics = (
         ("headline", "speedup_median", None),
         ("sim_engine", "speedup_min", 0.5),
         ("analytic_engine", "speedup_min", 0.5),
         ("sweep", "warm_speedup_median", 0.75),
         ("dse_batched", "speedup_median", 0.5),
+        ("serve", "warm_over_cold_throughput", 0.75),
     )
     for section, field, tolerance_override in checked_metrics:
         metric = f"{section}.{field}"
@@ -372,7 +408,9 @@ def main(argv: list) -> int:
         f" sweep {sweep['off']['median_s']*1000:.1f} ms"
         f" -> {sweep['warm']['median_s']*1000:.1f} ms warm"
         f" ({sweep['warm_speedup_median']}x),"
-        f" dse batched {payload['dse_batched']['speedup_median']}x"
+        f" dse batched {payload['dse_batched']['speedup_median']}x,"
+        f" serve warm/cold {payload['serve']['warm_over_cold_throughput']}x"
+        f" (dedup {payload['serve']['dedup']['dedup_hit_rate']:.2f})"
     )
     return 0
 

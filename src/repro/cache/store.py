@@ -35,6 +35,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.cache.keys import CACHE_SCHEMA_VERSION
 from repro.errors import ConfigurationError
+from repro.fsutil import atomic_write_text
 from repro.obs.metrics import REGISTRY
 
 try:  # pragma: no cover - platform-dependent import
@@ -123,12 +124,9 @@ class ResultCache:
             "payload": payload,
         }
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.parent / f".{key}.{os.getpid()}.tmp"
             # No sort_keys: payload dict order is meaning-bearing (e.g.
             # ExperimentResult rows derive their column order from it).
-            tmp.write_text(json.dumps(document))
-            os.replace(tmp, path)
+            atomic_write_text(path, json.dumps(document))
         except (OSError, TypeError, ValueError):
             # A full/read-only disk or a non-JSON payload degrades to a
             # slower (uncached) run, never a crash.

@@ -11,7 +11,13 @@ Commands:
 * ``dse <workload> | all`` — sweep the FlexFlow array scale (batched);
 * ``trace <workload>`` — per-layer/per-phase cycle breakdown + trace.json;
 * ``profile <experiment>`` — run one experiment under the tracer;
-* ``faults sweep | mask`` — fault-degradation study and mask inspection.
+* ``faults sweep | mask`` — fault-degradation study and mask inspection;
+* ``serve`` — the DSE-as-a-service asyncio HTTP front-end.
+
+All command output funnels through :func:`main`'s single pipe-safe exit
+path: when a downstream consumer closes the pipe early (``repro
+workloads | head -1``), the CLI exits 0 instead of dying with a
+``BrokenPipeError`` traceback.
 """
 
 from __future__ import annotations
@@ -168,6 +174,33 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_sub.add_parser("clear", help="delete every cached entry")
     cache_sub.add_parser(
         "verify", help="validate all entries, deleting corrupt/stale ones"
+    )
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the DSE-as-a-service HTTP front-end"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8787,
+        help="TCP port to bind (0 picks a free port; the bound address"
+        " is printed on startup)",
+    )
+    serve_cmd.add_argument(
+        "-j", "--jobs", type=int, default=2,
+        help="worker processes for cold computations"
+        " (0 runs them inline; default 2)",
+    )
+    serve_cmd.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock limit for one computation",
+    )
+    serve_cmd.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts for failed/timed-out computations (default 1)",
+    )
+    serve_cmd.add_argument(
+        "--backoff", type=float, default=0.25, metavar="SECONDS",
+        help="base retry delay; retry k waits backoff * 2**(k-1) (default 0.25)",
     )
 
     faults = sub.add_parser(
@@ -532,6 +565,28 @@ def _parse_csv(text: str, convert, what: str) -> list:
         raise ConfigurationError(f"bad {what} list {text!r}: {exc}") from exc
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.experiments.runner import RunPolicy
+    from repro.serve.app import ServeApp, run_app
+
+    if args.jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {args.jobs}")
+    policy = RunPolicy(
+        jobs=max(1, args.jobs), timeout_s=args.timeout,
+        retries=args.retries, backoff_s=args.backoff,
+    )
+    app = ServeApp(policy, jobs=args.jobs)
+    try:
+        asyncio.run(run_app(app, args.host, args.port))
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        app.shutdown()
+    return 0
+
+
 def _cmd_faults_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import fig_fault_degradation
 
@@ -577,41 +632,75 @@ def _cmd_faults_mask(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "workloads":
+        return _cmd_workloads()
+    if args.command == "describe":
+        return _cmd_describe(args.workload)
+    if args.command == "map":
+        return _cmd_map(args.workload, args.dim)
+    if args.command == "run":
+        return _cmd_run(args.workload, args.arch, args.dim)
+    if args.command == "compile":
+        return _cmd_compile(args.workload, args.dim, args.execute)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "dse":
+        return _cmd_dse(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "faults":
+        if args.faults_command == "sweep":
+            return _cmd_faults_sweep(args)
+        return _cmd_faults_mask(args)
+    return 2  # pragma: no cover - unreachable with required subcommands
+
+
+def _exit_on_broken_pipe() -> int:
+    """A downstream consumer closed the pipe; exit 0 like other Unix tools.
+
+    ``repro workloads | head -1`` is a normal way to stop reading early —
+    it must not end in a ``BrokenPipeError`` traceback.  The interpreter
+    flushes ``sys.stdout`` once more at exit, which would raise (and
+    print ``Exception ignored ...``) all over again, so point the stdout
+    file descriptor at ``/dev/null`` before returning.
+    """
+    import os
+
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    try:
+        os.dup2(devnull, sys.stdout.fileno())
+    finally:
+        os.close(devnull)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
-        if args.command == "workloads":
-            return _cmd_workloads()
-        if args.command == "describe":
-            return _cmd_describe(args.workload)
-        if args.command == "map":
-            return _cmd_map(args.workload, args.dim)
-        if args.command == "run":
-            return _cmd_run(args.workload, args.arch, args.dim)
-        if args.command == "compile":
-            return _cmd_compile(args.workload, args.dim, args.execute)
-        if args.command == "experiment":
-            return _cmd_experiment(args)
-        if args.command == "dse":
-            return _cmd_dse(args)
-        if args.command == "report":
-            return _cmd_report(args)
-        if args.command == "trace":
-            return _cmd_trace(args)
-        if args.command == "profile":
-            return _cmd_profile(args)
-        if args.command == "cache":
-            return _cmd_cache(args)
-        if args.command == "faults":
-            if args.faults_command == "sweep":
-                return _cmd_faults_sweep(args)
-            return _cmd_faults_mask(args)
+        code = _dispatch(args)
+        # Flush inside the guard: with a small output the EPIPE often
+        # only surfaces at flush time, after the command has returned.
+        sys.stdout.flush()
+        return code
+    except BrokenPipeError:
+        return _exit_on_broken_pipe()
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        try:
+            print(f"error: {exc}", file=sys.stderr)
+        except BrokenPipeError:
+            return _exit_on_broken_pipe()
         return 1
-    return 2  # pragma: no cover - unreachable with required subcommands
 
 
 if __name__ == "__main__":  # pragma: no cover

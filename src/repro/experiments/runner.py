@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments.common import ExperimentResult
+from repro.fsutil import atomic_write_text
 from repro.obs.metrics import REGISTRY
 from repro.obs.tracer import current_tracer
 
@@ -42,8 +43,11 @@ from repro.obs.tracer import current_tracer
 #: where the attribute is a ``dict`` of id -> module-like (has ``run()``).
 PLUGIN_ENV = "REPRO_EXPERIMENTS_PLUGIN"
 
-#: Supervisor polling tick, seconds.
-_TICK_S = 0.02
+#: Upper bound on one supervisor wait, seconds.  The supervisor is
+#: event-driven — it wakes the instant a worker reports or a retry/timeout
+#: deadline arrives — so this cap only bounds how long a lost wake-up
+#: could go unnoticed (e.g. a platform whose pipes cannot be waited on).
+_MAX_WAIT_S = 1.0
 
 
 def experiment_registry() -> Dict[str, Any]:
@@ -150,7 +154,6 @@ def _checkpoint_path(run_dir: str, experiment_id: str) -> Path:
 def _write_checkpoint(run_dir: str, outcome: RunOutcome) -> None:
     """Atomic JSON checkpoint: write to a temp file, then rename."""
     path = _checkpoint_path(run_dir, outcome.experiment_id)
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "experiment_id": outcome.experiment_id,
         "status": outcome.status,
@@ -158,9 +161,7 @@ def _write_checkpoint(run_dir: str, outcome: RunOutcome) -> None:
         "error": outcome.error,
         "attempts": outcome.attempts,
     }
-    tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    os.replace(tmp, path)
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True))
 
 
 def _load_checkpoint(run_dir: str, experiment_id: str) -> Optional[RunOutcome]:
@@ -268,10 +269,7 @@ def _write_manifest(
             for o in outcomes
         }
     path = Path(run_dir) / "manifest.json"
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    os.replace(tmp, path)
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True))
 
 
 def load_manifest(run_dir: str) -> Dict[str, Any]:
@@ -435,6 +433,7 @@ def run_resilient(
     :class:`RunOutcome` records in input order.
     """
     import multiprocessing
+    import multiprocessing.connection
 
     policy = policy or RunPolicy()
     ids = list(experiment_ids)
@@ -590,6 +589,31 @@ def run_resilient(
                 job, "timeout", f"exceeded {policy.timeout_s}s wall clock"
             )
 
+    def next_wake_delay(now: float) -> Optional[float]:
+        """Seconds until the earliest scheduled event, or ``None``.
+
+        Events are per-running-job timeout deadlines and per-pending-job
+        retry ready-at timestamps.  A pending job whose backoff has not
+        elapsed contributes a timer instead of blocking the loop — other
+        ready jobs launch, and finished workers are reaped (and their
+        checkpoints flushed), while it waits.
+        """
+        deadlines = [
+            job.deadline
+            for job in jobs
+            if job.running and job.deadline is not None
+        ]
+        has_free_slot = sum(1 for job in jobs if job.running) < policy.jobs
+        if has_free_slot:
+            deadlines.extend(
+                job.not_before
+                for job in jobs
+                if not job.done and not job.running
+            )
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - now)
+
     try:
         while any(not job.done for job in jobs):
             now = time.monotonic()
@@ -603,10 +627,18 @@ def run_resilient(
                 ):
                     launch(job)
                     running += 1
+            conns = [job.conn for job in jobs if job.running]
+            delay = next_wake_delay(time.monotonic())
+            wait_s = _MAX_WAIT_S if delay is None else min(delay, _MAX_WAIT_S)
+            if conns:
+                # Wakes the instant any worker reports a result or dies
+                # (its pipe end closes), or at the next deadline.
+                multiprocessing.connection.wait(conns, timeout=wait_s)
+            elif wait_s > 0:
+                time.sleep(wait_s)
             for job in jobs:
                 if job.running:
                     reap(job)
-            time.sleep(_TICK_S)
     finally:
         for job in jobs:  # never leak workers on supervisor exceptions
             if job.running:

@@ -1,0 +1,47 @@
+"""Filesystem helpers shared by the cache store, runner, and server.
+
+:func:`atomic_write_text` is the one way this codebase publishes a file:
+write to a uniquely named sibling temp file, then ``os.replace`` onto the
+destination (atomic on POSIX).  Readers therefore observe either the old
+content or the new content, never a partial write — the property the
+persistent result cache, the runner's checkpoints, and the serve layer
+all rely on.  The temp name embeds the pid *and* a process-wide counter
+so two threads of one process publishing the same destination never race
+on one temp file.
+
+On any failure (serialization upstream, a full disk, ``os.replace`` into
+a vanished directory) the temp file is unlinked before the exception
+propagates, so an interrupted write never litters ``*.tmp`` files next
+to the store.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from pathlib import Path
+
+#: Process-wide uniquifier: two threads writing the same destination get
+#: distinct temp files even though they share a pid.
+_SEQUENCE = itertools.count()
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Atomically publish ``text`` at ``path`` (parents created).
+
+    Either the write completes and ``path`` holds exactly ``text``, or it
+    fails, the temp file is removed, and the original ``path`` (if any)
+    is untouched.  Raises ``OSError`` on filesystem failure.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.{next(_SEQUENCE)}.tmp"
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise

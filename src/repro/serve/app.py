@@ -1,0 +1,373 @@
+"""The asyncio HTTP service: routing, coalescing, SSE progress, metrics.
+
+Stdlib only: a deliberately small HTTP/1.1 server on ``asyncio`` streams
+(keep-alive supported, bodies bounded, malformed input answered with
+JSON errors).  Endpoints:
+
+* ``POST /v1/map`` / ``/v1/simulate`` / ``/v1/dse`` — one computation;
+  append ``?stream=1`` for a ``text/event-stream`` progress feed;
+* ``POST /v1/sweep`` — a batch of points sharded across the worker pool;
+* ``GET /metrics`` — the process :data:`~repro.obs.metrics.REGISTRY`
+  snapshot as JSON;
+* ``GET /healthz`` — liveness.
+
+Request flow for a computation: validate → coalesce on the
+content-addressed key (one leader, N waiters) → leader probes the
+persistent ``serve`` cache section → on miss, compute in the worker pool
+under the run policy → publish to the cache → resolve every waiter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs
+
+from repro.cache import active_cache
+from repro.errors import ConfigurationError, ReproError, SpecificationError
+from repro.experiments.runner import RunPolicy
+from repro.obs.metrics import REGISTRY
+from repro.serve.coalescer import Coalescer
+from repro.serve.pool import ProgressSink, WorkerPool, _noop_sink
+from repro.serve.schemas import ComputeRequest, parse_request, parse_sweep
+
+#: Input bounds: one request line, its headers, and its body.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADERS = 100
+MAX_BODY = 2 * 1024 * 1024
+
+#: Idle keep-alive connections are closed after this many seconds.
+IDLE_TIMEOUT_S = 60.0
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    """A malformed request that still deserves a well-formed response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeApp:
+    """One service instance: coalescer + worker pool + HTTP handlers."""
+
+    def __init__(
+        self,
+        policy: Optional[RunPolicy] = None,
+        *,
+        jobs: int = 2,
+    ) -> None:
+        self.coalescer = Coalescer()
+        self.pool = WorkerPool(policy, jobs=jobs)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, host: str, port: int) -> asyncio.AbstractServer:
+        """Bind and return the listening server (port 0 = ephemeral)."""
+        return await asyncio.start_server(self._handle_connection, host, port)
+
+    def shutdown(self) -> None:
+        self.pool.shutdown()
+
+    # -- request flow --------------------------------------------------------
+
+    async def serve_request(
+        self,
+        request: ComputeRequest,
+        progress: Optional[ProgressSink] = None,
+    ) -> Dict[str, Any]:
+        """Compute (or coalesce, or cache-hit) one request to a response."""
+        progress = progress or _noop_sink
+        REGISTRY.counter("serve.requests", kind=request.kind).inc()
+
+        async def leader() -> Dict[str, Any]:
+            cache = active_cache()
+            if cache is not None:
+                stored = cache.get("serve", request.key)
+                if stored is not None:
+                    REGISTRY.counter("serve.results", source="cache").inc()
+                    progress(
+                        {"type": "event", "name": "cache-hit",
+                         "category": "serve", "labels": {"key": request.key}}
+                    )
+                    return {"source": "cache", "result": stored, "spans": []}
+            REGISTRY.counter(
+                "serve.backend_computations", kind=request.kind
+            ).inc()
+            progress(
+                {"type": "event", "name": "scheduled", "category": "serve",
+                 "labels": {"label": request.label}}
+            )
+            envelope = await self.pool.run(request, progress)
+            if cache is not None:
+                cache.put("serve", request.key, envelope["result"])
+            REGISTRY.counter("serve.results", source="computed").inc()
+            return {"source": "computed", **envelope}
+
+        payload, coalesced = await self.coalescer.get_or_compute(
+            request.key, leader, kind=request.kind
+        )
+        response = {"kind": request.kind, "key": request.key, **payload}
+        if coalesced:
+            REGISTRY.counter("serve.results", source="coalesced").inc()
+            response["source"] = "coalesced"
+        return response
+
+    async def _serve_sweep(self, body: Any) -> Dict[str, Any]:
+        requests = parse_sweep(body)
+        REGISTRY.counter("serve.requests", kind="sweep").inc()
+        settled = await asyncio.gather(
+            *(self.serve_request(req) for req in requests),
+            return_exceptions=True,
+        )
+        points: List[Dict[str, Any]] = []
+        errors = 0
+        for req, outcome in zip(requests, settled):
+            if isinstance(outcome, BaseException):
+                errors += 1
+                points.append(
+                    {"kind": req.kind, "key": req.key, "error": str(outcome)}
+                )
+            else:
+                outcome.pop("spans", None)  # batch responses stay compact
+                points.append(outcome)
+        return {"points": points, "errors": errors}
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    parsed = await asyncio.wait_for(
+                        self._read_request(reader), timeout=IDLE_TIMEOUT_S
+                    )
+                except asyncio.TimeoutError:
+                    break
+                except _HttpError as exc:
+                    await self._write_json(
+                        writer, exc.status, {"error": str(exc)},
+                        keep_alive=False,
+                    )
+                    break
+                if parsed is None:
+                    break
+                keep_alive = await self._respond(parsed, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, Dict[str, List[str]], Dict[str, str], bytes]]:
+        """One parsed request, or ``None`` on a clean EOF between requests."""
+        try:
+            line = await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise _HttpError(400, "truncated request line") from exc
+        except asyncio.LimitOverrunError as exc:
+            raise _HttpError(400, "request line too long") from exc
+        if len(line) > MAX_REQUEST_LINE:
+            raise _HttpError(400, "request line too long")
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpError(400, f"malformed request line {line!r}")
+        method, target = parts[0], parts[1]
+        headers: Dict[str, str] = {}
+        for _ in range(MAX_HEADERS + 1):
+            raw = await reader.readuntil(b"\n")
+            if raw in (b"\r\n", b"\n"):
+                break
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if not sep:
+                raise _HttpError(400, f"malformed header {raw!r}")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _HttpError(400, "too many headers")
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
+        if length < 0 or length > MAX_BODY:
+            raise _HttpError(413, f"body exceeds {MAX_BODY} bytes")
+        body = await reader.readexactly(length) if length else b""
+        path, _, query_string = target.partition("?")
+        return method, path, parse_qs(query_string), headers, body
+
+    async def _respond(self, parsed, writer: asyncio.StreamWriter) -> bool:
+        method, path, query, headers, body = parsed
+        keep_alive = headers.get("connection", "").lower() != "close"
+        try:
+            if path == "/healthz":
+                if method != "GET":
+                    raise _HttpError(405, "use GET")
+                await self._write_json(
+                    writer, 200, {"status": "ok"}, keep_alive=keep_alive
+                )
+                return keep_alive
+            if path == "/metrics":
+                if method != "GET":
+                    raise _HttpError(405, "use GET")
+                await self._write_json(
+                    writer, 200, {"metrics": REGISTRY.snapshot()},
+                    keep_alive=keep_alive,
+                )
+                return keep_alive
+            if path in ("/v1/map", "/v1/simulate", "/v1/dse"):
+                if method != "POST":
+                    raise _HttpError(405, "use POST")
+                request = parse_request(
+                    path.rsplit("/", 1)[1], self._decode_body(body)
+                )
+                if query.get("stream", ["0"])[-1] in ("1", "true"):
+                    await self._respond_sse(writer, request)
+                    return False  # SSE responses close the connection
+                payload = await self.serve_request(request)
+                await self._write_json(
+                    writer, 200, payload, keep_alive=keep_alive
+                )
+                return keep_alive
+            if path == "/v1/sweep":
+                if method != "POST":
+                    raise _HttpError(405, "use POST")
+                payload = await self._serve_sweep(self._decode_body(body))
+                await self._write_json(
+                    writer, 200, payload, keep_alive=keep_alive
+                )
+                return keep_alive
+            raise _HttpError(404, f"no route for {path}")
+        except _HttpError as exc:
+            await self._write_json(
+                writer, exc.status, {"error": str(exc)}, keep_alive=keep_alive
+            )
+            return keep_alive
+        except (SpecificationError, ConfigurationError) as exc:
+            # Validation failures are the client's fault: 400.  Other
+            # ReproErrors (e.g. an exhausted worker pool) fall through
+            # to the 500 handler below — the request was well-formed.
+            await self._write_json(
+                writer, 400, {"error": str(exc)}, keep_alive=keep_alive
+            )
+            return keep_alive
+        except (ConnectionError, asyncio.IncompleteReadError):
+            raise
+        except Exception as exc:  # a served bug must answer, not hang
+            await self._write_json(
+                writer, 500, {"error": f"internal error: {exc}"},
+                keep_alive=False,
+            )
+            return False
+
+    @staticmethod
+    def _decode_body(body: bytes) -> Any:
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _HttpError(400, f"body is not valid JSON: {exc}") from exc
+
+    @staticmethod
+    async def _write_json(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        *,
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n\r\n"
+        )
+        REGISTRY.counter("serve.responses", code=str(status)).inc()
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # -- SSE streaming -------------------------------------------------------
+
+    async def _respond_sse(
+        self, writer: asyncio.StreamWriter, request: ComputeRequest
+    ) -> None:
+        """Stream progress events, then the final result, then close."""
+        REGISTRY.counter("serve.responses", code="200").inc()
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        queue: asyncio.Queue = asyncio.Queue()
+        task = asyncio.create_task(
+            self.serve_request(request, queue.put_nowait)
+        )
+        try:
+            while not task.done():
+                getter = asyncio.create_task(queue.get())
+                await asyncio.wait(
+                    {getter, task}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if getter.done():
+                    await self._write_sse(writer, "progress", getter.result())
+                else:
+                    getter.cancel()
+            while not queue.empty():
+                await self._write_sse(writer, "progress", queue.get_nowait())
+            try:
+                payload = task.result()
+            except ReproError as exc:
+                await self._write_sse(writer, "error", {"error": str(exc)})
+                return
+            except Exception as exc:
+                await self._write_sse(
+                    writer, "error", {"error": f"internal error: {exc}"}
+                )
+                return
+            for span in payload.get("spans") or []:
+                await self._write_sse(writer, "progress", span)
+            await self._write_sse(writer, "result", payload)
+        finally:
+            if not task.done():
+                task.cancel()
+
+    @staticmethod
+    async def _write_sse(
+        writer: asyncio.StreamWriter, event: str, data: Dict[str, Any]
+    ) -> None:
+        writer.write(
+            f"event: {event}\ndata: {json.dumps(data)}\n\n".encode("utf-8")
+        )
+        await writer.drain()
+
+
+async def run_app(
+    app: ServeApp, host: str, port: int, *, ready_message: bool = True
+) -> None:
+    """Bind, announce, and serve until cancelled (the CLI entry)."""
+    server = await app.start(host, port)
+    bound = server.sockets[0].getsockname()
+    if ready_message:
+        print(f"serving on http://{bound[0]}:{bound[1]}", flush=True)
+    async with server:
+        await server.serve_forever()

@@ -1,0 +1,73 @@
+"""Coalesce identical in-flight requests onto one backend computation.
+
+The coalescer keeps a futures map keyed by the request's
+content-addressed hash.  The first caller for a key becomes the
+*leader*: it runs the computation and resolves the shared future.  Every
+caller that arrives while the leader is still working becomes a *waiter*
+attached to that future — N identical concurrent cold requests cost
+exactly one computation, which is what makes the service safe to put in
+front of heavy repeated traffic.
+
+Counters (:data:`repro.obs.metrics.REGISTRY`):
+
+* ``serve.coalesced{kind}`` — requests served by attaching to an
+  in-flight leader (the dedup hit count);
+* ``serve.inflight`` gauge — current distinct in-flight computations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, Tuple
+
+from repro.obs.metrics import REGISTRY
+
+
+class Coalescer:
+    """A futures map keyed by request hash, with waiters attached."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, asyncio.Future] = {}
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    async def get_or_compute(
+        self,
+        key: str,
+        compute: Callable[[], Awaitable[Any]],
+        *,
+        kind: str = "",
+    ) -> Tuple[Any, bool]:
+        """``(result, was_coalesced)`` for one request.
+
+        The leader's errors propagate to it *and* to every waiter —
+        a failed computation fails the whole coalesced group (each
+        caller may retry, becoming a fresh leader).  Cancelling a waiter
+        never cancels the leader's computation.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            REGISTRY.counter("serve.coalesced", kind=kind).inc()
+            return await asyncio.shield(existing), True
+
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        REGISTRY.gauge("serve.inflight").set(len(self._inflight))
+        try:
+            result = await compute()
+        except BaseException as exc:
+            if isinstance(exc, Exception):
+                future.set_exception(exc)
+                # Mark retrieved so a waiterless failure does not warn.
+                future.exception()
+            else:  # cancellation and the like: release waiters cleanly
+                future.cancel()
+            raise
+        else:
+            future.set_result(result)
+            return result, False
+        finally:
+            self._inflight.pop(key, None)
+            REGISTRY.gauge("serve.inflight").set(len(self._inflight))

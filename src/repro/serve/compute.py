@@ -1,0 +1,130 @@
+"""The pure computations behind the service endpoints.
+
+:func:`execute_request` replays a validated request spec
+(:class:`~repro.serve.schemas.ComputeRequest`) into a JSON-compatible
+result dict.  It is a module-level function on purpose: the worker pool
+ships ``(kind, spec)`` across the ``spawn`` boundary by name.  All the
+heavy lifting reuses the library paths that already sit behind the
+persistent result cache — ``map_network``, ``simulate_network``,
+``evaluate_sweep`` — so a served computation and a CLI run populate and
+hit the same store entries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.arch.config import ArchConfig
+from repro.errors import SpecificationError
+from repro.nn import get_workload, parse_network
+from repro.nn.network import Network
+from repro.obs.events import condense_spans
+from repro.obs.tracer import Tracer, tracing
+
+
+def _network_from_spec(spec: Dict[str, Any]) -> Network:
+    if "workload" in spec:
+        return get_workload(spec["workload"])
+    return parse_network(spec["source"])
+
+
+def _exec_map(spec: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.dataflow import map_network
+
+    network = _network_from_spec(spec)
+    dim = spec["dim"]
+    mapping = map_network(network, dim)
+    return {
+        "workload": network.name,
+        "dim": dim,
+        "overall_utilization": mapping.overall_utilization,
+        "total_cycles": mapping.total_cycles,
+        "layers": [
+            {
+                "name": lm.layer.name,
+                "factors": lm.factors.describe(),
+                "utilization": lm.utilization.ut,
+                "compute_cycles": lm.compute_cycles,
+                "relayout_cycles": lm.relayout_cycles,
+            }
+            for lm in mapping.layers
+        ],
+    }
+
+
+def _exec_simulate(spec: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.accelerators import make_accelerator
+
+    network = _network_from_spec(spec)
+    dim, arch = spec["dim"], spec["arch"]
+    config = ArchConfig().scaled_to(dim)
+    accelerator = make_accelerator(arch, config, workload_name=network.name)
+    result = accelerator.simulate_network(network)
+    return {
+        "workload": network.name,
+        "arch": arch,
+        "dim": dim,
+        "utilization": result.overall_utilization,
+        "total_cycles": result.total_cycles,
+        "gops": result.gops,
+        "power_mw": result.power_mw,
+        "gops_per_watt": result.gops_per_watt,
+        "energy_uj": result.energy_uj,
+        "dram_accesses": result.dram_accesses,
+    }
+
+
+def _exec_dse(spec: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.arch.area import area_report
+    from repro.experiments.common import evaluate_sweep
+
+    network = _network_from_spec(spec)
+    dims = spec["dims"]
+    base = ArchConfig()
+    per_dim = [(dim, base.scaled_to(dim)) for dim in dims]
+    results = evaluate_sweep(
+        f"serve:{network.name}",
+        [(dim, "flexflow", network, cfg) for dim, cfg in per_dim],
+    )
+    rows = []
+    best_dim, best_density = None, -1.0
+    for dim, cfg in per_dim:
+        result = results[dim]
+        area = area_report("flexflow", cfg).total_mm2
+        density = result.gops / area
+        rows.append(
+            {
+                "dim": dim,
+                "utilization": result.overall_utilization,
+                "gops": result.gops,
+                "area_mm2": area,
+                "gops_per_mm2": density,
+            }
+        )
+        if density > best_density:
+            best_dim, best_density = dim, density
+    return {"workload": network.name, "rows": rows, "best_dim": best_dim}
+
+
+_EXECUTORS = {"map": _exec_map, "simulate": _exec_simulate, "dse": _exec_dse}
+
+
+def execute_request(kind: str, spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one validated request spec to its JSON-compatible result."""
+    executor = _EXECUTORS.get(kind)
+    if executor is None:
+        raise SpecificationError(f"unknown request kind {kind!r}")
+    return executor(spec)
+
+
+def pool_entry(kind: str, spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-pool entry: execute under a tracer, ship condensed spans.
+
+    Runs in a ``spawn`` worker process (or the inline thread executor),
+    where the process-global current-tracer slot is safe to occupy: each
+    worker computes one request at a time.
+    """
+    tracer = Tracer(enabled=True)
+    with tracing(tracer):
+        result = execute_request(kind, spec)
+    return {"result": result, "spans": condense_spans(tracer)}

@@ -1,0 +1,312 @@
+"""Load-test client and harness for the serve front-end.
+
+Three layers, each usable on its own:
+
+* :class:`ServeClient` — a tiny blocking HTTP client (stdlib
+  ``http.client``) for one connection; tests, the CI smoke job, and the
+  benchmark all talk to the service through it;
+* :func:`start_server` — boot ``repro serve`` as a subprocess on an
+  ephemeral port and wait for readiness;
+* :func:`run_load_test` — the measurement protocol behind the committed
+  ``serve`` numbers in ``BENCH_headline.json``:
+
+  1. **dedup** — N identical concurrent cold requests; the
+     ``serve.backend_computations`` counter delta proves exactly one
+     backend computation ran, the ``serve.coalesced`` delta is the
+     dedup hit count;
+  2. **cold** — distinct uncached requests, timed individually;
+  3. **warm** — the same requests replayed; every reply must come from
+     the cache, and the throughput ratio warm/cold is the headline
+     guarded by ``benchmarks/capture_baseline.py --check``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+#: The ready line ``repro serve`` prints once bound.
+_READY_RE = re.compile(r"serving on http://([0-9.]+):(\d+)")
+
+
+class ServeClient:
+    """One keep-alive connection to a serve instance."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8787, timeout: float = 120.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def request(
+        self, method: str, path: str, body: Optional[Any] = None
+    ) -> Tuple[int, Any]:
+        """One request; returns ``(status, decoded JSON body)``."""
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if payload else {}
+        try:
+            conn = self._connection()
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (OSError, http.client.HTTPException):
+            # One reconnect: the server may have idled out the keep-alive.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        try:
+            decoded = json.loads(raw) if raw else None
+        except ValueError:
+            decoded = {"raw": raw.decode("utf-8", "replace")}
+        return response.status, decoded
+
+    def get(self, path: str) -> Tuple[int, Any]:
+        return self.request("GET", path)
+
+    def post(self, path: str, body: Any) -> Tuple[int, Any]:
+        return self.request("POST", path, body)
+
+    def healthz(self) -> bool:
+        try:
+            status, body = self.get("/healthz")
+        except OSError:
+            return False
+        return status == 200 and isinstance(body, dict)
+
+    def metrics(self) -> Dict[str, Any]:
+        status, body = self.get("/metrics")
+        if status != 200:
+            raise ExperimentError(f"/metrics answered {status}: {body}")
+        return body["metrics"]
+
+    def compute(self, kind: str, body: Dict[str, Any]) -> Dict[str, Any]:
+        status, payload = self.post(f"/v1/{kind}", body)
+        if status != 200:
+            raise ExperimentError(f"/v1/{kind} answered {status}: {payload}")
+        return payload
+
+
+def metric_total(snapshot: Dict[str, Any], name: str) -> float:
+    """Sum one metric across its label variants in a registry snapshot."""
+    total = 0.0
+    for series, value in snapshot.items():
+        if series == name or series.startswith(name + "{"):
+            total += value
+    return total
+
+
+def start_server(
+    *,
+    jobs: int = 2,
+    extra_args: Sequence[str] = (),
+    env: Optional[Dict[str, str]] = None,
+    ready_timeout_s: float = 60.0,
+) -> Tuple[subprocess.Popen, ServeClient]:
+    """Boot ``repro serve`` on an ephemeral port; wait for readiness.
+
+    Returns the process and a connected client.  The caller owns the
+    process (``proc.terminate()`` when done).
+    """
+    run_env = dict(os.environ if env is None else env)
+    run_env.setdefault("PYTHONUNBUFFERED", "1")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--host", "127.0.0.1", "--port", "0",
+            "--jobs", str(jobs), *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=run_env,
+    )
+    deadline = time.monotonic() + ready_timeout_s
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = _READY_RE.search(line)
+        if match:
+            client = ServeClient(match.group(1), int(match.group(2)))
+            for _ in range(200):
+                if client.healthz():
+                    return proc, client
+                time.sleep(0.05)
+            break
+    proc.terminate()
+    out = line + (proc.stdout.read() or "")
+    raise ExperimentError(f"serve did not become ready; output:\n{out}")
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def _timed_phase(
+    client: ServeClient,
+    requests: List[Tuple[str, Dict[str, Any]]],
+    *,
+    concurrency: int = 4,
+) -> Dict[str, Any]:
+    """Drive ``requests`` through ``concurrency`` worker threads.
+
+    Cold and warm phases run at the *same* concurrency, so the
+    throughput ratio compares the service paths, not the client shape.
+    """
+    latencies: List[float] = []
+    sources: Dict[str, int] = {}
+    errors: List[str] = []
+    lock = threading.Lock()
+    shards = [requests[i::concurrency] for i in range(concurrency)]
+
+    def drive(shard: List[Tuple[str, Dict[str, Any]]]) -> None:
+        worker = ServeClient(client.host, client.port, timeout=client.timeout)
+        local_lat, local_src = [], {}
+        try:
+            for kind, body in shard:
+                t0 = time.perf_counter()
+                payload = worker.compute(kind, body)
+                local_lat.append((time.perf_counter() - t0) * 1000.0)
+                source = payload.get("source", "?")
+                local_src[source] = local_src.get(source, 0) + 1
+        except Exception as exc:  # collected, surfaced after the join
+            with lock:
+                errors.append(str(exc))
+        finally:
+            worker.close()
+        with lock:
+            latencies.extend(local_lat)
+            for source, count in local_src.items():
+                sources[source] = sources.get(source, 0) + count
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=drive, args=(shard,))
+        for shard in shards if shard
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise ExperimentError(
+            f"load phase: {len(errors)} worker(s) failed; first: {errors[0]}"
+        )
+    return {
+        "requests": len(requests),
+        "concurrency": concurrency,
+        "seconds": elapsed,
+        "rps": len(requests) / elapsed if elapsed > 0 else 0.0,
+        "p50_ms": _percentile(latencies, 0.50),
+        "p95_ms": _percentile(latencies, 0.95),
+        "sources": sources,
+    }
+
+
+def run_load_test(
+    client: ServeClient,
+    *,
+    fanout: int = 16,
+    warm_rounds: int = 20,
+) -> Dict[str, Any]:
+    """The full measurement protocol against a freshly booted server.
+
+    The server must start with an empty ``serve`` cache section for the
+    cold numbers to mean anything (:func:`start_server` with a
+    ``REPRO_CACHE_DIR`` pointing at a fresh directory).
+    """
+    # -- phase 1: dedup — N identical concurrent cold requests ------------
+    before = client.metrics()
+    dedup_body = {"workload": "AlexNet", "dims": [8, 16, 32]}
+    barrier = threading.Barrier(fanout)
+    failures: List[str] = []
+
+    def one_request() -> None:
+        worker = ServeClient(client.host, client.port, timeout=client.timeout)
+        try:
+            barrier.wait(timeout=30)
+            worker.compute("dse", dedup_body)
+        except Exception as exc:  # collected, asserted below
+            failures.append(str(exc))
+        finally:
+            worker.close()
+
+    threads = [threading.Thread(target=one_request) for _ in range(fanout)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise ExperimentError(
+            f"dedup phase: {len(failures)} of {fanout} requests failed;"
+            f" first: {failures[0]}"
+        )
+    after = client.metrics()
+
+    def delta(name: str) -> float:
+        return metric_total(after, name) - metric_total(before, name)
+
+    dedup = {
+        "fanout": fanout,
+        "backend_computations": delta("serve.backend_computations"),
+        "coalesced": delta("serve.coalesced"),
+        "dedup_hit_rate": delta("serve.coalesced") / fanout,
+    }
+
+    # -- phase 2/3: cold vs warm throughput -------------------------------
+    # Cold points are wide array-scale sweeps (32 dims each, offset per
+    # workload so every key is distinct); warm replays the same points.
+    points: List[Tuple[str, Dict[str, Any]]] = []
+    for offset, workload in enumerate(
+        ("VGG-11", "AlexNet", "HG", "FR", "LeNet-5", "PV")
+    ):
+        dims = [offset + 1 + 8 * step for step in range(32)]
+        points.append(("dse", {"workload": workload, "dims": dims}))
+    cold = _timed_phase(client, points)
+    warm = _timed_phase(client, points * warm_rounds)
+    if warm["sources"].get("cache", 0) != warm["requests"]:
+        raise ExperimentError(
+            f"warm phase was not fully cached: {warm['sources']}"
+        )
+
+    snapshot = client.metrics()
+    return {
+        "dedup": dedup,
+        "cold": cold,
+        "warm": warm,
+        "warm_over_cold_throughput": (
+            warm["rps"] / cold["rps"] if cold["rps"] > 0 else 0.0
+        ),
+        "responses_5xx": metric_total(snapshot, "serve.responses{code=500}"),
+    }

@@ -1,0 +1,129 @@
+"""Async worker pool: cold computations off the event loop, with policy.
+
+Cold requests run in ``spawn`` worker processes (a
+``ProcessPoolExecutor``), so a crashing computation cannot take down the
+coordinator and CPU-heavy searches do not stall the accept loop.  The
+supervision policy is the resilient runner's
+:class:`~repro.experiments.runner.RunPolicy` — the same timeout /
+retries / exponential-backoff knobs, but enforced *asynchronously*:
+a timed-out attempt raises out of ``asyncio.wait_for`` and backoff is an
+``await asyncio.sleep``, so one struggling request never blocks the
+coordinator from serving others (the serve-side twin of the runner's
+deadline-scheduled retries).
+
+Two caveats worth knowing (see ``docs/SERVING.md``):
+
+* a timed-out task cannot be forcibly killed inside a live executor —
+  it keeps occupying its worker until it finishes; the timeout bounds
+  the *caller's* wait, and retries go to a free worker;
+* ``jobs=0`` selects *inline* mode — a single-thread executor in the
+  coordinator process — used by tests and tiny deployments.  It is
+  single-threaded on purpose: the ambient tracer slot is process-global.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import RunPolicy
+from repro.obs.metrics import REGISTRY
+from repro.serve.compute import pool_entry
+from repro.serve.schemas import ComputeRequest
+
+#: A progress callback; receives serializable event dicts.
+ProgressSink = Callable[[Dict[str, Any]], None]
+
+
+def _noop_sink(record: Dict[str, Any]) -> None:
+    pass
+
+
+class WorkerPool:
+    """Executes :class:`ComputeRequest`s under a :class:`RunPolicy`."""
+
+    def __init__(self, policy: Optional[RunPolicy] = None, *, jobs: int = 2):
+        if jobs < 0:
+            raise ExperimentError(f"jobs must be >= 0, got {jobs}")
+        self.policy = policy or RunPolicy()
+        self.jobs = jobs
+        self._executor: Optional[Executor] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            if self.jobs == 0:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-serve-inline"
+                )
+            else:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+            REGISTRY.gauge("serve.pool_workers").set(max(1, self.jobs))
+        return self._executor
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # -- execution -----------------------------------------------------------
+
+    async def run(
+        self,
+        request: ComputeRequest,
+        progress: Optional[ProgressSink] = None,
+    ) -> Dict[str, Any]:
+        """One request through the pool: attempts, timeout, async backoff.
+
+        Returns the worker envelope ``{"result": ..., "spans": [...]}``.
+        Raises :class:`ExperimentError` when every attempt failed or
+        timed out (the HTTP layer maps it to a 500).
+        """
+        progress = progress or _noop_sink
+        executor = self._ensure_executor()
+        loop = asyncio.get_running_loop()
+        errors = []
+        for attempt in range(1, self.policy.retries + 2):
+            REGISTRY.counter("serve.attempts", kind=request.kind).inc()
+            progress(
+                {"type": "event", "name": "attempt", "category": "serve",
+                 "labels": {"attempt": str(attempt), "label": request.label}}
+            )
+            try:
+                envelope = await asyncio.wait_for(
+                    loop.run_in_executor(
+                        executor, pool_entry, request.kind, request.spec
+                    ),
+                    timeout=self.policy.timeout_s,
+                )
+                return envelope
+            except asyncio.TimeoutError:
+                errors.append(
+                    f"attempt {attempt}: [timeout] exceeded"
+                    f" {self.policy.timeout_s}s wall clock"
+                )
+                REGISTRY.counter("serve.timeouts", kind=request.kind).inc()
+            except Exception as exc:
+                errors.append(f"attempt {attempt}: [failed] {exc}")
+                REGISTRY.counter("serve.failures", kind=request.kind).inc()
+            if attempt <= self.policy.retries:
+                delay = self.policy.backoff_s * (2 ** (attempt - 1))
+                REGISTRY.counter("serve.retries", kind=request.kind).inc()
+                progress(
+                    {"type": "event", "name": "retry-scheduled",
+                     "category": "serve",
+                     "labels": {"delay_s": f"{delay:.3f}",
+                                "label": request.label}}
+                )
+                await asyncio.sleep(delay)
+        raise ExperimentError(
+            f"{request.label} failed after {self.policy.retries + 1}"
+            " attempt(s):\n" + "\n".join(errors)
+        )

@@ -12,6 +12,7 @@ import json
 import os
 import sys
 import textwrap
+import time
 
 import pytest
 
@@ -230,6 +231,45 @@ class TestCheckpoints:
         # The corrupt file was replaced by a valid checkpoint.
         payload = json.loads((run_dir / "good_exp.json").read_text())
         assert payload["status"] == "ok"
+
+
+class TestNonBlockingBackoff:
+    def test_peer_progresses_during_pending_backoff(
+        self, plugin, tmp_path, monkeypatch
+    ):
+        """A pending retry backoff must not stall the rest of the batch.
+
+        With one slot, ``flaky_exp`` crashes first and goes into a long
+        backoff; ``good_exp`` must run *inside* that window.  The proof is
+        clock-based but not racy: the flaky plugin writes its marker file
+        at first-crash time, so the retry cannot launch before
+        ``marker_mtime + backoff`` — and good_exp's checkpoint must exist
+        strictly before that instant.
+        """
+        marker = tmp_path / "flaky.marker"
+        monkeypatch.setenv("REPRO_TEST_FLAKY_MARKER", str(marker))
+        run_dir = tmp_path / "run"
+        backoff = 3.0
+        started = time.monotonic()
+        outcomes = run_resilient(
+            ["flaky_exp", "good_exp"],
+            RunPolicy(jobs=1, retries=1, backoff_s=backoff, run_dir=str(run_dir)),
+        )
+        elapsed = time.monotonic() - started
+        by_id = {o.experiment_id: o for o in outcomes}
+        assert by_id["flaky_exp"].ok and by_id["flaky_exp"].attempts == 2
+        assert by_id["good_exp"].ok and by_id["good_exp"].attempts == 1
+        # The backoff really was served before the retry...
+        assert elapsed >= backoff
+        # ...and good_exp checkpointed before the retry could even start.
+        good_published = (run_dir / "good_exp.json").stat().st_mtime
+        retry_earliest = marker.stat().st_mtime + backoff
+        assert good_published < retry_earliest, (
+            "good_exp finished only after flaky_exp's backoff elapsed — "
+            "the supervisor blocked on a pending retry"
+        )
+        # Atomic checkpoint publishes leave no temp litter behind.
+        assert not list(run_dir.glob(".*.tmp"))
 
 
 class TestRequireAllOk:

@@ -1,0 +1,120 @@
+"""Coalescer semantics: one leader per key, waiters share its outcome."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.coalescer import Coalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescer:
+    def test_concurrent_same_key_computes_once(self):
+        async def scenario():
+            coalescer = Coalescer()
+            calls = []
+
+            async def compute():
+                calls.append(1)
+                await asyncio.sleep(0.01)
+                return "value"
+
+            results = await asyncio.gather(
+                *(coalescer.get_or_compute("k", compute) for _ in range(8))
+            )
+            return calls, results
+
+        calls, results = run(scenario())
+        assert len(calls) == 1
+        assert [value for value, _ in results] == ["value"] * 8
+        # Exactly one leader; everyone else was coalesced.
+        assert sorted(flag for _, flag in results) == [False] + [True] * 7
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            coalescer = Coalescer()
+            calls = []
+
+            def compute_for(key):
+                async def compute():
+                    calls.append(key)
+                    await asyncio.sleep(0.01)
+                    return key
+
+                return compute
+
+            results = await asyncio.gather(
+                coalescer.get_or_compute("a", compute_for("a")),
+                coalescer.get_or_compute("b", compute_for("b")),
+            )
+            return calls, results
+
+        calls, results = run(scenario())
+        assert sorted(calls) == ["a", "b"]
+        assert all(flag is False for _, flag in results)
+
+    def test_leader_failure_fails_every_waiter(self):
+        async def scenario():
+            coalescer = Coalescer()
+
+            async def compute():
+                await asyncio.sleep(0.01)
+                raise ValueError("boom")
+
+            outcomes = await asyncio.gather(
+                *(coalescer.get_or_compute("k", compute) for _ in range(4)),
+                return_exceptions=True,
+            )
+            return coalescer, outcomes
+
+        coalescer, outcomes = run(scenario())
+        assert all(isinstance(o, ValueError) for o in outcomes)
+        assert coalescer.inflight == 0  # the key was released
+
+    def test_sequential_requests_compute_each_time(self):
+        async def scenario():
+            coalescer = Coalescer()
+            calls = []
+
+            async def compute():
+                calls.append(1)
+                return "v"
+
+            await coalescer.get_or_compute("k", compute)
+            await coalescer.get_or_compute("k", compute)
+            return calls
+
+        # No in-flight leader to attach to -> the second call computes
+        # (the persistent cache, not the coalescer, handles warm hits).
+        assert len(run(scenario())) == 2
+
+    def test_waiter_cancellation_leaves_leader_running(self):
+        async def scenario():
+            coalescer = Coalescer()
+            done = []
+
+            async def compute():
+                await asyncio.sleep(0.05)
+                done.append(1)
+                return "v"
+
+            leader = asyncio.ensure_future(
+                coalescer.get_or_compute("k", compute)
+            )
+            await asyncio.sleep(0.01)
+            waiter = asyncio.ensure_future(
+                coalescer.get_or_compute("k", compute)
+            )
+            await asyncio.sleep(0.01)
+            waiter.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+            value, coalesced = await leader
+            return done, value, coalesced
+
+        done, value, coalesced = run(scenario())
+        assert done == [1]
+        assert (value, coalesced) == ("v", False)

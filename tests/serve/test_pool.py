@@ -1,0 +1,131 @@
+"""Worker-pool supervision: retries, timeouts, non-blocking backoff."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import RunPolicy
+from repro.serve.pool import WorkerPool
+from repro.serve.schemas import parse_request
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def inline_pool():
+    def make(**policy_kwargs):
+        pool = WorkerPool(RunPolicy(**policy_kwargs), jobs=0)
+        pools.append(pool)
+        return pool
+
+    pools = []
+    yield make
+    for pool in pools:
+        pool.shutdown()
+
+
+MAP_PV = parse_request("map", {"workload": "PV", "dim": 4})
+
+
+class TestWorkerPool:
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ExperimentError, match="jobs must be >= 0"):
+            WorkerPool(jobs=-1)
+
+    def test_inline_success_returns_envelope(self, inline_pool):
+        from repro.dataflow import clear_mapping_cache
+
+        clear_mapping_cache()  # a memo hit would produce no spans
+        envelope = run(inline_pool(jobs=1).run(MAP_PV))
+        assert envelope["result"]["workload"] == "PV"
+        assert envelope["result"]["dim"] == 4
+        assert isinstance(envelope["spans"], list) and envelope["spans"]
+        assert all(record["type"] in ("span", "event")
+                   for record in envelope["spans"])
+
+    def test_flaky_computation_retried_to_success(
+        self, inline_pool, monkeypatch
+    ):
+        attempts = []
+
+        def flaky(kind, spec):
+            attempts.append(kind)
+            if len(attempts) < 3:
+                raise RuntimeError("transient")
+            return {"result": {"ok": True}, "spans": []}
+
+        monkeypatch.setattr("repro.serve.pool.pool_entry", flaky)
+        pool = inline_pool(jobs=1, retries=2, backoff_s=0.001)
+        events = []
+        envelope = run(pool.run(MAP_PV, events.append))
+        assert envelope["result"] == {"ok": True}
+        assert len(attempts) == 3
+        names = [event["name"] for event in events]
+        assert names.count("attempt") == 3
+        assert names.count("retry-scheduled") == 2
+
+    def test_exhausted_retries_raise_with_history(
+        self, inline_pool, monkeypatch
+    ):
+        monkeypatch.setattr(
+            "repro.serve.pool.pool_entry",
+            lambda kind, spec: (_ for _ in ()).throw(RuntimeError("nope")),
+        )
+        pool = inline_pool(jobs=1, retries=1, backoff_s=0.001)
+        with pytest.raises(ExperimentError) as excinfo:
+            run(pool.run(MAP_PV))
+        message = str(excinfo.value)
+        assert "failed after 2 attempt(s)" in message
+        assert "attempt 1: [failed] nope" in message
+        assert "attempt 2: [failed] nope" in message
+
+    def test_timeout_bounds_the_wait(self, inline_pool, monkeypatch):
+        def slow(kind, spec):
+            time.sleep(0.5)
+            return {"result": {}, "spans": []}
+
+        monkeypatch.setattr("repro.serve.pool.pool_entry", slow)
+        pool = inline_pool(jobs=1, timeout_s=0.05, retries=0)
+        started = time.monotonic()
+        with pytest.raises(ExperimentError, match=r"\[timeout\]"):
+            run(pool.run(MAP_PV))
+        assert time.monotonic() - started < 0.45
+
+    def test_backoff_does_not_block_other_requests(
+        self, inline_pool, monkeypatch
+    ):
+        """While one request sits in backoff, others are served.
+
+        The failing request retries after 0.3 s; the fast request must
+        complete during that window, not after it — the serve-side
+        mirror of the runner's deadline-scheduled retries.
+        """
+        calls = []
+
+        def sometimes(kind, spec):
+            calls.append(spec)
+            if spec.get("workload") == "PV" and len(calls) == 1:
+                raise RuntimeError("first attempt fails")
+            return {"result": {"workload": spec.get("workload")}, "spans": []}
+
+        monkeypatch.setattr("repro.serve.pool.pool_entry", sometimes)
+        pool = inline_pool(jobs=1, retries=1, backoff_s=0.3)
+        fast = parse_request("map", {"workload": "FR", "dim": 4})
+
+        async def scenario():
+            started = time.monotonic()
+            flaky_task = asyncio.ensure_future(pool.run(MAP_PV))
+            await asyncio.sleep(0.02)  # let the flaky attempt fail first
+            await pool.run(fast)
+            fast_done = time.monotonic() - started
+            await flaky_task
+            flaky_done = time.monotonic() - started
+            return fast_done, flaky_done
+
+        fast_done, flaky_done = run(scenario())
+        assert fast_done < 0.25, "fast request waited out the backoff"
+        assert flaky_done >= 0.3

@@ -366,3 +366,52 @@ class TestDseCommand:
     def test_invalid_jobs_rejected(self, capsys):
         assert main(["dse", "PV", "--jobs", "0"]) == 1
         assert "jobs must be >= 1" in capsys.readouterr().err
+
+
+class TestBrokenPipe:
+    """``repro ... | head`` must exit 0, not dump a BrokenPipeError.
+
+    The reader side of the pipe is closed *before* the child starts, so
+    the child's very first stdout flush raises EPIPE (CPython ignores
+    SIGPIPE, surfacing it as BrokenPipeError).  The CLI must swallow it
+    and exit cleanly.
+    """
+
+    def _run_with_closed_stdout(self, argv):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        read_fd, write_fd = os.pipe()
+        os.close(read_fd)  # nobody will ever read: first flush -> EPIPE
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", *argv],
+                stdout=write_fd,
+                stderr=subprocess.PIPE,
+                env=env,
+                timeout=120,
+            )
+        finally:
+            os.close(write_fd)
+        return proc
+
+    def test_small_output_exits_zero(self):
+        proc = self._run_with_closed_stdout(["workloads"])
+        stderr = proc.stderr.decode()
+        assert proc.returncode == 0, stderr
+        assert "Traceback" not in stderr
+        assert "BrokenPipeError" not in stderr
+
+    def test_large_output_exits_zero(self):
+        proc = self._run_with_closed_stdout(["compile", "VGG-11", "--dim", "16"])
+        stderr = proc.stderr.decode()
+        assert proc.returncode == 0, stderr
+        assert "Traceback" not in stderr
+        assert "BrokenPipeError" not in stderr
