@@ -24,6 +24,11 @@ cold ``dse_array_scale`` sweep under the legacy scalar mapper loops
 boots a fresh ``repro serve`` instance against an empty store and runs
 the load-test protocol (:mod:`repro.serve.loadtest`): coalescing of
 identical concurrent requests, then cold vs warm request throughput.
+``chaos`` runs the resilience drill (:mod:`bench_chaos`): a serve
+instance with a 20% ``worker_crash`` injection rate must answer every
+request, heal, and stay within the latency budget; its invariants are
+absolute (zero unrecovered 5xx, bounded shed, p99 under budget) rather
+than machine-relative ratios.
 
 ``--check`` mode re-measures and compares the *speedup ratios* against
 the committed baseline instead of writing it: ratios are wall-clock
@@ -193,6 +198,16 @@ def _dse_batched(rounds: int) -> dict:
     }
 
 
+def _bench_chaos():
+    """Import :mod:`bench_chaos` however this script was launched."""
+    bench_dir = str(Path(__file__).resolve().parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    import bench_chaos
+
+    return bench_chaos
+
+
 def _serve() -> dict:
     """Load-test a freshly booted serve instance against an empty store.
 
@@ -252,6 +267,7 @@ def capture(rounds: int = 5) -> dict:
     sweep = _sweep(max(2, rounds - 2))
     dse_batched = _dse_batched(rounds)
     serve = _serve()
+    chaos = _bench_chaos().run_drill()
 
     return {
         "benchmark": "bench_headline",
@@ -287,6 +303,7 @@ def capture(rounds: int = 5) -> dict:
         "sweep": sweep,
         "dse_batched": dse_batched,
         "serve": serve,
+        "chaos": chaos,
     }
 
 
@@ -357,6 +374,14 @@ def check(baseline_path: Path, tolerance: float) -> int:
         )
         if measured < floor:
             failures.append((metric, delta_pct))
+    # The chaos section carries absolute resilience invariants, not
+    # machine-relative ratios: re-check them on the fresh measurement.
+    if "chaos" in baseline:
+        for failure in _bench_chaos().check_report(payload["chaos"]):
+            print(f"chaos invariant: {failure}")
+            failures.append(("chaos", 0.0))
+    else:
+        print("chaos: no baseline section recorded, skipping")
     if failures:
         names = ", ".join(
             f"{metric} ({delta_pct:+.1f}%)" for metric, delta_pct in failures

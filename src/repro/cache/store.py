@@ -6,8 +6,11 @@ is safe for concurrent writers — ``--jobs N`` experiment workers share
 one directory — because every write lands in a unique temp file and is
 published with ``os.replace`` (atomic on POSIX), and eviction serializes
 on an advisory ``fcntl`` lock where the platform provides one.  A corrupt
-or truncated entry is never fatal: reads count it, delete it best-effort,
-and report a miss so the caller recomputes.
+or truncated entry is never fatal: the hot read path *self-heals* — the
+bad entry is quarantined (moved under ``<root>/.quarantine`` for post
+mortems), counted, and reported as a miss so the caller recomputes and
+republishes.  ``repro cache verify`` reports corruption; ``--repair``
+sends bad entries through the same quarantine path.
 
 Configuration is environment-driven so it crosses the ``spawn`` boundary
 to worker processes:
@@ -34,6 +37,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 from repro.cache.keys import CACHE_SCHEMA_VERSION
+from repro.chaos import chaos_point, chaos_sleep
 from repro.errors import ConfigurationError
 from repro.fsutil import atomic_write_text
 from repro.obs.metrics import REGISTRY
@@ -54,6 +58,10 @@ ENV_MAX_ENTRIES = "REPRO_CACHE_MAX_ENTRIES"
 
 #: Per-process memo bound (entries), independent of the on-disk store.
 _MEMO_MAX = 4096
+
+#: Corrupt entries are moved (never deleted) into this dot-directory,
+#: which every store walk skips; operators can inspect or purge it.
+QUARANTINE_DIR = ".quarantine"
 
 _FALSEY = {"0", "off", "false", "no"}
 _TRUTHY = {"1", "on", "true", "yes", ""}
@@ -80,9 +88,32 @@ class ResultCache:
         if not self.root.is_dir():
             return
         for section_dir in sorted(self.root.iterdir()):
-            if not section_dir.is_dir():
-                continue
+            if not section_dir.is_dir() or section_dir.name.startswith("."):
+                continue  # skip quarantine and other dot-state
             yield from sorted(section_dir.glob("*/*.json"))
+
+    def quarantine_path(self, section: str) -> Path:
+        return self.root / QUARANTINE_DIR / section
+
+    def _quarantine(self, path: Path, section: str) -> bool:
+        """Move one corrupt entry aside (the self-healing read path).
+
+        Quarantined entries stop matching lookups immediately — the next
+        reader recomputes and republishes — but stay on disk for post
+        mortems.  Falls back to deletion if the move itself fails; never
+        raises.
+        """
+        dest = self.quarantine_path(section) / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return False
+        REGISTRY.counter("cache.quarantined", section=section).inc()
+        return True
 
     # -- core operations ------------------------------------------------------
 
@@ -94,6 +125,7 @@ class ResultCache:
             REGISTRY.counter("cache.lookups", section=section, outcome="hit").inc()
             REGISTRY.counter("cache.memo_hits", section=section).inc()
             return self._memo[memo_key]
+        chaos_sleep("slow_io")
         path = self._entry_path(section, key)
         try:
             text = path.read_text()
@@ -105,10 +137,9 @@ class ResultCache:
             REGISTRY.counter(
                 "cache.lookups", section=section, outcome="corrupt"
             ).inc()
-            try:  # a bad entry only costs one recompute, then it is gone
-                path.unlink()
-            except OSError:
-                pass
+            # Self-heal: a bad entry only costs one recompute, then it is
+            # out of the lookup path (but kept for inspection).
+            self._quarantine(path, section)
             return None
         REGISTRY.counter("cache.lookups", section=section, outcome="hit").inc()
         self._remember(memo_key, entry["payload"])
@@ -116,6 +147,7 @@ class ResultCache:
 
     def put(self, section: str, key: str, payload: Any) -> None:
         """Publish one entry atomically (last concurrent writer wins)."""
+        chaos_sleep("slow_io")
         path = self._entry_path(section, key)
         document = {
             "schema": CACHE_SCHEMA_VERSION,
@@ -131,6 +163,14 @@ class ResultCache:
             # A full/read-only disk or a non-JSON payload degrades to a
             # slower (uncached) run, never a crash.
             return
+        if chaos_point("cache_corrupt"):
+            # Truncate the just-published entry mid-document: the shape a
+            # torn write or disk fault leaves behind for readers to heal.
+            try:
+                with open(path, "r+") as handle:
+                    handle.truncate(max(1, path.stat().st_size // 2))
+            except OSError:
+                pass
         REGISTRY.counter("cache.writes", section=section).inc()
         self._remember((section, key), payload)
         if self.max_entries is not None:
@@ -163,9 +203,13 @@ class ResultCache:
             "sections": sections,
         }
 
-    def verify(self) -> Dict[str, int]:
-        """Validate every entry, deleting the unreadable/stale ones."""
-        checked = ok = removed = 0
+    def verify(self, *, repair: bool = False) -> Dict[str, int]:
+        """Validate every entry; with ``repair``, quarantine the bad ones.
+
+        The repair path is the hot read path's quarantine — verify never
+        deletes anything, so a false positive is always recoverable.
+        """
+        checked = ok = corrupt = quarantined = 0
         for path in list(self._entry_files()):
             checked += 1
             section = path.parent.parent.name
@@ -175,14 +219,17 @@ class ResultCache:
             except OSError:
                 continue
             if self._decode_entry(text, section, key) is None:
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+                corrupt += 1
+                if repair and self._quarantine(path, section):
+                    quarantined += 1
             else:
                 ok += 1
-        return {"checked": checked, "ok": ok, "removed": removed}
+        return {
+            "checked": checked,
+            "ok": ok,
+            "corrupt": corrupt,
+            "quarantined": quarantined,
+        }
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

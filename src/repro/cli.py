@@ -172,8 +172,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "stats", help="entry/byte counts per section and configuration"
     )
     cache_sub.add_parser("clear", help="delete every cached entry")
-    cache_sub.add_parser(
-        "verify", help="validate all entries, deleting corrupt/stale ones"
+    verify_cmd = cache_sub.add_parser(
+        "verify", help="validate all entries, reporting corrupt/stale ones"
+    )
+    verify_cmd.add_argument(
+        "--repair", action="store_true",
+        help="quarantine corrupt entries (same path the hot read uses:"
+        " moved under .quarantine/, never deleted)",
     )
 
     serve_cmd = sub.add_parser(
@@ -201,6 +206,35 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument(
         "--backoff", type=float, default=0.25, metavar="SECONDS",
         help="base retry delay; retry k waits backoff * 2**(k-1) (default 0.25)",
+    )
+    serve_cmd.add_argument(
+        "--max-backoff", type=float, default=30.0, metavar="SECONDS",
+        help="cap on one retry delay (default 30)",
+    )
+    serve_cmd.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="pending-request budget per kind; beyond it requests are"
+        " shed with a fast 503 + Retry-After (default 1024)",
+    )
+    serve_cmd.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive backend failures that open a kind's circuit"
+        " breaker (default 5)",
+    )
+    serve_cmd.add_argument(
+        "--breaker-reset", type=float, default=30.0, metavar="SECONDS",
+        help="how long an open breaker waits before admitting a"
+        " half-open probe (default 30)",
+    )
+    serve_cmd.add_argument(
+        "--grace-factor", type=float, default=2.0,
+        help="a worker busy past timeout * grace-factor is killed and"
+        " respawned (default 2)",
+    )
+    serve_cmd.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="on SIGTERM or POST /drain, how long to wait for in-flight"
+        " requests before exiting (default 10)",
     )
 
     faults = sub.add_parser(
@@ -550,11 +584,16 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = store.clear()
         print(f"removed {removed} cached entries from {store.root}")
         return 0
-    report = store.verify()
-    print(
+    report = store.verify(repair=args.repair)
+    line = (
         f"checked {report['checked']} entries:"
-        f" {report['ok']} ok, {report['removed']} removed"
+        f" {report['ok']} ok, {report['corrupt']} corrupt"
     )
+    if args.repair:
+        line += f", {report['quarantined']} quarantined"
+    elif report["corrupt"]:
+        line += " (re-run with --repair to quarantine them)"
+    print(line)
     return 0
 
 
@@ -570,14 +609,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.experiments.runner import RunPolicy
     from repro.serve.app import ServeApp, run_app
+    from repro.serve.resilience import ResiliencePolicy
 
     if args.jobs < 0:
         raise ConfigurationError(f"jobs must be >= 0, got {args.jobs}")
     policy = RunPolicy(
         jobs=max(1, args.jobs), timeout_s=args.timeout,
         retries=args.retries, backoff_s=args.backoff,
+        max_backoff_s=args.max_backoff,
     )
-    app = ServeApp(policy, jobs=args.jobs)
+    resilience = ResiliencePolicy(
+        max_pending=args.max_pending,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
+        drain_timeout_s=args.drain_timeout,
+        grace_factor=args.grace_factor,
+    )
+    app = ServeApp(policy, jobs=args.jobs, resilience=resilience)
     try:
         asyncio.run(run_app(app, args.host, args.port))
     except KeyboardInterrupt:

@@ -81,7 +81,10 @@ class RunPolicy:
         jobs: concurrently running worker processes.
         timeout_s: per-attempt wall-clock limit (``None`` = unlimited).
         retries: extra attempts after a failed/timed-out first attempt.
-        backoff_s: delay before retry ``k`` is ``backoff_s * 2**(k-1)``.
+        backoff_s: delay before retry ``k`` is ``backoff_s * 2**(k-1)``,
+            capped at ``max_backoff_s``.
+        max_backoff_s: ceiling on any single retry delay, so a high retry
+            count cannot schedule multi-minute sleeps.
         run_dir: checkpoint directory; ``None`` disables checkpointing.
     """
 
@@ -89,6 +92,7 @@ class RunPolicy:
     timeout_s: Optional[float] = None
     retries: int = 0
     backoff_s: float = 0.5
+    max_backoff_s: float = 30.0
     run_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -106,6 +110,19 @@ class RunPolicy:
             raise ConfigurationError(
                 f"backoff_s must be >= 0, got {self.backoff_s}"
             )
+        if self.max_backoff_s <= 0:
+            raise ConfigurationError(
+                f"max_backoff_s must be positive, got {self.max_backoff_s}"
+            )
+
+    def retry_delay(self, attempt: int) -> float:
+        """Delay before the retry that follows failed attempt ``attempt``.
+
+        Exponential from ``backoff_s``, but never above ``max_backoff_s``
+        — both the resilient runner and the serve worker pool schedule
+        retries through here so the cap holds everywhere.
+        """
+        return min(self.backoff_s * (2 ** (attempt - 1)), self.max_backoff_s)
 
 
 @dataclass(frozen=True)
@@ -219,6 +236,7 @@ def batch_config_hash(
                 "timeout_s": policy.timeout_s,
                 "retries": policy.retries,
                 "backoff_s": policy.backoff_s,
+                "max_backoff_s": policy.max_backoff_s,
             },
         },
         sort_keys=True,
@@ -248,6 +266,7 @@ def _write_manifest(
             "timeout_s": policy.timeout_s,
             "retries": policy.retries,
             "backoff_s": policy.backoff_s,
+            "max_backoff_s": policy.max_backoff_s,
         },
         "config_hash": batch_config_hash(experiment_ids, policy),
         "git_rev": _git_rev(),
@@ -384,6 +403,12 @@ def prewarm_shared_points(experiment_ids: Sequence[str]) -> int:
 def _worker_main(experiment_id: str, conn) -> None:
     """Run one experiment and report through the pipe (child process)."""
     try:
+        from repro.chaos import chaos_worker_entry
+
+        # Chaos-armed runs (REPRO_CHAOS crosses the spawn boundary with
+        # the environment) crash or hang here, exactly where a real
+        # experiment would: after the process booted, before any result.
+        chaos_worker_entry()
         registry = experiment_registry()
         module = registry.get(experiment_id)
         if module is None:
@@ -516,7 +541,7 @@ def run_resilient(
             },
         )
         if job.attempts <= policy.retries:
-            delay = policy.backoff_s * (2 ** (job.attempts - 1))
+            delay = policy.retry_delay(job.attempts)
             job.not_before = time.monotonic() + delay
             REGISTRY.counter("runner.retries").inc()
             tracer.event(

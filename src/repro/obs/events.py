@@ -30,6 +30,20 @@ from repro.obs.tracer import Span, Tracer
 EventSink = Callable[[Dict[str, Any]], None]
 
 
+def event_record(
+    name: str,
+    category: str = "",
+    labels: Optional[Dict[str, str]] = None,
+) -> Dict[str, Any]:
+    """One instant event as a flat, JSON-serializable progress record."""
+    return {
+        "type": "event",
+        "name": name,
+        "category": category,
+        "labels": dict(labels or {}),
+    }
+
+
 def span_record(span: Span) -> Dict[str, Any]:
     """One closed span as a flat, JSON-serializable progress record."""
     return {
@@ -88,14 +102,7 @@ class BridgeTracer(Tracer):
     ) -> None:
         super().event(name, category, labels)
         if self.enabled:
-            self._emit(
-                {
-                    "type": "event",
-                    "name": name,
-                    "category": category,
-                    "labels": dict(labels or {}),
-                }
-            )
+            self._emit(event_record(name, category, labels))
 
 
 def condense_spans(tracer: Tracer, limit: int = 64) -> List[Dict[str, Any]]:

@@ -9,27 +9,45 @@ JSON errors).  Endpoints:
 * ``POST /v1/sweep`` — a batch of points sharded across the worker pool;
 * ``GET /metrics`` — the process :data:`~repro.obs.metrics.REGISTRY`
   snapshot as JSON;
-* ``GET /healthz`` — liveness.
+* ``GET /healthz`` — health state machine (``ok`` / ``degraded`` /
+  ``draining``, with reasons), derived by the resilience layer;
+* ``POST /drain`` — graceful shutdown: stop accepting, finish in-flight
+  work within the drain deadline, flush metrics, exit (SIGTERM does the
+  same).
 
-Request flow for a computation: validate → coalesce on the
-content-addressed key (one leader, N waiters) → leader probes the
-persistent ``serve`` cache section → on miss, compute in the worker pool
-under the run policy → publish to the cache → resolve every waiter.
+Request flow for a computation: validate → admission control (shed with
+a fast 503 + ``Retry-After`` when the pending budget for the kind is
+exhausted, or while draining) → coalesce on the content-addressed key
+(one leader, N waiters) → leader probes the persistent ``serve`` cache
+section → on miss, pass the circuit breaker (open = fast 503) and
+compute in the worker pool under the run policy → publish to the cache →
+resolve every waiter.  See ``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import signal
+import sys
+import time
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs
 
 from repro.cache import active_cache
 from repro.errors import ConfigurationError, ReproError, SpecificationError
 from repro.experiments.runner import RunPolicy
+from repro.obs.events import event_record
 from repro.obs.metrics import REGISTRY
 from repro.serve.coalescer import Coalescer
 from repro.serve.pool import ProgressSink, WorkerPool, _noop_sink
+from repro.serve.resilience import (
+    CircuitOpenError,
+    DrainingError,
+    OverloadedError,
+    ResiliencePolicy,
+    ServeResilience,
+)
 from repro.serve.schemas import ComputeRequest, parse_request, parse_sweep
 
 #: Input bounds: one request line, its headers, and its body.
@@ -43,7 +61,7 @@ IDLE_TIMEOUT_S = 60.0
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
-    500: "Internal Server Error",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
 
 
@@ -55,6 +73,12 @@ class _HttpError(Exception):
         self.status = status
 
 
+def _swallow_outcome(task: "asyncio.Task") -> None:
+    """Consume a detached task's result so nothing logs it as unretrieved."""
+    if not task.cancelled():
+        task.exception()
+
+
 class ServeApp:
     """One service instance: coalescer + worker pool + HTTP handlers."""
 
@@ -63,9 +87,16 @@ class ServeApp:
         policy: Optional[RunPolicy] = None,
         *,
         jobs: int = 2,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         self.coalescer = Coalescer()
-        self.pool = WorkerPool(policy, jobs=jobs)
+        self.resilience = ServeResilience(resilience or ResiliencePolicy())
+        self.pool = WorkerPool(
+            policy, jobs=jobs,
+            grace_factor=self.resilience.policy.grace_factor,
+        )
+        self.drained = asyncio.Event()
+        self._drain_task: Optional[asyncio.Task] = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -75,6 +106,39 @@ class ServeApp:
 
     def shutdown(self) -> None:
         self.pool.shutdown()
+
+    def request_drain(self) -> None:
+        """Begin graceful shutdown (idempotent; SIGTERM / ``POST /drain``).
+
+        New requests are refused from this instant; a background task
+        waits (up to ``drain_timeout_s``) for in-flight work, flushes a
+        metrics summary, shuts the pool down, and sets :attr:`drained`,
+        which :func:`run_app` watches to exit.
+        """
+        if self._drain_task is None:
+            self.resilience.begin_drain()
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self._drain()
+            )
+
+    async def _drain(self) -> None:
+        policy = self.resilience.policy
+        deadline = time.monotonic() + policy.drain_timeout_s
+        while self.resilience.total_pending() and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        abandoned = self.resilience.total_pending()
+        served = sum(
+            value for name, value in REGISTRY.snapshot().items()
+            if name.startswith("serve.responses")
+            and isinstance(value, (int, float))
+        )
+        print(
+            f"drain complete: {served} responses served,"
+            f" {abandoned} request(s) abandoned at the deadline",
+            file=sys.stderr,
+        )
+        self.pool.shutdown()
+        self.drained.set()
 
     # -- request flow --------------------------------------------------------
 
@@ -86,7 +150,15 @@ class ServeApp:
         """Compute (or coalesce, or cache-hit) one request to a response."""
         progress = progress or _noop_sink
         REGISTRY.counter("serve.requests", kind=request.kind).inc()
+        self.resilience.enter(request.kind)  # shed/draining raise here
+        try:
+            return await self._serve_admitted(request, progress)
+        finally:
+            self.resilience.exit(request.kind)
 
+    async def _serve_admitted(
+        self, request: ComputeRequest, progress: ProgressSink
+    ) -> Dict[str, Any]:
         async def leader() -> Dict[str, Any]:
             cache = active_cache()
             if cache is not None:
@@ -94,18 +166,29 @@ class ServeApp:
                 if stored is not None:
                     REGISTRY.counter("serve.results", source="cache").inc()
                     progress(
-                        {"type": "event", "name": "cache-hit",
-                         "category": "serve", "labels": {"key": request.key}}
+                        event_record("cache-hit", "serve",
+                                     {"key": request.key})
                     )
                     return {"source": "cache", "result": stored, "spans": []}
+            # The breaker gates backend computations only — cache hits
+            # stay served while a failing backend cools off.
+            breaker = self.resilience.breaker(request.kind)
+            breaker.acquire()
             REGISTRY.counter(
                 "serve.backend_computations", kind=request.kind
             ).inc()
             progress(
-                {"type": "event", "name": "scheduled", "category": "serve",
-                 "labels": {"label": request.label}}
+                event_record("scheduled", "serve", {"label": request.label})
             )
-            envelope = await self.pool.run(request, progress)
+            try:
+                envelope = await self.pool.run(request, progress)
+            except asyncio.CancelledError:
+                breaker.abort()  # no verdict from a cancelled attempt
+                raise
+            except Exception:
+                breaker.record_failure()
+                raise
+            breaker.record_success()
             if cache is not None:
                 cache.put("serve", request.key, envelope["result"])
             REGISTRY.counter("serve.results", source="computed").inc()
@@ -220,10 +303,19 @@ class ServeApp:
             if path == "/healthz":
                 if method != "GET":
                     raise _HttpError(405, "use GET")
+                status, payload = self.resilience.health()
                 await self._write_json(
-                    writer, 200, {"status": "ok"}, keep_alive=keep_alive
+                    writer, status, payload, keep_alive=keep_alive
                 )
                 return keep_alive
+            if path == "/drain":
+                if method != "POST":
+                    raise _HttpError(405, "use POST")
+                await self._write_json(
+                    writer, 200, {"status": "draining"}, keep_alive=False
+                )
+                self.request_drain()  # after responding: the ack must land
+                return False
             if path == "/metrics":
                 if method != "GET":
                     raise _HttpError(405, "use GET")
@@ -268,6 +360,17 @@ class ServeApp:
                 writer, 400, {"error": str(exc)}, keep_alive=keep_alive
             )
             return keep_alive
+        except (OverloadedError, CircuitOpenError, DrainingError) as exc:
+            # Deliberate fast failures: the service is protecting itself.
+            # 503 + Retry-After tells a well-behaved client when to come
+            # back; the connection stays usable.
+            await self._write_json(
+                writer, 503, {"error": str(exc)}, keep_alive=keep_alive,
+                extra_headers={
+                    "Retry-After": str(max(1, round(exc.retry_after_s)))
+                },
+            )
+            return keep_alive
         except (ConnectionError, asyncio.IncompleteReadError):
             raise
         except Exception as exc:  # a served bug must answer, not hang
@@ -291,13 +394,19 @@ class ServeApp:
         payload: Dict[str, Any],
         *,
         keep_alive: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
         connection = "keep-alive" if keep_alive else "close"
+        extras = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extras}"
             f"Connection: {connection}\r\n\r\n"
         )
         REGISTRY.counter("serve.responses", code=str(status)).inc()
@@ -349,7 +458,12 @@ class ServeApp:
             await self._write_sse(writer, "result", payload)
         finally:
             if not task.done():
-                task.cancel()
+                # The client went away (or this handler died) while the
+                # computation is in flight.  Do NOT cancel it: the leader
+                # may be feeding coalesced waiters, and its result still
+                # warms the cache.  Detach and swallow the outcome.
+                REGISTRY.counter("serve.stream_disconnects").inc()
+                task.add_done_callback(_swallow_outcome)
 
     @staticmethod
     async def _write_sse(
@@ -364,10 +478,40 @@ class ServeApp:
 async def run_app(
     app: ServeApp, host: str, port: int, *, ready_message: bool = True
 ) -> None:
-    """Bind, announce, and serve until cancelled (the CLI entry)."""
+    """Bind, announce, serve until cancelled or drained (the CLI entry).
+
+    SIGTERM triggers the same graceful drain as ``POST /drain``: stop
+    accepting, let in-flight work finish (bounded by the drain
+    deadline), then return — so ``kill <pid>`` on a busy server loses no
+    admitted request and exits 0.
+    """
     server = await app.start(host, port)
     bound = server.sockets[0].getsockname()
     if ready_message:
         print(f"serving on http://{bound[0]}:{bound[1]}", flush=True)
-    async with server:
-        await server.serve_forever()
+    loop = asyncio.get_running_loop()
+    try:
+        loop.add_signal_handler(signal.SIGTERM, app.request_drain)
+        sigterm_installed = True
+    except (NotImplementedError, RuntimeError):
+        sigterm_installed = False  # non-Unix loops / nested loops
+    try:
+        async with server:
+            serving = asyncio.ensure_future(server.serve_forever())
+            drained = asyncio.ensure_future(app.drained.wait())
+            done, pending = await asyncio.wait(
+                {serving, drained}, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in pending:
+                task.cancel()
+            for task in pending:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            for task in done:  # surface serve_forever errors, if any
+                if task is serving and not task.cancelled():
+                    task.exception()
+    finally:
+        if sigterm_installed:
+            loop.remove_signal_handler(signal.SIGTERM)

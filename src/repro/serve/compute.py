@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from repro.arch.config import ArchConfig
+from repro.chaos import chaos_worker_entry
 from repro.errors import SpecificationError
 from repro.nn import get_workload, parse_network
 from repro.nn.network import Network
@@ -124,6 +125,9 @@ def pool_entry(kind: str, spec: Dict[str, Any]) -> Dict[str, Any]:
     where the process-global current-tracer slot is safe to occupy: each
     worker computes one request at a time.
     """
+    # Chaos crashes/hangs fire here, exactly where a real computation
+    # would die — after the task reached a worker, before any result.
+    chaos_worker_entry()
     tracer = Tracer(enabled=True)
     with tracing(tracer):
         result = execute_request(kind, spec)

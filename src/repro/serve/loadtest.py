@@ -47,6 +47,9 @@ class ServeClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Response headers of the last completed request (lower-cased
+        #: names) — how callers read ``retry-after`` off a 503.
+        self.last_headers: Dict[str, str] = {}
         self._conn: Optional[http.client.HTTPConnection] = None
 
     def _connection(self) -> http.client.HTTPConnection:
@@ -79,6 +82,9 @@ class ServeClient:
             conn.request(method, path, body=payload, headers=headers)
             response = conn.getresponse()
             raw = response.read()
+        self.last_headers = {
+            name.lower(): value for name, value in response.getheaders()
+        }
         try:
             decoded = json.loads(raw) if raw else None
         except ValueError:
@@ -104,11 +110,50 @@ class ServeClient:
             raise ExperimentError(f"/metrics answered {status}: {body}")
         return body["metrics"]
 
+    def health(self) -> Dict[str, Any]:
+        """The `/healthz` payload (``{"status": ...}``), best-effort."""
+        try:
+            _, body = self.get("/healthz")
+        except OSError:
+            return {"status": "unreachable"}
+        return body if isinstance(body, dict) else {"status": "?"}
+
     def compute(self, kind: str, body: Dict[str, Any]) -> Dict[str, Any]:
         status, payload = self.post(f"/v1/{kind}", body)
         if status != 200:
             raise ExperimentError(f"/v1/{kind} answered {status}: {payload}")
         return payload
+
+    def compute_with_retry(
+        self,
+        kind: str,
+        body: Dict[str, Any],
+        *,
+        max_tries: int = 8,
+        backoff_s: float = 0.1,
+    ) -> Tuple[Dict[str, Any], int]:
+        """``compute()`` that retries deliberate 503s (shed/breaker-open).
+
+        A well-behaved client's loop: honor ``Retry-After`` (capped at
+        1s so harness runs stay fast), give up on any other error.
+        Returns ``(payload, retries_used)``.
+        """
+        last: Tuple[int, Any] = (0, None)
+        for attempt in range(max_tries):
+            status, payload = self.post(f"/v1/{kind}", body)
+            if status == 200:
+                return payload, attempt
+            last = (status, payload)
+            if status != 503:
+                break
+            try:
+                retry_after = float(self.last_headers.get("retry-after", 0))
+            except ValueError:
+                retry_after = 0.0
+            time.sleep(min(max(backoff_s, retry_after), 1.0))
+        raise ExperimentError(
+            f"/v1/{kind} answered {last[0]} after {max_tries} tries: {last[1]}"
+        )
 
 
 def metric_total(snapshot: Dict[str, Any], name: str) -> float:

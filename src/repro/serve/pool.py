@@ -1,35 +1,56 @@
-"""Async worker pool: cold computations off the event loop, with policy.
+"""Supervised async worker pool: spawn workers the coordinator can kill.
 
-Cold requests run in ``spawn`` worker processes (a
-``ProcessPoolExecutor``), so a crashing computation cannot take down the
-coordinator and CPU-heavy searches do not stall the accept loop.  The
-supervision policy is the resilient runner's
-:class:`~repro.experiments.runner.RunPolicy` — the same timeout /
-retries / exponential-backoff knobs, but enforced *asynchronously*:
-a timed-out attempt raises out of ``asyncio.wait_for`` and backoff is an
-``await asyncio.sleep``, so one struggling request never blocks the
-coordinator from serving others (the serve-side twin of the runner's
-deadline-scheduled retries).
+Cold requests run in ``spawn`` worker processes, so a crashing
+computation cannot take down the coordinator and CPU-heavy searches do
+not stall the accept loop.  The supervision policy is the resilient
+runner's :class:`~repro.experiments.runner.RunPolicy` — the same
+timeout / retries / capped-exponential-backoff knobs, but enforced
+*asynchronously*: a timed-out attempt raises out of ``asyncio.wait_for``
+and backoff is an ``await asyncio.sleep``, so one struggling request
+never blocks the coordinator from serving others.
 
-Two caveats worth knowing (see ``docs/SERVING.md``):
+Unlike the ``ProcessPoolExecutor`` it replaces, this pool owns each
+worker directly (one duplex pipe + one reader thread per worker), which
+buys the two properties an executor cannot provide:
 
-* a timed-out task cannot be forcibly killed inside a live executor —
-  it keeps occupying its worker until it finishes; the timeout bounds
-  the *caller's* wait, and retries go to a free worker;
-* ``jobs=0`` selects *inline* mode — a single-thread executor in the
-  coordinator process — used by tests and tiny deployments.  It is
-  single-threaded on purpose: the ambient tracer slot is process-global.
+* **hung-worker reaping** — every dispatched task carries a deadline of
+  ``timeout_s * grace_factor``; a worker still busy past it is killed
+  (``SIGKILL`` — hung computations ignore polite signals) and replaced,
+  so a wedged computation costs one worker-respawn, not a pool slot
+  forever.  ``serve.worker_reaps`` / ``serve.worker_respawns`` count the
+  churn, and a result arriving after its caller gave up is dropped and
+  counted (``serve.late_results``), never delivered to the wrong caller;
+* **crash self-healing** — a worker that dies mid-task (chaos
+  ``worker_crash``, OOM kill) surfaces as a failed attempt for exactly
+  the task it was running, the worker is respawned, and the retry runs
+  on a live worker (``serve.worker_crashes``).
+
+``jobs=0`` selects *inline* mode — daemon worker threads in the
+coordinator process — used by tests and tiny deployments.  Threads
+cannot be killed, so a reaped inline worker is *abandoned* (it stays a
+daemon thread until its computation returns, and its late result is
+discarded) while a fresh thread takes over the slot: a hung attempt no
+longer wedges inline mode forever.
+
+The ``serve.pool_workers`` gauge tracks live workers through every
+transition: spawn, reap/respawn, and ``shutdown()`` (where it drops to
+zero until the next ``run()`` recreates the pool).
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import multiprocessing
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Dict, Optional
+import queue
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ExperimentError
 from repro.experiments.runner import RunPolicy
+from repro.obs.events import event_record
 from repro.obs.metrics import REGISTRY
 from repro.serve.compute import pool_entry
 from repro.serve.schemas import ComputeRequest
@@ -37,43 +58,385 @@ from repro.serve.schemas import ComputeRequest
 #: A progress callback; receives serializable event dicts.
 ProgressSink = Callable[[Dict[str, Any]], None]
 
+#: How far past ``timeout_s`` a busy worker may run before the reaper
+#: kills and replaces it (callers have long since timed out and retried).
+DEFAULT_GRACE_FACTOR = 2.0
+
 
 def _noop_sink(record: Dict[str, Any]) -> None:
     pass
 
 
+def _spawn_worker_main(conn) -> None:
+    """One spawn worker's loop: ``(task_id, kind, spec)`` in, reply out."""
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        task_id, kind, spec = message
+        try:
+            reply = (task_id, "ok", pool_entry(kind, spec))
+        except BaseException as exc:  # any failure must become a reply
+            reply = (task_id, "error", str(exc) or exc.__class__.__name__)
+        try:
+            conn.send(reply)
+        except (OSError, TypeError, ValueError):
+            # An unserializable envelope must not kill the worker.
+            try:
+                conn.send((task_id, "error", "result not serializable"))
+            except OSError:
+                return
+
+
+class _ProcessWorker:
+    """One owned spawn process + the reader thread watching its pipe."""
+
+    def __init__(self, worker_id: int, post) -> None:
+        self.id = worker_id
+        self.busy_task: Optional[int] = None
+        self.deadline: Optional[float] = None
+        self.retired = False
+        ctx = multiprocessing.get_context("spawn")
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_spawn_worker_main,
+            args=(child_conn,),
+            daemon=True,
+            name=f"repro-serve-worker-{worker_id}",
+        )
+        self.process.start()
+        child_conn.close()
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            args=(post,),
+            daemon=True,
+            name=f"repro-serve-reader-{worker_id}",
+        )
+        self._reader.start()
+
+    def _read_loop(self, post) -> None:
+        while True:
+            try:
+                payload = self._conn.recv()
+            except (EOFError, OSError):
+                break
+            post(self, payload)
+        try:  # the reader owns the coordinator end once the pipe is dead
+            self._conn.close()
+        except OSError:
+            pass
+        post(self, None)
+
+    def submit(self, task_id: int, kind: str, spec: Dict[str, Any]) -> None:
+        self._conn.send((task_id, kind, spec))
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.kill()  # SIGKILL: hung computations ignore terminate
+        # Reap the corpse off-loop; the reader thread exits on pipe EOF.
+        threading.Thread(target=self.process.join, daemon=True).start()
+
+
+class _ThreadWorker:
+    """Inline-mode worker: a daemon thread that cannot be killed, only
+    abandoned (marked retired; its eventual result is dropped as late)."""
+
+    def __init__(self, worker_id: int, post) -> None:
+        self.id = worker_id
+        self.busy_task: Optional[int] = None
+        self.deadline: Optional[float] = None
+        self.retired = False
+        self._post = post
+        self._queue: "queue.Queue" = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._loop,
+            daemon=True,
+            name=f"repro-serve-inline-{worker_id}",
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            message = self._queue.get()
+            if message is None:
+                return
+            task_id, kind, spec = message
+            try:
+                # Module-global lookup on purpose: tests monkeypatch
+                # ``repro.serve.pool.pool_entry``.
+                reply = (task_id, "ok", pool_entry(kind, spec))
+            except BaseException as exc:
+                reply = (task_id, "error", str(exc) or exc.__class__.__name__)
+            self._post(self, reply)
+            if self.retired:
+                return
+
+    def submit(self, task_id: int, kind: str, spec: Dict[str, Any]) -> None:
+        self._queue.put((task_id, kind, spec))
+
+    def kill(self) -> None:
+        self._queue.put(None)  # unblock if idle; a busy thread is abandoned
+
+
 class WorkerPool:
     """Executes :class:`ComputeRequest`s under a :class:`RunPolicy`."""
 
-    def __init__(self, policy: Optional[RunPolicy] = None, *, jobs: int = 2):
+    def __init__(
+        self,
+        policy: Optional[RunPolicy] = None,
+        *,
+        jobs: int = 2,
+        grace_factor: float = DEFAULT_GRACE_FACTOR,
+    ):
         if jobs < 0:
             raise ExperimentError(f"jobs must be >= 0, got {jobs}")
+        if grace_factor < 1.0:
+            raise ExperimentError(
+                f"grace_factor must be >= 1, got {grace_factor}"
+            )
         self.policy = policy or RunPolicy()
         self.jobs = jobs
-        self._executor: Optional[Executor] = None
+        self.grace_factor = grace_factor
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._workers: List[Any] = []
+        self._idle: Deque[Any] = deque()
+        self._waiters: Deque[asyncio.Future] = deque()
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._abandoned: Set[int] = set()
+        self._task_ids = itertools.count(1)
+        self._worker_ids = itertools.count(1)
+        self._reaper_task: Optional[asyncio.Task] = None
+        self._reaper_wakeup: Optional[asyncio.Event] = None
+        self._closed = False
 
     # -- lifecycle -----------------------------------------------------------
 
-    def _ensure_executor(self) -> Executor:
-        if self._executor is None:
-            if self.jobs == 0:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=1, thread_name_prefix="repro-serve-inline"
-                )
-            else:
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.jobs,
-                    mp_context=multiprocessing.get_context("spawn"),
-                )
-            REGISTRY.gauge("serve.pool_workers").set(max(1, self.jobs))
-        return self._executor
+    @property
+    def worker_count(self) -> int:
+        return len(self._workers)
+
+    def _ensure_started(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self._loop is not None and (
+            self._loop is not loop or self._loop.is_closed()
+        ):
+            # Bound to a dead or different loop (tests run each request
+            # through a fresh ``asyncio.run``): recycle onto this one.
+            self._teardown()
+        if self._loop is None:
+            self._loop = loop
+            self._closed = False
+            for _ in range(max(1, self.jobs) if self.jobs == 0 else self.jobs):
+                self._add_worker()
+            self._reaper_wakeup = asyncio.Event()
+            self._reaper_task = loop.create_task(self._reap_loop())
+
+    def _add_worker(self):
+        worker_id = next(self._worker_ids)
+        if self.jobs == 0:
+            worker = _ThreadWorker(worker_id, self._post_message)
+        else:
+            worker = _ProcessWorker(worker_id, self._post_message)
+        self._workers.append(worker)
+        self._idle.append(worker)
+        REGISTRY.gauge("serve.pool_workers").set(len(self._workers))
+        self._grant_waiters()
+        return worker
+
+    def _teardown(self) -> None:
+        for worker in list(self._workers):
+            worker.retired = True
+            worker.kill()
+        self._workers.clear()
+        self._idle.clear()
+        for fut in list(self._pending.values()):
+            if not fut.done():
+                try:
+                    fut.set_result(("crashed", "pool shut down"))
+                except Exception:
+                    pass  # future bound to an already-closed loop
+        self._pending.clear()
+        self._abandoned.clear()
+        for fut in list(self._waiters):
+            try:
+                fut.cancel()
+            except Exception:
+                pass
+        self._waiters.clear()
+        if self._reaper_task is not None:
+            try:
+                self._reaper_task.cancel()
+            except Exception:
+                pass
+            self._reaper_task = None
+        self._reaper_wakeup = None
+        self._loop = None
+        REGISTRY.gauge("serve.pool_workers").set(0)
 
     def shutdown(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
+        """Kill every worker and drop to zero; the next run() recreates."""
+        self._closed = True
+        self._teardown()
+
+    # -- worker checkout -----------------------------------------------------
+
+    async def _acquire(self):
+        while True:
+            while self._idle:
+                worker = self._idle.popleft()
+                if not worker.retired:
+                    return worker
+            fut = self._loop.create_future()
+            self._waiters.append(fut)
+            try:
+                worker = await fut
+            except asyncio.CancelledError:
+                if fut in self._waiters:
+                    self._waiters.remove(fut)
+                elif fut.done() and not fut.cancelled():
+                    self._release(fut.result())  # granted but never used
+                raise
+            if not worker.retired:
+                return worker
+
+    def _release(self, worker) -> None:
+        if worker.retired:
+            return
+        worker.busy_task = None
+        worker.deadline = None
+        self._idle.append(worker)
+        self._grant_waiters()
+
+    def _grant_waiters(self) -> None:
+        while self._waiters and self._idle:
+            fut = self._waiters.popleft()
+            if not fut.done():
+                fut.set_result(self._idle.popleft())
+
+    # -- worker messages (reader threads -> event loop) ----------------------
+
+    def _post_message(self, worker, payload) -> None:
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self._on_message, worker, payload)
+        except RuntimeError:
+            pass  # loop closed between the check and the call
+
+    def _on_message(self, worker, payload) -> None:
+        if payload is None:
+            # Pipe EOF: the worker process died (crash, OOM, or our kill).
+            if not worker.retired:
+                REGISTRY.counter("serve.worker_crashes").inc()
+                self._retire(worker, "pipe closed unexpectedly")
+            return
+        task_id, status, data = payload
+        fut = self._pending.pop(task_id, None)
+        if fut is not None:
+            if not fut.done():
+                fut.set_result((status, data))
+        elif task_id in self._abandoned:
+            self._abandoned.discard(task_id)
+            REGISTRY.counter("serve.late_results").inc()
+        if not worker.retired:
+            self._release(worker)
+
+    def _retire(self, worker, reason: str) -> None:
+        """Remove + kill one worker, failing its in-flight task; respawn."""
+        if worker.retired:
+            return
+        worker.retired = True
+        if worker in self._workers:
+            self._workers.remove(worker)
+        try:
+            self._idle.remove(worker)
+        except ValueError:
+            pass
+        task_id = worker.busy_task
+        if task_id is not None:
+            if isinstance(worker, _ProcessWorker):
+                # SIGKILL means no late reply can ever arrive; an
+                # abandoned *thread* may still post one (counted late).
+                self._abandoned.discard(task_id)
+            fut = self._pending.pop(task_id, None)
+            if fut is not None and not fut.done():
+                fut.set_result(("crashed", reason))
+        worker.kill()
+        REGISTRY.gauge("serve.pool_workers").set(len(self._workers))
+        if not self._closed and self._loop is not None:
+            self._add_worker()
+            REGISTRY.counter("serve.worker_respawns").inc()
+
+    # -- the hung-worker reaper ----------------------------------------------
+
+    async def _reap_loop(self) -> None:
+        while True:
+            self._reaper_wakeup.clear()
+            deadlines = [
+                worker.deadline
+                for worker in self._workers
+                if worker.deadline is not None
+            ]
+            if not deadlines:
+                await self._reaper_wakeup.wait()
+                continue
+            wait_s = min(deadlines) - time.monotonic()
+            if wait_s > 0:
+                try:
+                    await asyncio.wait_for(
+                        self._reaper_wakeup.wait(), timeout=wait_s
+                    )
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            now = time.monotonic()
+            grace_s = (self.policy.timeout_s or 0.0) * self.grace_factor
+            for worker in list(self._workers):
+                if worker.deadline is not None and worker.deadline <= now:
+                    REGISTRY.counter("serve.worker_reaps").inc()
+                    self._retire(
+                        worker, f"hung for more than {grace_s:.1f}s, reaped"
+                    )
 
     # -- execution -----------------------------------------------------------
+
+    async def _attempt(self, request: ComputeRequest) -> Tuple[str, Any]:
+        """One dispatch: checkout, submit, await the worker's reply.
+
+        Returns ``(status, data)`` with status ``ok``/``error``/
+        ``crashed`` — never raises for a worker-side failure, so the
+        retry loop above stays in control.  Cancellation (the caller's
+        ``wait_for`` timing out) abandons the in-flight task: the worker
+        stays busy until its reply or its reaper deadline, whichever
+        comes first.
+        """
+        worker = await self._acquire()
+        task_id = next(self._task_ids)
+        fut = self._loop.create_future()
+        self._pending[task_id] = fut
+        worker.busy_task = task_id
+        if self.policy.timeout_s is not None:  # no timeout -> no reaping
+            worker.deadline = (
+                time.monotonic() + self.policy.timeout_s * self.grace_factor
+            )
+            self._reaper_wakeup.set()
+        try:
+            worker.submit(task_id, request.kind, request.spec)
+        except (OSError, ValueError) as exc:
+            self._pending.pop(task_id, None)
+            REGISTRY.counter("serve.worker_crashes").inc()
+            self._retire(worker, f"submit failed: {exc}")
+            return ("crashed", f"submit failed: {exc}")
+        try:
+            return await fut
+        except asyncio.CancelledError:
+            if self._pending.pop(task_id, None) is not None:
+                self._abandoned.add(task_id)
+            raise
 
     async def run(
         self,
@@ -87,40 +450,43 @@ class WorkerPool:
         timed out (the HTTP layer maps it to a 500).
         """
         progress = progress or _noop_sink
-        executor = self._ensure_executor()
-        loop = asyncio.get_running_loop()
+        self._ensure_started()
         errors = []
         for attempt in range(1, self.policy.retries + 2):
             REGISTRY.counter("serve.attempts", kind=request.kind).inc()
             progress(
-                {"type": "event", "name": "attempt", "category": "serve",
-                 "labels": {"attempt": str(attempt), "label": request.label}}
+                event_record(
+                    "attempt", "serve",
+                    {"attempt": str(attempt), "label": request.label},
+                )
             )
             try:
-                envelope = await asyncio.wait_for(
-                    loop.run_in_executor(
-                        executor, pool_entry, request.kind, request.spec
-                    ),
-                    timeout=self.policy.timeout_s,
+                status, data = await asyncio.wait_for(
+                    self._attempt(request), timeout=self.policy.timeout_s
                 )
-                return envelope
             except asyncio.TimeoutError:
                 errors.append(
                     f"attempt {attempt}: [timeout] exceeded"
                     f" {self.policy.timeout_s}s wall clock"
                 )
                 REGISTRY.counter("serve.timeouts", kind=request.kind).inc()
-            except Exception as exc:
-                errors.append(f"attempt {attempt}: [failed] {exc}")
+            else:
+                if status == "ok":
+                    return data
+                detail = (
+                    data if status == "error"
+                    else f"worker crashed/died ({data})"
+                )
+                errors.append(f"attempt {attempt}: [failed] {detail}")
                 REGISTRY.counter("serve.failures", kind=request.kind).inc()
             if attempt <= self.policy.retries:
-                delay = self.policy.backoff_s * (2 ** (attempt - 1))
+                delay = self.policy.retry_delay(attempt)
                 REGISTRY.counter("serve.retries", kind=request.kind).inc()
                 progress(
-                    {"type": "event", "name": "retry-scheduled",
-                     "category": "serve",
-                     "labels": {"delay_s": f"{delay:.3f}",
-                                "label": request.label}}
+                    event_record(
+                        "retry-scheduled", "serve",
+                        {"delay_s": f"{delay:.3f}", "label": request.label},
+                    )
                 )
                 await asyncio.sleep(delay)
         raise ExperimentError(

@@ -26,6 +26,13 @@ from repro.nn.network import Network
 #: Request kinds the service computes (``sweep`` is a batch of these).
 REQUEST_KINDS = ("map", "simulate", "dse")
 
+#: Kinds a client may safely retry after a 5xx: all served computations
+#: are pure functions of their spec (no side effects beyond the cache),
+#: so today every kind is retryable.  The chaos bench enforces "zero
+#: unrecovered 5xx" for exactly this set; a future mutating kind would
+#: opt out by not appearing here.
+RETRYABLE_KINDS = frozenset(REQUEST_KINDS)
+
 #: Guard rails on request size, so one malformed/abusive request cannot
 #: monopolize the worker pool.
 MAX_DIM = 256

@@ -104,15 +104,36 @@ class TestCorruptionRecovery:
         cache.put("unit", hash_payload("unit", {"q": 4}), object())
         assert cache.stats()["entries"] == 0
 
-    def test_verify_removes_only_bad_entries(self, tmp_path):
+    def test_verify_reports_bad_entries_without_touching_them(self, tmp_path):
         cache = ResultCache(tmp_path)
         good = hash_payload("unit", {"n": 1})
         bad = hash_payload("unit", {"n": 2})
         cache.put("unit", good, "ok")
         cache.put("unit", bad, "soon-garbage")
-        self._entry_path(tmp_path, "unit", bad).write_text("{not json")
+        bad_path = self._entry_path(tmp_path, "unit", bad)
+        bad_path.write_text("{not json")
         report = ResultCache(tmp_path).verify()
-        assert report == {"checked": 2, "ok": 1, "removed": 1}
+        assert report == {"checked": 2, "ok": 1, "corrupt": 1, "quarantined": 0}
+        assert bad_path.exists()  # report-only: nothing moved yet
+
+    def test_verify_repair_quarantines_bad_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        good = hash_payload("unit", {"n": 1})
+        bad = hash_payload("unit", {"n": 2})
+        cache.put("unit", good, "ok")
+        cache.put("unit", bad, "soon-garbage")
+        bad_path = self._entry_path(tmp_path, "unit", bad)
+        bad_path.write_text("{not json")
+        report = ResultCache(tmp_path).verify(repair=True)
+        assert report == {"checked": 2, "ok": 1, "corrupt": 1, "quarantined": 1}
+        assert not bad_path.exists()
+        moved = tmp_path / ".quarantine" / "unit" / bad_path.name
+        assert moved.read_text() == "{not json"  # kept for post mortems
+        # The quarantine dir is invisible to stats/verify walks.
+        follow_up = ResultCache(tmp_path).verify()
+        assert follow_up == {
+            "checked": 1, "ok": 1, "corrupt": 0, "quarantined": 0
+        }
         assert ResultCache(tmp_path).get("unit", good) == "ok"
 
 
@@ -181,7 +202,7 @@ class TestConcurrentWriters:
         assert not errors
         report = ResultCache(tmp_path).verify()
         assert report["checked"] == len(keys)
-        assert report["removed"] == 0
+        assert report["corrupt"] == 0
 
 
 class TestEnvironmentKnobs:

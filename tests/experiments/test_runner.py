@@ -126,11 +126,28 @@ class TestRunPolicy:
             {"timeout_s": -1.0},
             {"retries": -1},
             {"backoff_s": -0.1},
+            {"max_backoff_s": 0.0},
+            {"max_backoff_s": -2.0},
         ],
     )
     def test_invalid_policy_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):
             RunPolicy(**kwargs)
+
+    def test_retry_delay_doubles_then_caps(self):
+        policy = RunPolicy(backoff_s=0.25, max_backoff_s=2.0)
+        delays = [policy.retry_delay(attempt) for attempt in range(1, 7)]
+        assert delays == [0.25, 0.5, 1.0, 2.0, 2.0, 2.0]
+
+    def test_retry_delay_zero_backoff_stays_zero(self):
+        policy = RunPolicy(backoff_s=0.0)
+        assert [policy.retry_delay(a) for a in (1, 5, 20)] == [0.0, 0.0, 0.0]
+
+    def test_retry_delay_default_cap_bounds_deep_attempts(self):
+        policy = RunPolicy(backoff_s=1.0)  # default max_backoff_s = 30.0
+        assert policy.retry_delay(3) == 4.0
+        assert policy.retry_delay(10) == 30.0
+        assert policy.retry_delay(60) == 30.0  # no overflow blowup either
 
 
 class TestSerialization:

@@ -75,8 +75,25 @@ class ServerHandle:
 
 
 @pytest.fixture
-def server(serve_cache):
-    policy = RunPolicy(jobs=1, retries=0)
-    handle = ServerHandle(ServeApp(policy, jobs=0)).start()
-    yield handle
-    handle.stop()
+def make_server(serve_cache):
+    """Factory for in-process servers with custom run/resilience policies."""
+    handles = []
+
+    def make(policy=None, *, jobs=0, resilience=None):
+        app = ServeApp(
+            policy or RunPolicy(jobs=1, retries=0),
+            jobs=jobs,
+            resilience=resilience,
+        )
+        handle = ServerHandle(app).start()
+        handles.append(handle)
+        return handle
+
+    yield make
+    for handle in handles:
+        handle.stop()
+
+
+@pytest.fixture
+def server(make_server):
+    return make_server()

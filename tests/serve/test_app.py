@@ -220,6 +220,91 @@ class TestStreaming:
         assert "boom" in last
 
 
+class TestStreamDisconnect:
+    def test_client_disconnect_keeps_leader_and_waiters_alive(
+        self, make_server, monkeypatch
+    ):
+        """An SSE subscriber dropping mid-stream must not cancel the
+        leader computation: a coalesced (non-streaming) waiter on the
+        same key still gets the result, and the server just counts a
+        ``serve.stream_disconnects``."""
+        import http.client
+
+        from repro.experiments.runner import RunPolicy
+
+        calls = []
+
+        def flaky(kind, spec):
+            calls.append(1)
+            if len(calls) < 9:  # ~0.4s of retry churn = progress writes
+                raise RuntimeError("transient")
+            return {"result": {"done": True}, "spans": []}
+
+        monkeypatch.setattr("repro.serve.pool.pool_entry", flaky)
+        server = make_server(
+            RunPolicy(jobs=1, retries=12, backoff_s=0.05, max_backoff_s=0.05)
+        )
+        before = REGISTRY.snapshot()
+        body = json.dumps({"workload": "PV", "dim": 4}).encode()
+
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=30
+        )
+        conn.request(
+            "POST", "/v1/map?stream=1", body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        time.sleep(0.05)  # the SSE request becomes the coalescing leader
+        results, errors = [], []
+
+        def waiter():
+            client = server.client()
+            try:
+                results.append(
+                    client.compute("map", {"workload": "PV", "dim": 4})
+                )
+            except Exception as exc:
+                errors.append(exc)
+            finally:
+                client.close()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.1)
+        conn.close()  # drop the stream while attempts are still churning
+        thread.join(timeout=30)
+
+        assert not errors, f"waiter was poisoned: {errors[0]}"
+        assert results[0]["source"] == "coalesced"
+        assert results[0]["result"] == {"done": True}
+        assert snapshot_delta(before, "serve.backend_computations") == 1
+        deadline = time.monotonic() + 5.0
+        while snapshot_delta(before, "serve.stream_disconnects") < 1:
+            assert time.monotonic() < deadline, "disconnect never noticed"
+            time.sleep(0.02)
+
+
+class TestDrain:
+    def test_drain_endpoint_refuses_new_work_then_settles(self, server):
+        client = server.client()
+        status, body = client.post("/drain", {})
+        assert (status, body) == (200, {"status": "draining"})
+        fresh = server.client()
+        status, body = fresh.post("/v1/map", {"workload": "PV", "dim": 4})
+        assert status == 503
+        assert "draining" in body["error"]
+        assert fresh.last_headers.get("retry-after") == "1"
+        status, health = fresh.get("/healthz")
+        assert status == 503
+        assert health["status"] == "draining"
+        deadline = time.monotonic() + 5.0
+        while not server.app.drained.is_set():
+            assert time.monotonic() < deadline, "drain never completed"
+            time.sleep(0.02)
+        fresh.close()
+        client.close()
+
+
 class TestSubprocessBoot:
     def test_cli_serve_boots_and_answers(self, serve_cache):
         """The real ``repro serve`` subprocess: boot, compute, shut down."""
@@ -247,3 +332,35 @@ class TestSubprocessBoot:
             client.close()
             proc.terminate()
             assert proc.wait(timeout=30) is not None
+
+    def test_sigterm_drains_gracefully_and_exits_zero(self, serve_cache):
+        """``kill <pid>`` = graceful drain: the server reports the drain
+        on stderr and exits 0, not killed mid-flight."""
+        import os
+        import signal
+        from pathlib import Path
+
+        import repro
+        from repro.serve.loadtest import start_server
+
+        src_dir = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env.update(
+            REPRO_CACHE="on", REPRO_CACHE_DIR=str(serve_cache),
+            PYTHONPATH=src_dir + os.pathsep + env.get("PYTHONPATH", ""),
+        )
+        proc, client = start_server(
+            jobs=0, env=env, extra_args=["--drain-timeout", "5"]
+        )
+        try:
+            payload = client.compute("map", {"workload": "PV", "dim": 4})
+            assert payload["source"] == "computed"
+            client.close()
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+            output = proc.stdout.read()
+            assert "drain complete" in output
+        finally:
+            client.close()
+            if proc.poll() is None:
+                proc.kill()

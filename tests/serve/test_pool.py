@@ -1,12 +1,14 @@
 """Worker-pool supervision: retries, timeouts, non-blocking backoff."""
 
 import asyncio
+import threading
 import time
 
 import pytest
 
 from repro.errors import ExperimentError
 from repro.experiments.runner import RunPolicy
+from repro.obs.metrics import REGISTRY
 from repro.serve.pool import WorkerPool
 from repro.serve.schemas import parse_request
 
@@ -129,3 +131,74 @@ class TestWorkerPool:
         fast_done, flaky_done = run(scenario())
         assert fast_done < 0.25, "fast request waited out the backoff"
         assert flaky_done >= 0.3
+
+
+class TestSupervision:
+    def test_pool_workers_gauge_tracks_lifecycle(
+        self, inline_pool, monkeypatch
+    ):
+        """The gauge follows spawn, shutdown, and lazy recreation."""
+        monkeypatch.setattr(
+            "repro.serve.pool.pool_entry",
+            lambda kind, spec: {"result": {}, "spans": []},
+        )
+        gauge = REGISTRY.gauge("serve.pool_workers")
+        pool = inline_pool(jobs=1, retries=0)
+        run(pool.run(MAP_PV))
+        assert gauge.value == 1
+        pool.shutdown()
+        assert gauge.value == 0
+        run(pool.run(MAP_PV))  # the next request recreates the pool
+        assert gauge.value == 1
+
+    def test_hung_inline_worker_reaped_and_replaced(
+        self, inline_pool, monkeypatch
+    ):
+        """A wedged inline worker is abandoned within ``grace_factor *
+        timeout_s`` and a fresh thread takes over its slot — the
+        ``jobs=0`` wedging fix.  Its eventual result is dropped as late,
+        never delivered."""
+        release = threading.Event()
+        calls = []
+
+        def sticky(kind, spec):
+            calls.append(kind)
+            if len(calls) == 1:
+                release.wait(5.0)  # wedge until the test lets go
+            return {"result": {"call": len(calls)}, "spans": []}
+
+        monkeypatch.setattr("repro.serve.pool.pool_entry", sticky)
+        pool = inline_pool(jobs=1, timeout_s=0.1, retries=0)
+        reaps = REGISTRY.counter("serve.worker_reaps")
+        respawns = REGISTRY.counter("serve.worker_respawns")
+        late = REGISTRY.counter("serve.late_results")
+        reaps_before, respawns_before = reaps.value, respawns.value
+        late_before = late.value
+
+        async def scenario():
+            with pytest.raises(ExperimentError, match=r"\[timeout\]"):
+                await pool.run(MAP_PV)
+            # The worker is still wedged; the reaper fires at
+            # timeout_s * grace_factor = 0.2 s after dispatch.
+            deadline = time.monotonic() + 2.0
+            while reaps.value == reaps_before:
+                if time.monotonic() > deadline:
+                    pytest.fail("hung worker was never reaped")
+                await asyncio.sleep(0.02)
+            # The replacement worker serves the next request even though
+            # the abandoned thread is still blocked.
+            envelope = await pool.run(MAP_PV)
+            assert envelope["result"]["call"] == 2
+            # Let the abandoned thread finish: its reply must be dropped.
+            release.set()
+            deadline = time.monotonic() + 2.0
+            while late.value == late_before:
+                if time.monotonic() > deadline:
+                    pytest.fail("abandoned result was never counted late")
+                await asyncio.sleep(0.02)
+
+        run(scenario())
+        assert reaps.value == reaps_before + 1
+        assert respawns.value >= respawns_before + 1
+        assert pool.worker_count == 1
+        assert REGISTRY.gauge("serve.pool_workers").value == 1

@@ -1,0 +1,165 @@
+"""Unit tests for the seeded fault-injection registry (`repro.chaos`).
+
+These cover the spec grammar, schedule determinism, and the shared
+injection budgets; the faults themselves firing through the serve stack
+are exercised end to end in ``tests/serve/test_chaos.py``.
+"""
+
+import pytest
+
+from repro.chaos import (
+    DEFAULT_HANG_S,
+    DEFAULT_SLOW_IO_S,
+    ChaosController,
+    ChaosInjected,
+    ChaosRule,
+    active_chaos,
+    chaos_point,
+    chaos_worker_entry,
+    parse_spec,
+    reset_chaos_handles,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(autouse=True)
+def fresh_chaos(monkeypatch):
+    """Each test starts with chaos disarmed and no memoized controllers."""
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    monkeypatch.delenv("REPRO_CHAOS_STATE", raising=False)
+    reset_chaos_handles()
+    yield
+    reset_chaos_handles()
+
+
+class TestParseSpec:
+    def test_off_specs_disable_everything(self):
+        for spec in ("", "off", "0", "false", "  OFF  "):
+            rules, seed, hang_s, slow_io_s = parse_spec(spec)
+            assert rules == {}
+            assert (seed, hang_s, slow_io_s) == (
+                0, DEFAULT_HANG_S, DEFAULT_SLOW_IO_S
+            )
+
+    def test_full_grammar_round_trips(self):
+        rules, seed, hang_s, slow_io_s = parse_spec(
+            "worker_crash=0.2, cache_corrupt=1@2, seed=7,"
+            " hang_s=3.5, slow_io_s=0.01"
+        )
+        assert rules == {
+            "worker_crash": ChaosRule(rate=0.2, limit=None),
+            "cache_corrupt": ChaosRule(rate=1.0, limit=2),
+        }
+        assert (seed, hang_s, slow_io_s) == (7, 3.5, 0.01)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "bogus_point=1",          # unknown point
+            "worker_crash",           # missing '='
+            "worker_crash=maybe",     # non-numeric rate
+            "worker_crash=1.5",       # rate out of [0, 1]
+            "worker_crash=-0.1",
+            "worker_crash=1@x",       # non-integer limit
+            "worker_crash=1@-1",      # negative limit
+            "seed=pi",
+            "hang_s=-1",
+        ],
+    )
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_spec(spec)
+
+
+class TestController:
+    def test_seeded_schedule_is_deterministic(self):
+        def draws(seed):
+            controller = ChaosController(
+                {"worker_crash": ChaosRule(rate=0.3)}, seed=seed, salt=0
+            )
+            return [controller.should_fire("worker_crash")
+                    for _ in range(40)]
+
+        first, second = draws(7), draws(7)
+        assert first == second
+        assert any(first) and not all(first)  # an actual Bernoulli mix
+        assert draws(8) != first  # the seed matters
+
+    def test_pid_salt_decorrelates_sibling_schedules(self):
+        rule = {"worker_crash": ChaosRule(rate=0.5)}
+        a = ChaosController(rule, seed=1, salt=1001)
+        b = ChaosController(rule, seed=1, salt=1002)
+        assert (
+            [a.should_fire("worker_crash") for _ in range(64)]
+            != [b.should_fire("worker_crash") for _ in range(64)]
+        )
+
+    def test_unarmed_point_never_fires(self):
+        controller = ChaosController(
+            {"worker_crash": ChaosRule(rate=1.0)}, salt=0
+        )
+        assert not controller.should_fire("slow_io")
+        assert controller.fired("slow_io") == 0
+
+    def test_in_process_limit_caps_firings(self):
+        controller = ChaosController(
+            {"cache_corrupt": ChaosRule(rate=1.0, limit=2)}, salt=0
+        )
+        fires = [controller.should_fire("cache_corrupt") for _ in range(5)]
+        assert fires == [True, True, False, False, False]
+        assert controller.fired("cache_corrupt") == 2
+
+    def test_state_dir_budget_is_shared_across_controllers(self, tmp_path):
+        """Two controllers (stand-ins for two processes) split one
+        budget through the locked counter file."""
+        rule = {"worker_hang": ChaosRule(rate=1.0, limit=3)}
+        a = ChaosController(rule, salt=0, state_dir=str(tmp_path))
+        b = ChaosController(rule, salt=0, state_dir=str(tmp_path))
+        total = sum(
+            controller.should_fire("worker_hang")
+            for _ in range(4)
+            for controller in (a, b)
+        )
+        assert total == 3
+        assert (tmp_path / "chaos-worker_hang.count").read_text() == "3"
+
+    def test_unwritable_state_dir_fails_closed(self, tmp_path):
+        blocked = tmp_path / "not-a-dir"
+        blocked.write_text("file, not directory")
+        controller = ChaosController(
+            {"worker_hang": ChaosRule(rate=1.0, limit=5)},
+            salt=0,
+            state_dir=str(blocked),
+        )
+        assert controller.should_fire("worker_hang") is False
+
+
+class TestAmbientControls:
+    def test_active_chaos_off_by_default(self):
+        assert active_chaos() is None
+        assert chaos_point("worker_crash") is False
+
+    def test_bad_env_spec_surfaces_configuration_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "nonsense=1")
+        with pytest.raises(ConfigurationError, match="unknown injection"):
+            active_chaos()
+
+    def test_controller_memoized_until_spec_changes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "worker_crash=0.5,seed=1")
+        first = active_chaos()
+        assert first is active_chaos()  # same schedule, same RNG state
+        monkeypatch.setenv("REPRO_CHAOS", "worker_crash=0.5,seed=2")
+        assert active_chaos() is not first
+
+    def test_worker_entry_raises_inline_instead_of_exiting(
+        self, monkeypatch
+    ):
+        # In the coordinator process a crash must be an exception the
+        # supervisor can catch, never os._exit (which would take the
+        # whole service down).
+        monkeypatch.setenv("REPRO_CHAOS", "worker_crash=1")
+        with pytest.raises(ChaosInjected):
+            chaos_worker_entry()
+
+    def test_worker_entry_noop_when_off(self):
+        chaos_worker_entry()  # must not raise

@@ -278,11 +278,34 @@ class TestCacheCommand:
         out = capsys.readouterr().out
         assert "map_network" in out and "simulate_network" in out
         assert main(["cache", "verify"]) == 0
-        assert "0 removed" in capsys.readouterr().out
+        assert "0 corrupt" in capsys.readouterr().out
         assert main(["cache", "clear"]) == 0
         assert "removed" in capsys.readouterr().out
         assert main(["cache", "stats"]) == 0
         assert "entries: 0" in capsys.readouterr().out
+
+    def test_verify_repair_golden_output(self, tmp_path, capsys):
+        from repro.cache import hash_payload
+        from repro.cache.store import ResultCache, cache_root
+
+        store = ResultCache(cache_root())
+        good = hash_payload("unit", {"n": "good"})
+        bad = hash_payload("unit", {"n": "bad"})
+        store.put("unit", good, "fine")
+        store.put("unit", bad, "soon-garbage")
+        bad_path = cache_root() / "unit" / bad[:2] / f"{bad}.json"
+        bad_path.write_text("{torn")
+        assert main(["cache", "verify"]) == 0
+        out = capsys.readouterr().out
+        assert (
+            "checked 2 entries: 1 ok, 1 corrupt"
+            " (re-run with --repair to quarantine them)\n" == out
+        )
+        assert main(["cache", "verify", "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "checked 2 entries: 1 ok, 1 corrupt, 1 quarantined\n" == out
+        assert not bad_path.exists()
+        assert (cache_root() / ".quarantine" / "unit" / bad_path.name).exists()
 
     def test_maintenance_works_when_disabled(self, monkeypatch, capsys):
         # A disabled cache can still be inspected and cleaned.
