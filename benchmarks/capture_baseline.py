@@ -20,8 +20,12 @@ engine against the tile engine, and ``sweep`` times the full
 ``generate_report`` pipeline with the persistent result cache off /
 cold (empty store) / warm (populated store).  ``dse_batched`` times the
 cold ``dse_array_scale`` sweep under the legacy scalar mapper loops
-(``REPRO_BATCHED_MAPPER=off``) vs the batched SoA path.  ``serve``
-boots a fresh ``repro serve`` instance against an empty store and runs
+(``REPRO_BATCHED_MAPPER=off``) vs the batched SoA path.
+``dse_per_layer`` pins the per-layer reconfigurable-dataflow plans
+(``repro dse --per-layer``, see ``docs/DATAFLOWS.md``) — deterministic
+model outputs enforced exactly, with absolute invariants on AlexNet
+(the plan mixes engine families and beats every fixed dataflow).
+``serve`` boots a fresh ``repro serve`` instance against an empty store and runs
 the load-test protocol (:mod:`repro.serve.loadtest`): coalescing of
 identical concurrent requests, then cold vs warm request throughput.
 ``chaos`` runs the resilience drill (:mod:`bench_chaos`): a serve
@@ -198,6 +202,69 @@ def _dse_batched(rounds: int) -> dict:
     }
 
 
+#: Workloads pinned by the per-layer dataflow section; AlexNet addition-
+#: ally carries the absolute invariants (mixed families, strict win).
+DSE_PER_LAYER_WORKLOADS = ("AlexNet", "VGG-11")
+
+
+def _dse_per_layer() -> dict:
+    """Pin the per-layer reconfigurable-dataflow headline plans.
+
+    Unlike the other sections these are *model outputs*, not wall-clock
+    measurements: the DP is deterministic and machine-independent, so
+    ``--check`` enforces the cycle counts exactly and the AlexNet
+    invariants absolutely (the plan mixes >= 2 engine families and beats
+    every fixed dataflow) rather than within a tolerance band.
+    """
+    from repro.dse import solve_per_layer
+    from repro.nn import get_workload
+
+    plans = {}
+    for name in DSE_PER_LAYER_WORKLOADS:
+        plan = solve_per_layer(get_workload(name), 16)
+        plans[name] = {
+            "dim": 16,
+            "plan_cycles": plan.total_cycles,
+            "best_fixed_cycles": plan.best_fixed_cycles,
+            "best_fixed_family": plan.best_fixed_family,
+            "families": list(plan.families),
+            "switches": plan.switches,
+            "reconfig_cycles": plan.total_reconfig_cycles,
+            "speedup": round(plan.speedup_vs_best_fixed, 4),
+        }
+    return plans
+
+
+def _check_dse_per_layer(baseline: dict, measured: dict) -> list:
+    """Failure strings for the per-layer plan section (empty = ok)."""
+    failures = []
+    alexnet = measured.get("AlexNet", {})
+    if len(alexnet.get("families", [])) < 2:
+        failures.append(
+            "AlexNet plan uses a single engine family"
+            f" ({alexnet.get('families')}); expected a mixed plan"
+        )
+    if not alexnet.get("plan_cycles", 0) < alexnet.get(
+        "best_fixed_cycles", 0
+    ):
+        failures.append(
+            f"AlexNet plan ({alexnet.get('plan_cycles')} cycles) does not"
+            f" beat the best fixed dataflow"
+            f" ({alexnet.get('best_fixed_cycles')} cycles)"
+        )
+    for name, entry in measured.items():
+        expected = baseline.get(name)
+        if expected is None:
+            continue
+        for field in ("plan_cycles", "best_fixed_cycles", "switches"):
+            if entry[field] != expected[field]:
+                failures.append(
+                    f"{name}.{field} drifted: {entry[field]}"
+                    f" vs pinned {expected[field]}"
+                )
+    return failures
+
+
 def _bench_chaos():
     """Import :mod:`bench_chaos` however this script was launched."""
     bench_dir = str(Path(__file__).resolve().parent)
@@ -266,6 +333,7 @@ def capture(rounds: int = 5) -> dict:
 
     sweep = _sweep(max(2, rounds - 2))
     dse_batched = _dse_batched(rounds)
+    dse_per_layer = _dse_per_layer()
     serve = _serve()
     chaos = _bench_chaos().run_drill()
 
@@ -302,6 +370,7 @@ def capture(rounds: int = 5) -> dict:
         },
         "sweep": sweep,
         "dse_batched": dse_batched,
+        "dse_per_layer": dse_per_layer,
         "serve": serve,
         "chaos": chaos,
     }
@@ -382,6 +451,19 @@ def check(baseline_path: Path, tolerance: float) -> int:
             failures.append(("chaos", 0.0))
     else:
         print("chaos: no baseline section recorded, skipping")
+    # The per-layer dataflow plans are deterministic model outputs:
+    # enforced exactly against the pinned baseline, plus the absolute
+    # AlexNet invariants (mixed families, strictly beats best fixed).
+    if "dse_per_layer" in baseline:
+        for failure in _check_dse_per_layer(
+            baseline["dse_per_layer"], payload["dse_per_layer"]
+        ):
+            print(f"dse_per_layer invariant: {failure}")
+            failures.append(("dse_per_layer", 0.0))
+        if not any(metric == "dse_per_layer" for metric, _ in failures):
+            print("dse_per_layer: plans match the pinned baseline -> ok")
+    else:
+        print("dse_per_layer: no baseline section recorded, skipping")
     if failures:
         names = ", ".join(
             f"{metric} ({delta_pct:+.1f}%)" for metric, delta_pct in failures

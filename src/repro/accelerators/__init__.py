@@ -10,6 +10,7 @@ from repro.accelerators.base import (
 )
 from repro.accelerators.flexflow import FlexFlowAccelerator
 from repro.accelerators.mapping2d import Mapping2DAccelerator
+from repro.accelerators.pipeline import PipelinedSystolicAccelerator
 from repro.accelerators.rowstationary import RowStationaryAccelerator
 from repro.accelerators.systolic import SystolicAccelerator
 from repro.accelerators.tiling import TilingAccelerator
@@ -35,9 +36,11 @@ def make_accelerator(
         return FlexFlowAccelerator(config)
     if kind == "rowstationary":
         return RowStationaryAccelerator(config)
+    if kind == "pipeline":
+        return PipelinedSystolicAccelerator.for_workload(workload_name, config)
     raise ConfigurationError(
         f"unknown architecture kind {kind!r}; known: systolic, mapping2d,"
-        f" tiling, flexflow, rowstationary"
+        f" tiling, flexflow, rowstationary, pipeline"
     )
 
 
@@ -47,6 +50,7 @@ __all__ = [
     "NetworkResult",
     "dram_words_with_reload",
     "SystolicAccelerator",
+    "PipelinedSystolicAccelerator",
     "RowStationaryAccelerator",
     "Mapping2DAccelerator",
     "TilingAccelerator",

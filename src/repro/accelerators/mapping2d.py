@@ -28,6 +28,20 @@ from repro.faults.impact import row_kill_retention
 from repro.nn.layers import ConvLayer
 
 
+def mapping2d_layer_cycles(layer: ConvLayer, block_size: int) -> int:
+    """Healthy-array cycle count — the closed form the DSE solver scores.
+
+    Module-level pure-int helper so the per-layer DP
+    (:mod:`repro.dse.perlayer`) and the accelerator model cannot drift.
+    Includes the inter-block switch bubble
+    (:attr:`Mapping2DAccelerator.BLOCK_SWITCH_OVERHEAD`).
+    """
+    blocks = ceil_div(layer.out_size, block_size) ** 2
+    return layer.out_maps * blocks * (
+        layer.in_maps * layer.kernel**2 + block_size
+    )
+
+
 class Mapping2DAccelerator(Accelerator):
     """The ShiDianNao-style 2D-Mapping baseline.
 
@@ -56,11 +70,11 @@ class Mapping2DAccelerator(Accelerator):
     def simulate_layer(self, layer: ConvLayer, **_context) -> LayerResult:
         block = self.block_size
         blocks = ceil_div(layer.out_size, block) ** 2
-        switch = block if self.BLOCK_SWITCH_OVERHEAD else 0
-        cycles = self._degrade_cycles(
-            layer.out_maps * blocks * (layer.in_maps * layer.kernel**2 + switch),
-            layer,
-        )
+        if self.BLOCK_SWITCH_OVERHEAD:
+            healthy = mapping2d_layer_cycles(layer, block)
+        else:
+            healthy = layer.out_maps * blocks * layer.in_maps * layer.kernel**2
+        cycles = self._degrade_cycles(healthy, layer)
 
         macs = layer.macs
         total_pes = block * block

@@ -1,27 +1,32 @@
-"""Systolic baseline (SFSNMS): DC-CNN-style arrays of K x K pipelines.
+"""Configurable-pipelining systolic variant (ArrayFlex-style).
 
-Section 3.1's dataflow: a ``Ta x Ta`` PE array forms one deep pipeline
-computing one (input map, output map) convolution; every cycle one input
-neuron is broadcast to all PEs, partial outputs shift rightward/through
-inter-row FIFOs, and one finished output neuron drains per cycle once the
-pipeline is full.  The evaluation configuration (Section 6.1.1) uses
-**seven** identical ``6 x 6`` arrays (``11 x 11`` for AlexNet) working in
-a tiling-like mode across (m, n) pairs, matching the 256-PE scale of the
-other baselines.
+The classic systolic baseline (:mod:`repro.accelerators.systolic`) pays a
+pipeline fill of ``W_in * min(K, Ta)`` cycles on *every* pass of every
+(input map, output map) pair: the array drains completely between passes
+and the operand wavefront must be re-established from scratch.
 
-Model summary per (m, n) pair:
+ArrayFlex-style *configurable pipelining* makes the inter-stage latches
+transparent on demand, so while the tail of one pass drains, the head of
+the next pass is already streaming in behind it.  The operand wavefront
+is established **once per layer** instead of once per pass:
 
-* ``⌈K/Ta⌉^2`` passes when the kernel exceeds the array,
-* each pass costs ``S^2`` drain cycles plus a pipeline fill of roughly
-  ``W_in * Ta`` cycles (the paper: depth ≈ input width x kernel size),
-* pairs are distributed round-robin over the arrays (load imbalance shows
-  up as idle rounds).
+* systolic:  ``cycles = rounds * passes * (S^2 + fill)``
+* pipeline:  ``cycles = rounds * passes * S^2 + fill``
+
+with ``passes = ceil(K/Ta)^2``, ``fill = W_in * min(K, Ta)``,
+``rounds = ceil(M*N / arrays)`` — same pass structure, same PE budget,
+same traffic shape; only the fill recurrence changes.  The win is large
+exactly where fill rivals the drain time: big input maps with few
+(m, n) pairs per array (AlexNet C1 is the poster child), and it fades on
+deep, small-map layers where ``rounds`` dominates and the single fill
+amortizes to noise.  That asymmetry is what makes it a useful fifth
+comparison point for the per-layer dataflow DSE
+(:mod:`repro.dse.perlayer`).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.accelerators.base import Accelerator, LayerResult, dram_words_with_reload
@@ -34,32 +39,36 @@ from repro.faults.impact import systolic_retention
 from repro.nn.layers import ConvLayer
 
 
-def systolic_layer_cycles(layer: ConvLayer, array_size: int, num_pes: int) -> int:
+def pipeline_layer_cycles(
+    layer: ConvLayer, array_size: int, num_pes: int
+) -> int:
     """Healthy-array cycle count — the closed form the DSE solver scores.
 
-    Module-level pure-int helper so the per-layer DP
+    Kept as a module-level pure-int helper so the per-layer DP
     (:mod:`repro.dse.perlayer`) and the accelerator model cannot drift.
     """
     ta = array_size
     arrays = max(1, num_pes // (ta * ta))
     passes = ceil_div(layer.kernel, ta) ** 2
-    cycles_per_pass = layer.out_size**2 + layer.in_size * min(layer.kernel, ta)
+    fill = layer.in_size * min(layer.kernel, ta)
     pairs = layer.out_maps * layer.in_maps
-    return ceil_div(pairs, arrays) * passes * cycles_per_pass
+    rounds = ceil_div(pairs, arrays)
+    return rounds * passes * layer.out_size**2 + fill
 
 
-class SystolicAccelerator(Accelerator):
-    """The DC-CNN-style systolic baseline.
+class PipelinedSystolicAccelerator(Accelerator):
+    """Systolic arrays with configurable (transparent) pipelining.
 
     Args:
         config: shared sizing (PE budget = ``config.num_pes``).
-        array_size: ``Ta`` — one systolic array is ``Ta x Ta``.  The paper
-            uses 6 for the small workloads and 11 for AlexNet; pass the
-            value explicitly or let :meth:`for_workload` choose.
+        array_size: ``Ta`` — one array is ``Ta x Ta``.  Same per-workload
+            sizing convention as the systolic baseline (11 for AlexNet,
+            6 otherwise) via :meth:`for_workload`; the per-layer DSE
+            treats ``Ta`` as a runtime-reconfigurable parameter instead.
     """
 
-    kind = "systolic"
-    IDLE_ACTIVITY = 0.85
+    kind = "pipeline"
+    IDLE_ACTIVITY = 0.80  # transparent latches clock-gate drained stages
 
     def __init__(
         self, config: Optional[ArchConfig] = None, *, array_size: int = 6
@@ -72,50 +81,51 @@ class SystolicAccelerator(Accelerator):
     @classmethod
     def for_workload(
         cls, workload_name: str, config: Optional[ArchConfig] = None
-    ) -> "SystolicAccelerator":
-        """The paper's per-workload sizing: Ta=11 for AlexNet, else 6."""
+    ) -> "PipelinedSystolicAccelerator":
+        """Same per-workload sizing as the systolic baseline."""
         array_size = 11 if workload_name == "AlexNet" else 6
         return cls(config, array_size=array_size)
 
     @property
     def num_arrays(self) -> int:
-        """Arrays fitting the shared PE budget (7 at the 16x16 scale)."""
+        """Arrays fitting the shared PE budget."""
         return max(1, self.config.num_pes // (self.array_size**2))
 
     def simulate_layer(self, layer: ConvLayer, **_context) -> LayerResult:
         ta = self.array_size
         arrays = self.num_arrays
         passes = ceil_div(layer.kernel, ta) ** 2
+        fill = layer.in_size * min(layer.kernel, ta)
         pairs = layer.out_maps * layer.in_maps
+        rounds = ceil_div(pairs, arrays)
         cycles = self._degrade_cycles(
-            systolic_layer_cycles(layer, ta, self.config.num_pes), layer
+            pipeline_layer_cycles(layer, ta, self.config.num_pes), layer
         )
 
         macs = layer.macs
         total_pes = arrays * ta * ta
         utilization = macs / (cycles * total_pes)
 
-        # Traffic.  Arrays processing different output maps of the same
-        # input map share the input broadcast; the sharing degree is how
-        # many arrays can be fed the same input map at once.
+        # Traffic is the systolic baseline's: the same operands stream
+        # through the same wavefront, only the fill recurrence differs.
         sharing = min(arrays, layer.out_maps)
         input_words = (
             pairs * passes * layer.in_size**2 + sharing - 1
         ) // sharing
-        kernel_words = layer.num_kernel_words  # synapses loaded once/pair
+        kernel_words = layer.num_kernel_words
         output_writes = pairs * layer.out_size**2
         partial_reads = layer.out_maps * (layer.in_maps - 1) * layer.out_size**2
 
         active = self._active_pe_cycles(macs, cycles, total_pes)
-        # Each output neuron shifts through ~K pipeline stages and the
-        # inter-row FIFOs; charge 2 FIFO events (push + pop) per row switch.
         fifo_accesses = 2 * pairs * layer.out_size**2 * min(layer.kernel, ta)
-        # Per active PE cycle: synapse register read + partial-sum update.
-        register_accesses = 3 * active
+        # Per active PE cycle: synapse register read + partial-sum update,
+        # plus one transparency-configuration latch write per stage per
+        # pass (the mechanism that elides the refill).
+        register_accesses = 3 * active + passes * ta * ta
 
         pitch = math.sqrt(pe_area_mm2(self.kind, self.config))
         span = ta * pitch
-        bus_word_mm = input_words * span  # input broadcast across the array
+        bus_word_mm = input_words * span
 
         dram = dram_words_with_reload(layer, self.config)
 
@@ -141,18 +151,14 @@ class SystolicAccelerator(Accelerator):
         )
 
     def fault_retention(self) -> float:
-        """A dead PE anywhere in a ``Ta x Ta`` array retires the array."""
+        """Same structural sensitivity as the systolic baseline."""
         mask = self.config.pe_mask
         if mask is None or mask.is_healthy:
             return 1.0
         return systolic_retention(mask, self.array_size)
 
     def spatial_utilization(self, layer: ConvLayer) -> float:
-        """Occupancy ignoring pipeline fill — the Table 3 closed form.
-
-        ``K^2 / (Ta^2 * ⌈K/Ta⌉^2)``: how much of each array the kernel
-        covers, accounting for multi-pass kernel tiling.
-        """
+        """Kernel coverage of the array — pipelining does not change it."""
         ta = self.array_size
         passes = ceil_div(layer.kernel, ta) ** 2
         return layer.kernel**2 / (ta**2 * passes)

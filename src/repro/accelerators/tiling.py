@@ -28,6 +28,17 @@ from repro.faults.impact import tiling_retention
 from repro.nn.layers import ConvLayer
 
 
+def tiling_layer_cycles(layer: ConvLayer, tm: int, tn: int) -> int:
+    """Healthy-array cycle count — the closed form the DSE solver scores.
+
+    Module-level pure-int helper so the per-layer DP
+    (:mod:`repro.dse.perlayer`) and the accelerator model cannot drift.
+    """
+    m_tiles = ceil_div(layer.out_maps, tm)
+    n_tiles = ceil_div(layer.in_maps, tn)
+    return m_tiles * n_tiles * layer.out_size**2 * layer.kernel**2
+
+
 class TilingAccelerator(Accelerator):
     """The DianNao-style tiling baseline.
 
@@ -57,7 +68,7 @@ class TilingAccelerator(Accelerator):
         m_tiles = ceil_div(layer.out_maps, self.tm)
         n_tiles = ceil_div(layer.in_maps, self.tn)
         cycles = self._degrade_cycles(
-            m_tiles * n_tiles * layer.out_size**2 * layer.kernel**2, layer
+            tiling_layer_cycles(layer, self.tm, self.tn), layer
         )
 
         macs = layer.macs

@@ -28,7 +28,14 @@ from repro.errors import ConfigurationError
 #: Architecture kinds understood by the area/power models.  The first
 #: four are the paper's baselines; ``rowstationary`` is the Eyeriss-style
 #: comparator of the extended Table 7 study.
-ARCH_KINDS = ("systolic", "mapping2d", "tiling", "flexflow", "rowstationary")
+ARCH_KINDS = (
+    "systolic",
+    "mapping2d",
+    "tiling",
+    "flexflow",
+    "rowstationary",
+    "pipeline",
+)
 
 #: Placement/whitespace/clock-tree overhead on top of raw component area.
 LAYOUT_OVERHEAD = 1.15
@@ -94,6 +101,12 @@ def pe_area_mm2(kind: str, config: ArchConfig) -> float:
         # per-PE control for the row-stationary scheduling.
         spad = tech.sram_area_mm2(512)
         return base + spad + tech.pe_control_area_mm2
+    if kind == "pipeline":
+        # Systolic PE plus one transparency-configuration latch per
+        # inter-stage boundary (the configurable-pipelining mechanism).
+        registers = 3 * tech.register_area_mm2
+        fifo = tech.sram_area_mm2(SYSTOLIC_FIFO_BYTES_PER_PE)
+        return base + registers + fifo
     raise ConfigurationError(f"unknown architecture kind {kind!r}")
 
 

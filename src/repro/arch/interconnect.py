@@ -149,6 +149,9 @@ WIRING_MODELS: Dict[str, WiringModel] = {
     # multicast NoC — heavier than FlexFlow's CDB, lighter than Tiling's
     # private feeds.
     "rowstationary": WiringModel("rowstationary", base_mm_at_16=900.0, exponent=2.2),
+    # Systolic wiring plus the per-stage transparency-configuration
+    # distribution tree (a light control overlay on the same topology).
+    "pipeline": WiringModel("pipeline", base_mm_at_16=845.0, exponent=2.0),
 }
 
 

@@ -85,7 +85,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("workload", help=workload_help)
     run_cmd.add_argument(
         "--arch",
-        choices=list(ARCH_ORDER) + ["all"],
+        choices=list(ARCH_ORDER) + ["pipeline", "all"],
         default="flexflow",
     )
     run_cmd.add_argument("--dim", type=int, default=16)
@@ -114,18 +114,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "workload", help=workload_help + ", or 'all' for every Table 1 workload"
     )
     dse_cmd.add_argument(
-        "--dims", default="8,16,32,64",
-        help="comma-separated PE array dimensions to sweep (default 8,16,32,64)",
+        "--dims", default=None,
+        help="comma-separated PE array dimensions to sweep, e.g."
+        " --dims 8,16,32 (default 8,16,32,64; with --per-layer, 16)",
     )
     dse_cmd.add_argument(
         "-j", "--jobs", type=int, default=1,
-        help="worker processes across workloads (default 1)",
+        help="worker processes across workloads (default 1; sweep only)",
     )
     dse_cmd.add_argument(
         "--engine", choices=["batched", "scalar"], default="batched",
         help="candidate-scoring path: vectorized (default) or the legacy"
         " scalar loops (results are identical; scalar exists for"
         " cross-checking and benchmarking)",
+    )
+    dse_cmd.add_argument(
+        "--per-layer", action="store_true",
+        help="solve the per-layer runtime-reconfigurable dataflow schedule"
+        " (engine family + parameters per CONV layer) instead of the"
+        " fixed-dataflow array-scale sweep",
+    )
+    dse_cmd.add_argument(
+        "--reconfig-cost", type=float, default=1.0, metavar="SCALE",
+        help="scale on the reconfiguration-cost model charged at layer"
+        " boundaries (0 = free switching; default 1.0; --per-layer only)",
     )
 
     report = sub.add_parser(
@@ -153,6 +165,11 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument(
         "-o", "--output", default=None, metavar="FILE",
         help="write a Chrome/Perfetto trace.json (default: no file)",
+    )
+    trace_cmd.add_argument(
+        "--per-layer", action="store_true",
+        help="append the per-layer reconfigurable-dataflow plan (engine"
+        " family + configuration per CONV layer) and its decision spans",
     )
 
     profile_cmd = sub.add_parser(
@@ -453,7 +470,10 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     from repro.dataflow.mapper import ENV_BATCHED_MAPPER, clear_mapping_cache
     from repro.experiments.common import ExperimentResult
 
-    dims = _parse_csv(args.dims, int, "dimension")
+    dims_text = args.dims
+    if dims_text is None:
+        dims_text = "16" if args.per_layer else "8,16,32,64"
+    dims = _parse_csv(dims_text, int, "dimension", example="--dims 8,16,32")
     if not dims:
         raise ConfigurationError("--dims must name at least one dimension")
     if any(dim <= 0 for dim in dims):
@@ -462,6 +482,10 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         )
     if args.jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {args.jobs}")
+    if not args.reconfig_cost >= 0:
+        raise ConfigurationError(
+            f"--reconfig-cost must be >= 0, got {args.reconfig_cost!r}"
+        )
     saved_flag = os.environ.get(ENV_BATCHED_MAPPER)
     os.environ[ENV_BATCHED_MAPPER] = (
         "on" if args.engine == "batched" else "off"
@@ -474,6 +498,19 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     )
     tasks = [(spec, tuple(dims), args.engine) for spec in specs]
     try:
+        if args.per_layer:
+            from repro.dse import format_plan, solve_per_layer
+
+            blocks = []
+            for spec in specs:
+                network = _resolve_workload(spec)
+                for dim in dims:
+                    plan = solve_per_layer(
+                        network, dim, reconfig_scale=args.reconfig_cost
+                    )
+                    blocks.append(format_plan(plan))
+            print("\n\n".join(blocks))
+            return 0
         if args.jobs > 1 and len(specs) > 1:
             import multiprocessing as mp
             from concurrent.futures import ProcessPoolExecutor
@@ -544,6 +581,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         network, array_dim=args.dim, engine=args.engine
     )
     print(format_breakdown(trace))
+    if args.per_layer:
+        from repro.dse import format_plan, solve_per_layer
+        from repro.obs.tracer import tracing
+
+        # Solve under the trace's tracer so the per-layer decision spans
+        # land in the same exported timeline as the layer breakdown.
+        with tracing(trace.tracer):
+            plan = solve_per_layer(network, args.dim)
+        print()
+        print(format_plan(plan))
     if args.output is not None:
         _write_trace_file(trace.tracer, args.output)
     return 0
@@ -597,11 +644,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_csv(text: str, convert, what: str) -> list:
+def _parse_csv(text: str, convert, what: str, example: str = "") -> list:
     try:
         return [convert(part) for part in text.split(",") if part.strip()]
     except ValueError as exc:
-        raise ConfigurationError(f"bad {what} list {text!r}: {exc}") from exc
+        hint = f" (expected comma-separated values, e.g. {example})" if example else ""
+        raise ConfigurationError(
+            f"bad {what} list {text!r}: {exc}{hint}"
+        ) from exc
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:

@@ -8,6 +8,7 @@ from repro.experiments import (
     aspect_ratio_study,
     bandwidth_study,
     dse_array_scale,
+    dse_per_layer,
     fc_study,
     fig_fault_degradation,
     headline_claims,
@@ -55,6 +56,7 @@ ALL_EXPERIMENTS = {
     "ablation_localstore": ablation_localstore,
     "bandwidth": bandwidth_study,
     "dse": dse_array_scale,
+    "dse_per_layer": dse_per_layer,
     "fc": fc_study,
     "aspect": aspect_ratio_study,
     "layers": layer_breakdown,

@@ -30,6 +30,7 @@ ARCH_LABELS = {
     "mapping2d": "2D-Mapping",
     "tiling": "Tiling",
     "flexflow": "FlexFlow",
+    "pipeline": "Pipelined-Systolic",
 }
 
 

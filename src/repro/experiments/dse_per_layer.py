@@ -1,0 +1,62 @@
+"""Extension study: per-layer runtime-reconfigurable dataflow.
+
+For each Table 1 workload, solve the per-layer dataflow DP
+(:func:`repro.dse.solve_per_layer`) at the paper's 16x16 scale and
+compare the reconfigurable plan against the best *fixed* dataflow — the
+FlexNN/Flex-TPU question applied to the FlexFlow model.  Small networks
+collapse to pure FlexFlow (its coupling DP is already per-layer within
+one family); AlexNet/VGG-class first layers, with few input maps and
+large feature maps, prefer the configurable-pipelining systolic engine,
+so the optimal schedule mixes families.  See ``docs/DATAFLOWS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.arch.config import ArchConfig
+from repro.dse import solve_per_layer
+from repro.experiments.common import ExperimentResult
+from repro.nn.workloads import WORKLOAD_NAMES, get_workload
+
+#: The paper's reference array scale (Section 6: 16x16 PEs).
+ARRAY_DIM = 16
+
+
+def run(
+    workloads: Sequence[str] = tuple(WORKLOAD_NAMES),
+    scales: Sequence[int] = (ARRAY_DIM,),
+    config: Optional[ArchConfig] = None,
+) -> ExperimentResult:
+    del config  # the DP works on cycle counts; area/power are not in play
+    rows = []
+    for name in workloads:
+        network = get_workload(name)
+        for dim in scales:
+            plan = solve_per_layer(network, dim)
+            rows.append(
+                {
+                    "workload": name,
+                    "dim": dim,
+                    "plan_cycles": plan.total_cycles,
+                    "best_fixed_cycles": plan.best_fixed_cycles,
+                    "best_fixed": plan.best_fixed_family,
+                    "families": "+".join(plan.families),
+                    "switches": plan.switches,
+                    "reconfig_cycles": plan.total_reconfig_cycles,
+                    "speedup": plan.speedup_vs_best_fixed,
+                }
+            )
+    return ExperimentResult(
+        experiment_id="dse_per_layer",
+        title=(
+            "Per-layer reconfigurable dataflow vs. best fixed dataflow"
+            f" ({ARRAY_DIM}x{ARRAY_DIM})"
+        ),
+        rows=rows,
+        notes=(
+            "Plans are exact (Pareto-pruned DP over engine family x"
+            " dataflow parameters with reconfiguration charged at layer"
+            " boundaries); speedup is best-fixed cycles / plan cycles."
+        ),
+    )

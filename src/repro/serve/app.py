@@ -4,8 +4,9 @@ Stdlib only: a deliberately small HTTP/1.1 server on ``asyncio`` streams
 (keep-alive supported, bodies bounded, malformed input answered with
 JSON errors).  Endpoints:
 
-* ``POST /v1/map`` / ``/v1/simulate`` / ``/v1/dse`` — one computation;
-  append ``?stream=1`` for a ``text/event-stream`` progress feed;
+* ``POST /v1/map`` / ``/v1/simulate`` / ``/v1/dse`` /
+  ``/v1/dse_per_layer`` — one computation; append ``?stream=1`` for a
+  ``text/event-stream`` progress feed;
 * ``POST /v1/sweep`` — a batch of points sharded across the worker pool;
 * ``GET /metrics`` — the process :data:`~repro.obs.metrics.REGISTRY`
   snapshot as JSON;
@@ -324,7 +325,9 @@ class ServeApp:
                     keep_alive=keep_alive,
                 )
                 return keep_alive
-            if path in ("/v1/map", "/v1/simulate", "/v1/dse"):
+            if path in (
+                "/v1/map", "/v1/simulate", "/v1/dse", "/v1/dse_per_layer"
+            ):
                 if method != "POST":
                     raise _HttpError(405, "use POST")
                 request = parse_request(

@@ -107,7 +107,22 @@ def _exec_dse(spec: Dict[str, Any]) -> Dict[str, Any]:
     return {"workload": network.name, "rows": rows, "best_dim": best_dim}
 
 
-_EXECUTORS = {"map": _exec_map, "simulate": _exec_simulate, "dse": _exec_dse}
+def _exec_dse_per_layer(spec: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.dse import plan_payload, solve_per_layer
+
+    network = _network_from_spec(spec)
+    plan = solve_per_layer(
+        network, spec["dim"], reconfig_scale=spec["reconfig_scale"]
+    )
+    return plan_payload(plan)
+
+
+_EXECUTORS = {
+    "map": _exec_map,
+    "simulate": _exec_simulate,
+    "dse": _exec_dse,
+    "dse_per_layer": _exec_dse_per_layer,
+}
 
 
 def execute_request(kind: str, spec: Dict[str, Any]) -> Dict[str, Any]:

@@ -24,7 +24,7 @@ from repro.nn import WORKLOAD_NAMES, get_workload, parse_network
 from repro.nn.network import Network
 
 #: Request kinds the service computes (``sweep`` is a batch of these).
-REQUEST_KINDS = ("map", "simulate", "dse")
+REQUEST_KINDS = ("map", "simulate", "dse", "dse_per_layer")
 
 #: Kinds a client may safely retry after a 5xx: all served computations
 #: are pure functions of their spec (no side effects beyond the cache),
@@ -39,6 +39,7 @@ MAX_DIM = 256
 MAX_DSE_DIMS = 32
 MAX_SWEEP_POINTS = 1024
 MAX_NETWORK_SOURCE = 64 * 1024
+MAX_RECONFIG_SCALE = 1e6
 
 
 @dataclass(frozen=True)
@@ -112,6 +113,20 @@ def _parse_dims(body: Dict[str, Any]) -> List[int]:
     return [_parse_dim({"dims": d}, "dims") for d in raw]
 
 
+def _parse_reconfig_scale(body: Dict[str, Any]) -> float:
+    raw = body.get("reconfig_scale", 1.0)
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise SpecificationError(
+            f"'reconfig_scale' must be a number, got {raw!r}"
+        )
+    if not 0 <= raw <= MAX_RECONFIG_SCALE:
+        raise ConfigurationError(
+            f"'reconfig_scale' must be in [0, {MAX_RECONFIG_SCALE}],"
+            f" got {raw}"
+        )
+    return float(raw)
+
+
 def parse_request(kind: str, body: Any) -> ComputeRequest:
     """Validate one JSON body into a keyed :class:`ComputeRequest`."""
     if kind not in REQUEST_KINDS:
@@ -139,6 +154,16 @@ def parse_request(kind: str, body: Any) -> ComputeRequest:
             "network": network_payload(network), "dim": dim, "arch": arch,
         }
         label = f"simulate:{arch}:{network.name}@{dim}"
+    elif kind == "dse_per_layer":
+        dim = _parse_dim(body)
+        scale = _parse_reconfig_scale(body)
+        spec = {**spec, "dim": dim, "reconfig_scale": scale}
+        params = {
+            "network": network_payload(network),
+            "dim": dim,
+            "reconfig_scale": scale,
+        }
+        label = f"dse_per_layer:{network.name}@{dim}"
     else:  # dse
         dims = _parse_dims(body)
         spec = {**spec, "dims": dims}

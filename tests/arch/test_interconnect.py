@@ -77,6 +77,7 @@ class TestWiringModels:
             "tiling",
             "flexflow",
             "rowstationary",
+            "pipeline",
         }
 
     def test_base_length_at_reference_scale(self):

@@ -39,6 +39,7 @@ class TestHarness:
             "ablation_localstore",
             "bandwidth",
             "dse",
+            "dse_per_layer",
             "fc",
             "aspect",
             "layers",

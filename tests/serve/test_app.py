@@ -88,6 +88,18 @@ class TestComputeFlow:
         )
         assert payload["result"]["total_cycles"] == direct.total_cycles
 
+    def test_served_dse_per_layer_matches_library(self, server):
+        from repro.dse import solve_per_layer
+        from repro.nn import get_workload
+
+        payload = server.client().compute(
+            "dse_per_layer", {"workload": "PV", "dim": 8}
+        )
+        direct = solve_per_layer(get_workload("PV"), 8)
+        assert payload["result"]["total_cycles"] == direct.total_cycles
+        assert payload["result"]["families"] == list(direct.families)
+        assert len(payload["result"]["layers"]) == len(direct.choices)
+
     def test_backend_failure_maps_to_500(self, server, monkeypatch):
         monkeypatch.setattr(
             "repro.serve.pool.pool_entry",

@@ -111,6 +111,40 @@ class TestParseRequest:
         with pytest.raises(SpecificationError, match="unknown arch"):
             parse_request("simulate", {"workload": "PV", "arch": "tpu"})
 
+    def test_dse_per_layer_defaults(self):
+        req = parse_request("dse_per_layer", {"workload": "AlexNet"})
+        assert req.kind == "dse_per_layer"
+        assert req.spec == {
+            "workload": "AlexNet", "dim": 16, "reconfig_scale": 1.0,
+        }
+        assert req.label == "dse_per_layer:AlexNet@16"
+
+    def test_dse_per_layer_scale_validation(self):
+        with pytest.raises(SpecificationError, match="number"):
+            parse_request(
+                "dse_per_layer",
+                {"workload": "PV", "reconfig_scale": "free"},
+            )
+        with pytest.raises(SpecificationError, match="number"):
+            parse_request(
+                "dse_per_layer", {"workload": "PV", "reconfig_scale": True},
+            )
+        with pytest.raises(ConfigurationError, match="reconfig_scale"):
+            parse_request(
+                "dse_per_layer", {"workload": "PV", "reconfig_scale": -0.5},
+            )
+
+    def test_dse_per_layer_key_separates_scale(self):
+        base = parse_request("dse_per_layer", {"workload": "PV"})
+        scaled = parse_request(
+            "dse_per_layer", {"workload": "PV", "reconfig_scale": 0.0}
+        )
+        int_scale = parse_request(
+            "dse_per_layer", {"workload": "PV", "reconfig_scale": 1}
+        )
+        assert base.key != scaled.key
+        assert base.key == int_scale.key  # 1 and 1.0 coalesce
+
 
 class TestParseSweep:
     def test_points_default_to_simulate(self):

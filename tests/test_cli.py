@@ -328,6 +328,23 @@ class TestTraceAnalyticEngine:
         assert "occupancy" in out
 
 
+class TestTracePerLayer:
+    def test_plan_appended_and_spans_exported(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main(
+            ["trace", "PV", "--per-layer", "-o", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "occupancy" in out  # the ordinary breakdown still prints
+        assert "per-layer dataflow plan: PV @ 16x16" in out
+        events = json.loads(out_path.read_text())["traceEvents"]
+        names = {event.get("name", "") for event in events}
+        assert "dse_per_layer:PV" in names
+        assert any(name.startswith("choice:") for name in names)
+
+
 class TestDseCommand:
     #: Exact table for ``dse PV --dims 8,16`` (trailing pad stripped) —
     #: a golden pin of row content, float formatting, and the best marker.
@@ -386,9 +403,38 @@ class TestDseCommand:
         assert main(["dse", "PV", "--dims", "eight"]) == 1
         assert "bad dimension list" in capsys.readouterr().err
 
+    def test_invalid_dims_error_shows_grid_example(self, capsys):
+        # The error must teach the comma-separated grid syntax the docs
+        # describe, not just reject the input.
+        assert main(["dse", "PV", "--dims", "8x16"]) == 1
+        err = capsys.readouterr().err
+        assert "e.g. --dims 8,16,32" in err
+
     def test_invalid_jobs_rejected(self, capsys):
         assert main(["dse", "PV", "--jobs", "0"]) == 1
         assert "jobs must be >= 1" in capsys.readouterr().err
+
+    def test_per_layer_plan(self, capsys):
+        assert main(["dse", "AlexNet", "--per-layer"]) == 0
+        out = capsys.readouterr().out
+        assert "per-layer dataflow plan: AlexNet @ 16x16" in out
+        assert "pipeline" in out and "flexflow" in out
+        assert "<- best fixed" in out
+        assert "speedup vs best fixed" in out
+
+    def test_per_layer_engines_agree(self, capsys):
+        assert main(["dse", "PV", "--per-layer", "--engine", "batched"]) == 0
+        batched = capsys.readouterr().out
+        assert main(["dse", "PV", "--per-layer", "--engine", "scalar"]) == 0
+        assert capsys.readouterr().out == batched
+
+    def test_per_layer_respects_dims(self, capsys):
+        assert main(["dse", "PV", "--per-layer", "--dims", "8"]) == 0
+        assert "PV @ 8x8" in capsys.readouterr().out
+
+    def test_invalid_reconfig_cost_rejected(self, capsys):
+        assert main(["dse", "PV", "--per-layer", "--reconfig-cost", "-1"]) == 1
+        assert "--reconfig-cost must be >= 0" in capsys.readouterr().err
 
 
 class TestBrokenPipe:

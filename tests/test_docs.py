@@ -30,6 +30,7 @@ DOC_FILES = sorted(
 DOCTEST_FILES = [
     REPO_ROOT / "docs" / "OBSERVABILITY.md",
     REPO_ROOT / "docs" / "FAULTS.md",
+    REPO_ROOT / "docs" / "DATAFLOWS.md",
 ]
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -87,6 +88,75 @@ def test_doc_examples_run(path):
     )
     assert results.attempted > 0, f"{path.name}: no examples found"
     assert results.failed == 0
+
+
+def test_every_docs_page_reachable_from_readme():
+    """No orphan documentation: README links must reach every docs page.
+
+    Follows intra-repo Markdown links transitively from README.md and
+    asserts every ``docs/*.md`` file is visited — a new page must be
+    linked from the README (directly or via another reachable page) to
+    be discoverable.
+    """
+    queue = [REPO_ROOT / "README.md"]
+    reachable = set()
+    while queue:
+        page = queue.pop()
+        if page in reachable or not page.exists():
+            continue
+        reachable.add(page)
+        text = _strip_fences(page.read_text(encoding="utf-8"))
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if relative.endswith(".md"):
+                queue.append((page.parent / relative).resolve())
+    orphans = sorted(
+        str(path.relative_to(REPO_ROOT))
+        for path in (REPO_ROOT / "docs").glob("*.md")
+        if path.resolve() not in reachable
+    )
+    assert not orphans, f"docs pages unreachable from README.md: {orphans}"
+
+
+#: ``repro <word>`` in running text or code; the lookbehind skips
+#: Python ``from repro import ...`` statements.
+_CLI_MENTION = re.compile(r"(?<!from )\brepro ([a-z][a-z0-9_]*)\b")
+
+
+def _cli_subcommands():
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.cli import _build_parser
+    finally:
+        sys.path.pop(0)
+    import argparse
+
+    for action in _build_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return set(action.choices)
+    raise AssertionError("CLI parser has no subcommands")
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=_doc_ids(DOC_FILES))
+def test_repro_cli_mentions_exist(path):
+    """Every ``repro <cmd>`` a doc mentions must be a real subcommand."""
+    commands = _cli_subcommands()
+    text = path.read_text(encoding="utf-8")
+    unknown = sorted(
+        {
+            mention
+            for mention in _CLI_MENTION.findall(text)
+            if mention not in commands
+        }
+    )
+    assert not unknown, (
+        f"{path.name} mentions nonexistent repro subcommands {unknown};"
+        f" known: {sorted(commands)}"
+    )
 
 
 def test_doctest_coverage_list_is_current():
