@@ -14,6 +14,7 @@ import abc
 import dataclasses
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.arch.config import ArchConfig
@@ -139,6 +140,34 @@ class NetworkResult:
         return {r.layer.name: r for r in self.layers}
 
 
+@lru_cache(maxsize=4096)
+def _simulate_request_key(
+    kind: str,
+    identity_items: Tuple[Tuple[str, Any], ...],
+    config: ArchConfig,
+    network: Network,
+    include_fc: bool,
+) -> str:
+    """Persistent-cache key for one simulation request, memoized by value.
+
+    ``identity_items`` is the sorted item tuple of
+    :meth:`Accelerator.cache_identity`; rebuilding the dict here keeps the
+    hashed document identical to the uncached construction (canonical
+    JSON sorts keys), while the memo spares repeated sweeps the
+    dataclass-walk + SHA-256 cost per lookup.
+    """
+    return hash_payload(
+        "simulate_network",
+        {
+            "kind": kind,
+            "identity": dict(identity_items),
+            "config": config_payload(config),
+            "network": network_payload(network),
+            "include_fc": include_fc,
+        },
+    )
+
+
 class Accelerator(abc.ABC):
     """Abstract architecture model.
 
@@ -257,16 +286,26 @@ class Accelerator(abc.ABC):
             return self._simulate_network_uncached(
                 network, include_fc=include_fc
             )
-        key = hash_payload(
-            "simulate_network",
-            {
-                "kind": self.kind,
-                "identity": self.cache_identity(),
-                "config": config_payload(self.config),
-                "network": network_payload(network),
-                "include_fc": include_fc,
-            },
-        )
+        identity = self.cache_identity()
+        try:
+            key = _simulate_request_key(
+                self.kind,
+                tuple(sorted(identity.items())),
+                self.config,
+                network,
+                include_fc,
+            )
+        except TypeError:  # unhashable identity value / config / network
+            key = hash_payload(
+                "simulate_network",
+                {
+                    "kind": self.kind,
+                    "identity": identity,
+                    "config": config_payload(self.config),
+                    "network": network_payload(network),
+                    "include_fc": include_fc,
+                },
+            )
         stored = cache.get("simulate_network", key)
         if stored is not None:
             restored = self._network_result_from_payload(

@@ -26,6 +26,7 @@ from repro.cache.store import (
     active_cache,
     cache_enabled,
     cache_root,
+    deferred_cache_publishes,
     reset_cache_handles,
 )
 
@@ -40,6 +41,7 @@ __all__ = [
     "cache_root",
     "canonical_json",
     "config_payload",
+    "deferred_cache_publishes",
     "factors_payload",
     "hash_payload",
     "layer_payload",

@@ -15,6 +15,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+from functools import lru_cache
 from typing import Any, Dict, Optional
 
 from repro.arch.serialization import config_to_dict, mask_to_dict
@@ -45,14 +46,38 @@ def hash_payload(section: str, payload: Any) -> str:
 
 
 def layer_payload(layer: Any) -> Dict[str, Any]:
-    """Any (frozen dataclass) layer spec as key material."""
+    """Any (frozen dataclass) layer spec as key material.
+
+    Treat the returned dict as read-only: payloads for hashable (frozen)
+    specs are memoized, so one cold sweep pays ``dataclasses.asdict``
+    once per distinct layer instead of once per cache lookup.
+    """
+    try:
+        return _layer_payload_cached(layer)
+    except TypeError:  # unhashable spec: build uncached
+        return _build_layer_payload(layer)
+
+
+def _build_layer_payload(layer: Any) -> Dict[str, Any]:
     data = dataclasses.asdict(layer)
     data["type"] = type(layer).__name__
     return data
 
 
+@lru_cache(maxsize=4096)
+def _layer_payload_cached(layer: Any) -> Dict[str, Any]:
+    return _build_layer_payload(layer)
+
+
 def network_payload(network: Any) -> Dict[str, Any]:
-    """A Network's full structural identity as key material."""
+    """A Network's full structural identity as key material (read-only)."""
+    try:
+        return _network_payload_cached(network)
+    except TypeError:
+        return _build_network_payload(network)
+
+
+def _build_network_payload(network: Any) -> Dict[str, Any]:
     return {
         "name": network.name,
         "input": dataclasses.asdict(network.input_spec),
@@ -60,8 +85,21 @@ def network_payload(network: Any) -> Dict[str, Any]:
     }
 
 
+@lru_cache(maxsize=1024)
+def _network_payload_cached(network: Any) -> Dict[str, Any]:
+    return _build_network_payload(network)
+
+
 def config_payload(config: Any) -> Dict[str, Any]:
-    """An ArchConfig (with technology and mask) as key material."""
+    """An ArchConfig (with technology and mask) as key material (read-only)."""
+    try:
+        return _config_payload_cached(config)
+    except TypeError:
+        return config_to_dict(config)
+
+
+@lru_cache(maxsize=1024)
+def _config_payload_cached(config: Any) -> Dict[str, Any]:
     return config_to_dict(config)
 
 

@@ -30,9 +30,13 @@ report cache effectiveness.
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import json
 import os
-from collections import OrderedDict
+import threading
+from collections import OrderedDict, deque
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
@@ -66,6 +70,10 @@ QUARANTINE_DIR = ".quarantine"
 _FALSEY = {"0", "off", "false", "no"}
 _TRUTHY = {"1", "on", "true", "yes", ""}
 
+#: Uniquifier for batched-flush temp names (same role as the one in
+#: :mod:`repro.fsutil`, local so the flush loop stays self-contained).
+_FLUSH_SEQUENCE = itertools.count()
+
 
 class ResultCache:
     """One on-disk store plus a bounded in-process memo in front of it."""
@@ -76,13 +84,32 @@ class ResultCache:
                 f"cache max_entries must be positive, got {max_entries}"
             )
         self.root = Path(root)
+        self._root_str = str(self.root)
         self.max_entries = max_entries
         self._memo: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+        # Active deferral buffer (see :meth:`deferred`); ``None`` means
+        # puts publish eagerly.  The depth counter makes nesting safe.
+        self._deferred: "Optional[OrderedDict[Tuple[str, str], Any]]" = None
+        self._deferred_depth = 0
+        # Write-behind state: batched flushes run on one lazy daemon
+        # thread so sweep wall-time excludes publish IO; :meth:`drain`
+        # (and an atexit hook) give synchronization points.
+        self._flush_lock = threading.Lock()
+        self._flush_cond = threading.Condition(self._flush_lock)
+        self._flush_backlog: "deque[OrderedDict[Tuple[str, str], Any]]" = deque()
+        self._flush_jobs = 0
+        self._flush_thread_running = False
+        self._atexit_registered = False
 
     # -- paths ----------------------------------------------------------------
 
     def _entry_path(self, section: str, key: str) -> Path:
-        return self.root / section / key[:2] / f"{key}.json"
+        return Path(self._entry_path_str(section, key))
+
+    def _entry_path_str(self, section: str, key: str) -> str:
+        # The hot read/flush paths build plain strings: ``Path`` algebra
+        # is measurable overhead at hundreds of lookups per sweep.
+        return os.path.join(self._root_str, section, key[:2], f"{key}.json")
 
     def _entry_files(self):
         if not self.root.is_dir():
@@ -126,9 +153,10 @@ class ResultCache:
             REGISTRY.counter("cache.memo_hits", section=section).inc()
             return self._memo[memo_key]
         chaos_sleep("slow_io")
-        path = self._entry_path(section, key)
+        path_str = self._entry_path_str(section, key)
         try:
-            text = path.read_text()
+            with open(path_str, "r") as handle:
+                text = handle.read()
         except OSError:
             REGISTRY.counter("cache.lookups", section=section, outcome="miss").inc()
             return None
@@ -139,14 +167,29 @@ class ResultCache:
             ).inc()
             # Self-heal: a bad entry only costs one recompute, then it is
             # out of the lookup path (but kept for inspection).
-            self._quarantine(path, section)
+            self._quarantine(Path(path_str), section)
             return None
         REGISTRY.counter("cache.lookups", section=section, outcome="hit").inc()
         self._remember(memo_key, entry["payload"])
         return entry["payload"]
 
     def put(self, section: str, key: str, payload: Any) -> None:
-        """Publish one entry atomically (last concurrent writer wins)."""
+        """Publish one entry atomically (last concurrent writer wins).
+
+        Inside a :meth:`deferred` block the entry lands in the in-process
+        memo immediately (same-process readers see it) but the disk write
+        is buffered until the block exits.
+        """
+        if self._deferred is not None:
+            self._deferred[(section, key)] = payload
+            self._remember((section, key), payload)
+            return
+        self._write_entry(section, key, payload)
+        if self.max_entries is not None:
+            self._evict_to_limit()
+
+    def _write_entry(self, section: str, key: str, payload: Any) -> None:
+        """One atomic on-disk publish (no eviction — callers own that)."""
         chaos_sleep("slow_io")
         path = self._entry_path(section, key)
         document = {
@@ -158,7 +201,9 @@ class ResultCache:
         try:
             # No sort_keys: payload dict order is meaning-bearing (e.g.
             # ExperimentResult rows derive their column order from it).
-            atomic_write_text(path, json.dumps(document))
+            # Compact separators: decode-identical, measurably faster to
+            # serialize and write on sweep-sized batches.
+            atomic_write_text(path, json.dumps(document, separators=(",", ":")))
         except (OSError, TypeError, ValueError):
             # A full/read-only disk or a non-JSON payload degrades to a
             # slower (uncached) run, never a crash.
@@ -173,8 +218,152 @@ class ResultCache:
                 pass
         REGISTRY.counter("cache.writes", section=section).inc()
         self._remember((section, key), payload)
-        if self.max_entries is not None:
-            self._evict_to_limit()
+
+    @contextmanager
+    def deferred(self):
+        """Batch puts: buffer inside the block, publish behind the block.
+
+        A sweep that writes hundreds of entries pays one write-behind
+        flush pass (and one eviction scan) instead of per-entry publish
+        IO on its own wall clock.  Duplicate puts of one key collapse to
+        the last payload.  Nesting is safe — only the outermost block
+        hands its buffer to the flush thread.  The memo is updated at
+        ``put`` time, so same-process readers never notice the delay;
+        other processes see the entries once the background flush lands
+        — call :meth:`drain` first where cross-process visibility is
+        required (e.g. before spawning workers that should hit warm).
+        An atexit hook drains outstanding flushes so short-lived CLI and
+        worker processes still publish everything they computed.
+        """
+        self._deferred_depth += 1
+        if self._deferred_depth == 1:
+            self._deferred = OrderedDict()
+        try:
+            yield self
+        finally:
+            self._deferred_depth -= 1
+            if self._deferred_depth == 0:
+                buffered, self._deferred = self._deferred, None
+                if buffered:
+                    self._enqueue_flush(buffered)
+                    REGISTRY.counter("cache.deferred_flushes").inc()
+
+    def _enqueue_flush(
+        self, buffered: "OrderedDict[Tuple[str, str], Any]"
+    ) -> None:
+        with self._flush_lock:
+            self._flush_backlog.append(buffered)
+            self._flush_jobs += 1
+            if not self._atexit_registered:
+                self._atexit_registered = True
+                atexit.register(self._drain_at_exit)
+            if not self._flush_thread_running:
+                self._flush_thread_running = True
+                threading.Thread(
+                    target=self._flush_worker,
+                    name="repro-cache-flush",
+                    daemon=True,
+                ).start()
+
+    def _flush_worker(self) -> None:
+        """Drain the backlog, then exit (a new thread starts on demand)."""
+        while True:
+            with self._flush_lock:
+                if not self._flush_backlog:
+                    self._flush_thread_running = False
+                    return
+                buffered = self._flush_backlog.popleft()
+            try:
+                self._flush_entries(buffered)
+                if self.max_entries is not None:
+                    self._evict_to_limit()
+            except Exception:  # never kill the thread: cache IO is best-effort
+                pass
+            finally:
+                with self._flush_lock:
+                    self._flush_jobs -= 1
+                    if self._flush_jobs == 0:
+                        self._flush_cond.notify_all()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every queued write-behind flush has landed on disk.
+
+        Returns ``False`` on timeout.  Call before handing the store root
+        to another process (worker prewarm, shard publication) or before
+        asserting on-disk state in tests.
+        """
+        with self._flush_lock:
+            return self._flush_cond.wait_for(
+                lambda: self._flush_jobs == 0, timeout
+            )
+
+    def _drain_at_exit(self) -> None:
+        # Bounded: losing late cache entries only costs a recompute next
+        # run, and a wedged disk must not hang interpreter shutdown.
+        self.drain(timeout=10.0)
+
+    def _flush_entries(
+        self, buffered: "OrderedDict[Tuple[str, str], Any]"
+    ) -> None:
+        """Publish a buffered batch with one lean pass of os-level IO.
+
+        Each entry is still a private temp file renamed into place
+        (readers never see a torn write), but directory creation is
+        deduplicated across the batch, paths are plain strings, and the
+        write counters are bumped once per section instead of per entry.
+        """
+        made_dirs = set()
+        pid = os.getpid()
+        writes: Dict[str, int] = {}
+        for (section, key), payload in buffered.items():
+            chaos_sleep("slow_io")
+            directory = os.path.join(self._root_str, section, key[:2])
+            if directory not in made_dirs:
+                try:
+                    os.makedirs(directory, exist_ok=True)
+                except OSError:
+                    continue
+                made_dirs.add(directory)
+            try:
+                text = json.dumps(
+                    {
+                        "schema": CACHE_SCHEMA_VERSION,
+                        "section": section,
+                        "key": key,
+                        "payload": payload,
+                    },
+                    separators=(",", ":"),
+                )
+            except (TypeError, ValueError):
+                continue  # non-JSON payload: skip, never crash
+            final = os.path.join(directory, f"{key}.json")
+            tmp = os.path.join(
+                directory, f".{key}.{pid}.{next(_FLUSH_SEQUENCE)}.tmp"
+            )
+            try:
+                fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+                try:
+                    os.write(fd, text.encode("utf-8"))
+                finally:
+                    os.close(fd)
+                os.replace(tmp, final)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                continue
+            if chaos_point("cache_corrupt"):
+                try:
+                    with open(final, "r+") as handle:
+                        handle.truncate(
+                            max(1, os.path.getsize(final) // 2)
+                        )
+                except OSError:
+                    pass
+            writes[section] = writes.get(section, 0) + 1
+        for section, count in writes.items():
+            REGISTRY.counter("cache.writes", section=section).inc(count)
 
     # -- maintenance ----------------------------------------------------------
 
@@ -349,6 +538,13 @@ def _max_entries_from_env() -> Optional[int]:
     return value
 
 
+#: Raw environment tuple -> resolved ``(root, max_entries)`` or ``None``
+#: (disabled).  The environment is still consulted on every call — only
+#: the *parsing* (path resolution, int validation) is memoized, so tests
+#: and subprocesses can flip the variables without reimporting.
+_resolved_env: Dict[Tuple[Optional[str], ...], Optional[Tuple[str, Optional[int]]]] = {}
+
+
 def active_cache() -> Optional[ResultCache]:
     """The process-wide cache handle, or ``None`` when disabled.
 
@@ -357,18 +553,49 @@ def active_cache() -> Optional[ResultCache]:
     reimporting; instances are shared per ``(root, max_entries)`` so the
     in-process memo survives across call sites.
     """
-    if not cache_enabled():
+    raw = (
+        os.environ.get(ENV_ENABLE),
+        os.environ.get(ENV_DIR),
+        os.environ.get(ENV_MAX_ENTRIES),
+        os.environ.get("XDG_CACHE_HOME"),
+        os.environ.get("HOME"),
+    )
+    try:
+        resolved = _resolved_env[raw]
+    except KeyError:
+        resolved = (
+            None
+            if not cache_enabled()
+            else (str(cache_root()), _max_entries_from_env())
+        )
+        if len(_resolved_env) > 64:
+            _resolved_env.clear()
+        _resolved_env[raw] = resolved
+    if resolved is None:
         return None
-    root = cache_root()
-    max_entries = _max_entries_from_env()
-    instance_key = (str(root), max_entries)
-    instance = _instances.get(instance_key)
+    instance = _instances.get(resolved)
     if instance is None:
-        instance = ResultCache(root, max_entries=max_entries)
-        _instances[instance_key] = instance
+        instance = ResultCache(Path(resolved[0]), max_entries=resolved[1])
+        _instances[resolved] = instance
     return instance
 
 
 def reset_cache_handles() -> None:
     """Drop process-wide handles (and their memos); tests use this."""
     _instances.clear()
+    _resolved_env.clear()
+
+
+@contextmanager
+def deferred_cache_publishes():
+    """:meth:`ResultCache.deferred` on the active cache; no-op when off.
+
+    Sweep-shaped call sites wrap themselves in this so a cold run
+    publishes its entries in one batched flush instead of per-entry.
+    """
+    cache = active_cache()
+    if cache is None:
+        yield None
+        return
+    with cache.deferred():
+        yield cache

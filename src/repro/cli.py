@@ -105,6 +105,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "-j", "--jobs", type=int, default=1,
         help="worker processes for running experiments (default 1)",
     )
+    experiment.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="split the batch into N shards and cooperate with other"
+        " hosts sharing this REPRO_CACHE_DIR (see docs/PERFORMANCE.md)",
+    )
+    experiment.add_argument(
+        "--host-id", default=None, metavar="NAME",
+        help="stable host name for shard-lease attribution"
+        " (default <hostname>-<pid>; --shards only)",
+    )
     _add_resilience_args(experiment)
 
     dse_cmd = sub.add_parser(
@@ -123,10 +133,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes across workloads (default 1; sweep only)",
     )
     dse_cmd.add_argument(
-        "--engine", choices=["batched", "scalar"], default="batched",
-        help="candidate-scoring path: vectorized (default) or the legacy"
-        " scalar loops (results are identical; scalar exists for"
-        " cross-checking and benchmarking)",
+        "--engine", default="batched",
+        help="candidate-scoring path: 'batched' (vectorized, default) or"
+        " 'scalar' (legacy loops; results are identical; scalar exists"
+        " for cross-checking and benchmarking)",
+    )
+    dse_cmd.add_argument(
+        "--kernels", default=None, metavar="BACKEND",
+        help="compute-kernel backend for this run: auto, numba, cext, or"
+        " numpy (default: the REPRO_KERNELS environment setting, else"
+        " auto)",
     )
     dse_cmd.add_argument(
         "--per-layer", action="store_true",
@@ -379,6 +395,32 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         if args.experiment_id == "all"
         else [args.experiment_id]
     )
+    if args.shards is not None:
+        from repro.cache import active_cache
+        from repro.experiments.runner import RunPolicy
+        from repro.experiments.shard import run_sharded
+
+        if args.shards < 1:
+            raise ConfigurationError(
+                f"--shards must be >= 1, got {args.shards}"
+                " (e.g. --shards 4)"
+            )
+        if active_cache() is None:
+            raise ConfigurationError(
+                "--shards needs the shared result store: set"
+                " REPRO_CACHE_DIR to a directory all hosts share"
+                " (and leave REPRO_CACHE on)"
+            )
+        outcomes = run_sharded(
+            ids,
+            RunPolicy(
+                jobs=args.jobs, timeout_s=args.timeout,
+                retries=args.retries, run_dir=args.run_dir,
+            ),
+            host_id=args.host_id,
+            num_shards=args.shards,
+        )
+        return _print_outcomes(outcomes)
     if args.timeout is not None or args.retries or args.run_dir is not None:
         from repro.experiments.runner import RunPolicy, run_resilient
 
@@ -389,28 +431,33 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 retries=args.retries, run_dir=args.run_dir,
             ),
         )
-        failed = [o for o in outcomes if not o.ok]
-        for outcome in outcomes:
-            if outcome.ok:
-                print(outcome.result.format_table())
-                print()
-            else:
-                print(
-                    f"## {outcome.experiment_id} FAILED ({outcome.status},"
-                    f" {outcome.attempts} attempt(s))",
-                    file=sys.stderr,
-                )
-        if failed:
-            print(
-                f"error: {len(failed)} of {len(outcomes)} experiment(s)"
-                f" failed: {', '.join(o.experiment_id for o in failed)}",
-                file=sys.stderr,
-            )
-            return 1
-        return 0
+        return _print_outcomes(outcomes)
     for result in run_experiments(ids, jobs=args.jobs):
         print(result.format_table())
         print()
+    return 0
+
+
+def _print_outcomes(outcomes) -> int:
+    """Tables for ok outcomes, a stderr summary for failures; exit code."""
+    failed = [o for o in outcomes if not o.ok]
+    for outcome in outcomes:
+        if outcome.ok:
+            print(outcome.result.format_table())
+            print()
+        else:
+            print(
+                f"## {outcome.experiment_id} FAILED ({outcome.status},"
+                f" {outcome.attempts} attempt(s))",
+                file=sys.stderr,
+            )
+    if failed:
+        print(
+            f"error: {len(failed)} of {len(outcomes)} experiment(s)"
+            f" failed: {', '.join(o.experiment_id for o in failed)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -469,7 +516,19 @@ def _cmd_dse(args: argparse.Namespace) -> int:
 
     from repro.dataflow.mapper import ENV_BATCHED_MAPPER, clear_mapping_cache
     from repro.experiments.common import ExperimentResult
+    from repro.kernels import ENV_KERNELS, VALID_BACKENDS, reset_kernels
 
+    engines = ("batched", "scalar")
+    if args.engine not in engines:
+        raise ConfigurationError(
+            f"unknown engine {args.engine!r}; valid engines:"
+            f" {', '.join(engines)}"
+        )
+    if args.kernels is not None and args.kernels not in VALID_BACKENDS:
+        raise ConfigurationError(
+            f"unknown kernel backend {args.kernels!r}; valid backends:"
+            f" {', '.join(VALID_BACKENDS)}"
+        )
     dims_text = args.dims
     if dims_text is None:
         dims_text = "16" if args.per_layer else "8,16,32,64"
@@ -481,15 +540,23 @@ def _cmd_dse(args: argparse.Namespace) -> int:
             f"array dimensions must be positive, got {dims}"
         )
     if args.jobs < 1:
-        raise ConfigurationError(f"jobs must be >= 1, got {args.jobs}")
+        raise ConfigurationError(
+            f"jobs must be >= 1, got {args.jobs} (e.g. --jobs 4)"
+        )
     if not args.reconfig_cost >= 0:
         raise ConfigurationError(
             f"--reconfig-cost must be >= 0, got {args.reconfig_cost!r}"
         )
     saved_flag = os.environ.get(ENV_BATCHED_MAPPER)
+    saved_kernels = os.environ.get(ENV_KERNELS)
     os.environ[ENV_BATCHED_MAPPER] = (
         "on" if args.engine == "batched" else "off"
     )
+    if args.kernels is not None:
+        # The environment crosses the spawn boundary, so --jobs workers
+        # pick the same backend; reset_kernels() re-resolves in-process.
+        os.environ[ENV_KERNELS] = args.kernels
+        reset_kernels()
     # In-process memos may hold entries computed under the other engine
     # (they agree bit-for-bit, but a benchmark run should not mix paths).
     clear_mapping_cache()
@@ -527,6 +594,12 @@ def _cmd_dse(args: argparse.Namespace) -> int:
             os.environ.pop(ENV_BATCHED_MAPPER, None)
         else:
             os.environ[ENV_BATCHED_MAPPER] = saved_flag
+        if args.kernels is not None:
+            if saved_kernels is None:
+                os.environ.pop(ENV_KERNELS, None)
+            else:
+                os.environ[ENV_KERNELS] = saved_kernels
+            reset_kernels()
     result = ExperimentResult(
         experiment_id="dse",
         title=(

@@ -47,6 +47,7 @@ from repro.dataflow.unrolling import (
 from repro.dataflow.utilization import UtilizationReport, utilization_report
 from repro.errors import ConfigurationError, MappingError, ReproError
 from repro.faults.mask import AvailabilityMask, live_grid
+from repro.kernels import active_kernels, count_kernel_call
 from repro.nn.layers import ConvLayer
 from repro.nn.network import Network
 from repro.obs.metrics import REGISTRY
@@ -225,11 +226,18 @@ def _candidate_cache(dims: Triple, product_limit: int, caps: Triple) -> np.ndarr
     a = a[a <= min(caps[0], product_limit)]
     b = b[b <= caps[1]]
     c = c[c <= caps[2]]
-    # Broadcasted product grid; np.nonzero walks it in C order, which —
-    # with each axis sorted ascending — is lexicographic order.
-    prod = a[:, None, None] * b[None, :, None] * c[None, None, :]
-    ia, ib, ic = np.nonzero(prod <= product_limit)
-    arr = np.stack([a[ia], b[ib], c[ic]], axis=1)
+    suite = active_kernels()
+    if suite is not None:
+        # The compiled loop walks a x b x c in C order over sorted axes —
+        # the same lexicographic order the broadcast path produces.
+        arr = suite.enumerate_triples(a, b, c, product_limit)
+        count_kernel_call("enumerate_triples", suite.backend)
+    else:
+        # Broadcasted product grid; np.nonzero walks it in C order, which —
+        # with each axis sorted ascending — is lexicographic order.
+        prod = a[:, None, None] * b[None, :, None] * c[None, None, :]
+        ia, ib, ic = np.nonzero(prod <= product_limit)
+        arr = np.stack([a[ia], b[ib], c[ic]], axis=1)
     arr.setflags(write=False)
     return arr
 
@@ -325,14 +333,22 @@ def score_candidates_batch(
             raise MappingError(
                 f"{side} triples must have shape (N, 3), got {arr.shape}"
             )
-    fin = _steps_array((layer.in_maps, layer.kernel, layer.kernel), ins)
-    fout = _steps_array((layer.out_maps, layer.out_size, layer.out_size), outs)
+    dims_in = (layer.in_maps, layer.kernel, layer.kernel)
+    dims_out = (layer.out_maps, layer.out_size, layer.out_size)
+    suite = active_kernels()
+    if suite is not None and ins.size and outs.size:
+        fin, fout, cycles = suite.pair_cycles(dims_in, ins, dims_out, outs)
+        count_kernel_call("pair_cycles", suite.backend)
+    else:
+        fin = _steps_array(dims_in, ins)
+        fout = _steps_array(dims_out, outs)
+        cycles = fin[:, None] * fout[None, :]
     return CandidateScores(
         input_triples=ins,
         output_triples=outs,
         input_steps=fin,
         output_steps=fout,
-        cycles=fin[:, None] * fout[None, :],
+        cycles=cycles,
     )
 
 
@@ -589,6 +605,29 @@ def map_network(
     return result
 
 
+@lru_cache(maxsize=4096)
+def _map_network_request_key(
+    network: Network,
+    array_dim: int,
+    mask: Optional[AvailabilityMask],
+) -> str:
+    """Persistent-cache key for one mapping request, memoized by value.
+
+    The key is pure in its (hashable, frozen) inputs and the schema
+    constant, so the memo can never go stale — and unlike the mapping
+    memos it survives :func:`clear_mapping_cache`, sparing repeated
+    sweeps the canonical-JSON + SHA-256 cost per lookup.
+    """
+    return hash_payload(
+        "map_network",
+        {
+            "network": network_payload(network),
+            "array_dim": array_dim,
+            "mask": mask_payload(mask),
+        },
+    )
+
+
 def _map_network_impl(
     network: Network,
     array_dim: int,
@@ -597,14 +636,7 @@ def _map_network_impl(
     cache = active_cache()
     key = None
     if cache is not None:
-        key = hash_payload(
-            "map_network",
-            {
-                "network": network_payload(network),
-                "array_dim": array_dim,
-                "mask": mask_payload(mask),
-            },
-        )
+        key = _map_network_request_key(network, array_dim, mask)
         stored = cache.get("map_network", key)
         if stored is not None:
             restored = _network_mapping_from_payload(
@@ -693,9 +725,15 @@ def _map_network_search(
     row_limit, col_limit = _usable_limits(array_dim, mask)
 
     if batched_mapper_enabled():
-        final_cost, final_trace, counters = _search_batched(
-            contexts, array_dim, row_limit, col_limit
-        )
+        suite = active_kernels()
+        if suite is not None:
+            final_cost, final_trace, counters = _search_kernel(
+                contexts, array_dim, row_limit, col_limit, suite
+            )
+        else:
+            final_cost, final_trace, counters = _search_batched(
+                contexts, array_dim, row_limit, col_limit
+            )
     else:
         final_cost, final_trace, counters = _search_scalar(
             contexts, array_dim, row_limit, col_limit
@@ -817,6 +855,77 @@ def _search_scalar(
     )[1]
     counters = {"output_candidates": sum(len(outs) for outs in layer_outs)}
     return final_cost, final_trace, counters
+
+
+@lru_cache(maxsize=None)
+def _useful_arr(dim: int) -> np.ndarray:
+    """``useful_values(dim, dim)`` as a read-only sorted int64 array."""
+    arr = np.array(_useful_cached(dim, dim), dtype=np.int64)
+    arr.setflags(write=False)
+    return arr
+
+
+def _search_kernel(
+    contexts, array_dim: int, row_limit: int, col_limit: int, suite
+) -> Tuple[int, tuple, Dict[str, int]]:
+    """The whole-network search in one fused compiled-kernel call.
+
+    Ships every layer's dimension extents plus the per-dimension
+    useful-value pool to ``map_network_dp``, which enumerates the FULL
+    output-candidate sets, picks each layer's best free input, and runs
+    the coupling DP — all inside the kernel.  The DP is a direct port of
+    :func:`_search_scalar`'s loops (strict-``<`` first-wins updates,
+    transition buckets in first-appearance order, final
+    ``(cost, ceil(M/Tm), triple)`` tie-break); its only deviation is
+    pruning transition buckets whose ``(cost, fin)`` is dominated, which
+    provably never changes any winner.  Bit-identical to both python
+    engines (pinned by ``tests/kernels/test_parity.py``).
+    """
+    n_layers = len(contexts)
+    pool: Dict[int, int] = {}
+    chunks: List[np.ndarray] = []
+    pos = 0
+
+    def intern(dim: int) -> Tuple[int, int]:
+        nonlocal pos
+        offset = pool.get(dim)
+        arr = _useful_arr(dim)
+        if offset is None:
+            pool[dim] = offset = pos
+            chunks.append(arr)
+            pos += len(arr)
+        return offset, len(arr)
+
+    rows = []
+    for i, ctx in enumerate(contexts):
+        layer = ctx.layer
+        m, s = layer.out_maps, layer.out_size
+        n, k = layer.in_maps, layer.kernel
+        bound = s if ctx.tr_tc_bound is None else min(s, ctx.tr_tc_bound)
+        rows.append(
+            (m, s, n, k, bound,
+             relayout_penalty_cycles(layer, array_dim) if i else 0)
+            + intern(m) + intern(s) + intern(n) + intern(k)
+        )
+    spec = np.array(rows, dtype=np.int64)
+    uvals = np.concatenate(chunks)
+    in_out, out_out, relayout, final_cost, total = suite.map_network_dp(
+        uvals, spec, row_limit, col_limit
+    )
+    count_kernel_call("map_network_dp", suite.backend)
+    trace = tuple(
+        (
+            (int(in_out[i, 0]), int(in_out[i, 1]), int(in_out[i, 2])),
+            (int(out_out[i, 0]), int(out_out[i, 1]), int(out_out[i, 2])),
+            int(relayout[i]),
+        )
+        for i in range(n_layers)
+    )
+    counters = {
+        "output_candidates": int(total),
+        "configs_evaluated": int(total),
+    }
+    return final_cost, trace, counters
 
 
 def _pruned_layer_outs(
@@ -1072,4 +1181,5 @@ def clear_mapping_cache() -> None:
     _candidate_cache.cache_clear()
     _candidate_tuples.cache_clear()
     _useful_cached.cache_clear()
+    _useful_arr.cache_clear()
     _best_input_cached.cache_clear()

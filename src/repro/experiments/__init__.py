@@ -145,7 +145,13 @@ def run_experiments(
         )
         return require_all_ok(outcomes)
     if jobs == 1 or len(ids) <= 1:
-        return [run_experiment(eid) for eid in ids]
+        from repro.cache import deferred_cache_publishes
+
+        # One store flush for the whole in-process batch: back-to-back
+        # small-file publishes batch far better than per-experiment
+        # bursts interleaved with compute.
+        with deferred_cache_publishes():
+            return [run_experiment(eid) for eid in ids]
     import multiprocessing
 
     ctx = multiprocessing.get_context("spawn")

@@ -14,6 +14,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.accelerators import make_accelerator
 from repro.accelerators.base import NetworkResult
 from repro.arch.config import ArchConfig
+from repro.cache import deferred_cache_publishes
 from repro.dataflow.mapper import batched_mapper_enabled
 from repro.errors import ConfigurationError
 from repro.nn.network import Network
@@ -134,15 +135,18 @@ def evaluate_sweep(
     results: Dict[Any, NetworkResult] = {}
     with sweep_span(label, configs_evaluated=len(points)) as span:
         accelerators: Dict[Tuple[str, Optional[ArchConfig], str], Any] = {}
-        for key, kind, network, config in points:
-            acc_key = (kind, config, network.name)
-            accelerator = accelerators.get(acc_key)
-            if accelerator is None:
-                accelerator = make_accelerator(
-                    kind, config, workload_name=network.name
-                )
-                accelerators[acc_key] = accelerator
-            results[key] = accelerator.simulate_network(network)
+        # One batched cache flush for the whole sweep: a cold store pays
+        # a single publish pass instead of per-point atomic writes.
+        with deferred_cache_publishes():
+            for key, kind, network, config in points:
+                acc_key = (kind, config, network.name)
+                accelerator = accelerators.get(acc_key)
+                if accelerator is None:
+                    accelerator = make_accelerator(
+                        kind, config, workload_name=network.name
+                    )
+                    accelerators[acc_key] = accelerator
+                results[key] = accelerator.simulate_network(network)
         if current_tracer().enabled:
             span.add_counters({"accelerators": len(accelerators)})
     REGISTRY.counter("experiments.sweep_points", sweep=label).inc(len(points))
@@ -157,7 +161,8 @@ def run_matrix(
     """workload -> architecture -> result, for the Figure 15-18 sweeps."""
     if not workload_names:
         raise ConfigurationError("workload_names must be non-empty")
-    return {
-        name: run_all_architectures(get_workload(name), config, kinds)
-        for name in workload_names
-    }
+    with deferred_cache_publishes():
+        return {
+            name: run_all_architectures(get_workload(name), config, kinds)
+            for name in workload_names
+        }

@@ -30,6 +30,7 @@ import subprocess
 import time
 import traceback
 from dataclasses import dataclass, field
+from functools import lru_cache
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -305,6 +306,7 @@ def load_manifest(run_dir: str) -> Dict[str, Any]:
 # -- persistent experiment-result cache ---------------------------------------
 
 
+@lru_cache(maxsize=1024)
 def _experiment_cache_key(experiment_id: str, module: Any) -> Optional[str]:
     """Cache key for one experiment, salted with its module's source hash.
 
@@ -312,7 +314,9 @@ def _experiment_cache_key(experiment_id: str, module: Any) -> Optional[str]:
     entries immediately (no manual salt bump needed); changes elsewhere in
     the library rely on :data:`repro.cache.CACHE_SCHEMA_VERSION`.  Modules
     without retrievable source (e.g. test-plugin namespaces) return
-    ``None`` and are never cached.
+    ``None`` and are never cached.  Memoized per ``(id, module)`` — the
+    source cannot change under a running process, and re-reading it per
+    lookup was measurable in cold sweeps.
     """
     import inspect
 
@@ -353,9 +357,15 @@ def run_module_cached(experiment_id: str, module: Any) -> ExperimentResult:
                 return result_from_dict(stored)
             except (KeyError, TypeError, ValueError):
                 pass  # malformed entry: recompute and overwrite
-    result = module.run()
-    if cache is not None and key is not None:
-        cache.put("experiment", key, result_to_dict(result))
+    if cache is not None:
+        # One batched flush for the run's point-level publishes (mapping
+        # + simulation entries) and the experiment entry itself.
+        with cache.deferred():
+            result = module.run()
+            if key is not None:
+                cache.put("experiment", key, result_to_dict(result))
+    else:
+        result = module.run()
     return result
 
 
@@ -390,6 +400,11 @@ def prewarm_shared_points(experiment_ids: Sequence[str]) -> int:
         from repro.nn.workloads import WORKLOAD_NAMES
 
         run_matrix(WORKLOAD_NAMES)
+        cache = active_cache()
+        if cache is not None:
+            # Publishes are write-behind; the spawned workers only see
+            # the warm points once they are physically on disk.
+            cache.drain()
     except Exception:
         return 0
     points = len(WORKLOAD_NAMES) * len(ARCH_ORDER)

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.faults.mask import AvailabilityMask
+from repro.kernels import active_kernels, count_kernel_call
 
 
 def _dead_flags(mask: AvailabilityMask) -> np.ndarray:
@@ -38,6 +39,25 @@ def _dead_flags(mask: AvailabilityMask) -> np.ndarray:
     return flags
 
 
+def _surviving(flags: np.ndarray, n_struct: int, size: int) -> int:
+    """Structures (row-major groups of ``size`` PEs) with no dead member.
+
+    ``flags`` may be shorter than ``n_struct * size``: indices past its
+    end model nonexistent, hence fault-free, PEs (the compiled kernel
+    treats them the same way the NumPy path's zero-padding does).
+    """
+    suite = active_kernels()
+    if suite is not None:
+        alive = suite.surviving_structures(flags, n_struct, size)
+        count_kernel_call("surviving_structures", suite.backend)
+        return alive
+    covered = n_struct * size
+    if flags.size < covered:
+        flags = np.pad(flags, (0, covered - flags.size))
+    per_struct_dead = flags[:covered].reshape(n_struct, size).any(axis=1)
+    return int((~per_struct_dead).sum())
+
+
 def systolic_retention(mask: AvailabilityMask, array_size: int) -> float:
     """Fraction of ``Ta x Ta`` systolic arrays that survive the mask."""
     if array_size <= 0:
@@ -45,13 +65,10 @@ def systolic_retention(mask: AvailabilityMask, array_size: int) -> float:
     pes_per_array = array_size * array_size
     num_arrays = max(1, (mask.array_dim * mask.array_dim) // pes_per_array)
     covered = num_arrays * pes_per_array
+    # An array larger than the grid still counts as one structure; the
+    # missing (nonexistent, hence fault-free) PEs never kill it.
     flags = _dead_flags(mask)[:covered]
-    if flags.size < covered:
-        # An array larger than the grid still counts as one structure;
-        # pad the missing (nonexistent, hence fault-free) PEs.
-        flags = np.pad(flags, (0, covered - flags.size))
-    per_array_dead = flags.reshape(num_arrays, pes_per_array).any(axis=1)
-    return int((~per_array_dead).sum()) / num_arrays
+    return _surviving(flags, num_arrays, pes_per_array) / num_arrays
 
 
 def row_kill_retention(mask: AvailabilityMask) -> float:
@@ -64,10 +81,6 @@ def tiling_retention(mask: AvailabilityMask, tm: int, tn: int) -> float:
     """Fraction of ``Tm`` clusters (of ``Tn`` lanes) that survive the mask."""
     if tm <= 0 or tn <= 0:
         raise ConfigurationError(f"tm/tn must be positive, got ({tm},{tn})")
-    flags = _dead_flags(mask)
-    covered = tm * tn
-    if flags.size < covered:
-        # Lane indices past the physical grid absorb faults for free.
-        flags = np.pad(flags, (0, covered - flags.size))
-    per_cluster_dead = flags[:covered].reshape(tm, tn).any(axis=1)
-    return int((~per_cluster_dead).sum()) / tm
+    # Lane indices past the physical grid absorb faults for free.
+    flags = _dead_flags(mask)[: tm * tn]
+    return _surviving(flags, tm, tn) / tm

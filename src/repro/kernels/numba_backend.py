@@ -1,0 +1,524 @@
+"""The numba ``@njit`` kernel backend (optional; import-guarded).
+
+Each jitted function is a line-for-line mirror of its C twin in
+:mod:`repro.kernels.csrc` — same loop order, same strict-``<`` updates,
+same ``int64`` arithmetic — so both compiled backends stay bit-identical
+to the NumPy reference paths (``tests/kernels/test_parity.py`` runs the
+full parity suite under whichever of them the machine has).
+
+numba is deliberately not a dependency of this package: the module
+imports cleanly without it (``AVAILABLE`` is ``False`` and :func:`load`
+raises), which is what keeps the pure-NumPy fallback first-class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MappingError, ReproError
+
+Triple = Tuple[int, int, int]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    AVAILABLE = True
+except ImportError:
+    numba = None  # type: ignore[assignment]
+    AVAILABLE = False
+
+
+class NumbaUnavailableError(ReproError):
+    """numba was requested but is not importable in this environment."""
+
+
+if AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+    _njit = numba.njit(cache=False, fastmath=False)
+
+    @_njit
+    def _enumerate_triples(a, b, c, limit, out):
+        n = 0
+        for ia in range(a.shape[0]):
+            for ib in range(b.shape[0]):
+                ab = a[ia] * b[ib]
+                if ab > limit:
+                    continue
+                for ic in range(c.shape[0]):
+                    if ab * c[ic] <= limit:
+                        out[n, 0] = a[ia]
+                        out[n, 1] = b[ib]
+                        out[n, 2] = c[ic]
+                        n += 1
+        return n
+
+    @_njit
+    def _pair_cycles(dims_in, ins, dims_out, outs, fin, fout, cycles):
+        for i in range(ins.shape[0]):
+            fin[i] = (
+                -(-dims_in[0] // ins[i, 0])
+                * -(-dims_in[1] // ins[i, 1])
+                * -(-dims_in[2] // ins[i, 2])
+            )
+        for j in range(outs.shape[0]):
+            fout[j] = (
+                -(-dims_out[0] // outs[j, 0])
+                * -(-dims_out[1] // outs[j, 1])
+                * -(-dims_out[2] // outs[j, 2])
+            )
+        for i in range(ins.shape[0]):
+            for j in range(outs.shape[0]):
+                cycles[i, j] = fin[i] * fout[j]
+
+    @_njit
+    def _coupling_dp(
+        cand, offsets, ldims, free_in, fin_free, penalty, col_limit,
+        in_out, out_out, relayout_out,
+    ):
+        n_layers = ldims.shape[0]
+        if n_layers <= 0:
+            return np.int64(0), np.int64(-1)
+        max_n = np.int64(0)
+        for i in range(n_layers):
+            n = offsets[i + 1] - offsets[i]
+            if n <= 0:
+                return np.int64(0), np.int64(-2)
+            if n > max_n:
+                max_n = n
+        hsize = np.int64(16)
+        while hsize < 2 * max_n:
+            hsize <<= 1
+        cost = np.empty(max_n, dtype=np.int64)
+        next_cost = np.empty(max_n, dtype=np.int64)
+        use_b = np.zeros((n_layers, max_n), dtype=np.uint8)
+        prev_idx = np.zeros((n_layers, max_n), dtype=np.int64)
+        bkey = np.empty(max_n, dtype=np.int64)
+        bcost = np.empty(max_n, dtype=np.int64)
+        bprev = np.empty(max_n, dtype=np.int64)
+        bfin = np.empty(max_n, dtype=np.int64)
+        htab = np.empty(hsize, dtype=np.int64)
+        fcost = np.empty(max_n, dtype=np.int64)
+        ffin = np.empty(max_n, dtype=np.int64)
+        fprev = np.empty(max_n, dtype=np.int64)
+
+        base0 = offsets[0]
+        n0 = offsets[1] - offsets[0]
+        m0 = ldims[0, 0]
+        s0 = ldims[0, 1]
+        for j in range(n0):
+            fo = (
+                -(-m0 // cand[base0 + j, 0])
+                * -(-s0 // cand[base0 + j, 1])
+                * -(-s0 // cand[base0 + j, 2])
+            )
+            cost[j] = fo * fin_free[0]
+
+        for li in range(1, n_layers):
+            pbase = offsets[li - 1]
+            np_ = offsets[li] - offsets[li - 1]
+            cbase = offsets[li]
+            nc_ = offsets[li + 1] - offsets[li]
+            lm = ldims[li, 0]
+            ls = ldims[li, 1]
+            ln = ldims[li, 2]
+            lk = ldims[li, 3]
+
+            # Buckets in first-appearance order via hash lookup (the
+            # table only accelerates the key search).
+            htab[:] = -1
+            nb = np.int64(0)
+            best_prev = np.int64(0)
+            best_prev_cost = cost[0]
+            for p in range(np_):
+                if cost[p] < best_prev_cost:
+                    best_prev_cost = cost[p]
+                    best_prev = p
+                tn = min(cand[pbase + p, 0], ln)
+                ti = min(cand[pbase + p, 1], lk)
+                tj = min(cand[pbase + p, 2], lk)
+                if tn * ti * tj > col_limit:
+                    continue
+                key = (tn * (lk + 1) + ti) * (lk + 1) + tj
+                h = np.int64(
+                    (np.uint64(key) * np.uint64(0x9E3779B97F4A7C15))
+                    >> np.uint64(32)
+                ) & (hsize - 1)
+                b = np.int64(-1)
+                while True:
+                    slot = htab[h]
+                    if slot < 0:
+                        break
+                    if bkey[slot] == key:
+                        b = slot
+                        break
+                    h = (h + 1) & (hsize - 1)
+                if b < 0:
+                    b = nb
+                    nb += 1
+                    htab[h] = b
+                    bkey[b] = key
+                    bcost[b] = cost[p]
+                    bprev[b] = p
+                    bfin[b] = (
+                        -(-ln // tn) * -(-lk // ti) * -(-lk // tj)
+                    )
+                elif cost[p] < bcost[b]:
+                    bcost[b] = cost[p]
+                    bprev[b] = p
+
+            # Pareto front over (bcost, bfin): dominated buckets can
+            # never win the strict-< scan (fo >= 1), and survivors keep
+            # first-appearance order so exact ties resolve identically.
+            nf = np.int64(0)
+            for b in range(nb):
+                dead = False
+                for b2 in range(nb):
+                    if b2 == b:
+                        continue
+                    if bcost[b2] > bcost[b] or bfin[b2] > bfin[b]:
+                        continue
+                    if (
+                        bcost[b2] < bcost[b]
+                        or bfin[b2] < bfin[b]
+                        or b2 < b
+                    ):
+                        dead = True
+                        break
+                if not dead:
+                    fcost[nf] = bcost[b]
+                    ffin[nf] = bfin[b]
+                    fprev[nf] = bprev[b]
+                    nf += 1
+
+            for j in range(nc_):
+                fo = (
+                    -(-lm // cand[cbase + j, 0])
+                    * -(-ls // cand[cbase + j, 1])
+                    * -(-ls // cand[cbase + j, 2])
+                )
+                best_a = np.int64(0)
+                pick_a = np.int64(-1)
+                for b in range(nf):
+                    ca = fcost[b] + fo * ffin[b]
+                    if pick_a < 0 or ca < best_a:
+                        best_a = ca
+                        pick_a = b
+                cb = best_prev_cost + fo * fin_free[li] + penalty[li]
+                if pick_a < 0 or cb < best_a:
+                    next_cost[j] = cb
+                    use_b[li, j] = 1
+                    prev_idx[li, j] = best_prev
+                else:
+                    next_cost[j] = best_a
+                    use_b[li, j] = 0
+                    prev_idx[li, j] = fprev[pick_a]
+            tmp = cost
+            cost = next_cost
+            next_cost = tmp
+
+        lbase = offsets[n_layers - 1]
+        nl = offsets[n_layers] - offsets[n_layers - 1]
+        ml = ldims[n_layers - 1, 0]
+        bj = np.int64(0)
+        bc = cost[0]
+        bm = -(-ml // cand[lbase, 0])
+        for j in range(1, nl):
+            cm = -(-ml // cand[lbase + j, 0])
+            if cost[j] < bc or (cost[j] == bc and cm < bm):
+                bj = j
+                bc = cost[j]
+                bm = cm
+        final_cost = bc
+
+        j = bj
+        for li in range(n_layers - 1, 0, -1):
+            cbase = offsets[li]
+            out_out[li, 0] = cand[cbase + j, 0]
+            out_out[li, 1] = cand[cbase + j, 1]
+            out_out[li, 2] = cand[cbase + j, 2]
+            if use_b[li, j]:
+                in_out[li, 0] = free_in[li, 0]
+                in_out[li, 1] = free_in[li, 1]
+                in_out[li, 2] = free_in[li, 2]
+                relayout_out[li] = penalty[li]
+            else:
+                pbase = offsets[li - 1]
+                p = prev_idx[li, j]
+                ln = ldims[li, 2]
+                lk = ldims[li, 3]
+                in_out[li, 0] = min(cand[pbase + p, 0], ln)
+                in_out[li, 1] = min(cand[pbase + p, 1], lk)
+                in_out[li, 2] = min(cand[pbase + p, 2], lk)
+                relayout_out[li] = 0
+            j = prev_idx[li, j]
+        base0 = offsets[0]
+        out_out[0, 0] = cand[base0 + j, 0]
+        out_out[0, 1] = cand[base0 + j, 1]
+        out_out[0, 2] = cand[base0 + j, 2]
+        in_out[0, 0] = free_in[0, 0]
+        in_out[0, 1] = free_in[0, 1]
+        in_out[0, 2] = free_in[0, 2]
+        relayout_out[0] = 0
+        return final_cost, offsets[n_layers]
+
+    @_njit
+    def _map_network(
+        uvals, spec, row_limit, col_limit,
+        in_out, out_out, relayout_out,
+    ):
+        n_layers = spec.shape[0]
+        if n_layers <= 0:
+            return np.int64(0), np.int64(-1)
+        capacity = np.int64(0)
+        for i in range(n_layers):
+            capacity += spec[i, 7] * spec[i, 9] * spec[i, 9]
+        cand = np.empty((capacity, 3), dtype=np.int64)
+        offsets = np.zeros(n_layers + 1, dtype=np.int64)
+        ldims = np.empty((n_layers, 4), dtype=np.int64)
+        free_in = np.empty((n_layers, 3), dtype=np.int64)
+        fin_free = np.empty(n_layers, dtype=np.int64)
+        penalty = np.empty(n_layers, dtype=np.int64)
+        n = np.int64(0)
+        for i in range(n_layers):
+            m = spec[i, 0]
+            sz = spec[i, 1]
+            nn = spec[i, 2]
+            kk = spec[i, 3]
+            bound = spec[i, 4]
+            ldims[i, 0] = m
+            ldims[i, 1] = sz
+            ldims[i, 2] = nn
+            ldims[i, 3] = kk
+            penalty[i] = spec[i, 5]
+
+            for ia in range(spec[i, 7]):
+                a = uvals[spec[i, 6] + ia]
+                if a > row_limit:
+                    break
+                for ib in range(spec[i, 9]):
+                    b = uvals[spec[i, 8] + ib]
+                    if b > bound:
+                        break
+                    ab = a * b
+                    if ab > row_limit:
+                        break
+                    for ic in range(spec[i, 9]):
+                        c = uvals[spec[i, 8] + ic]
+                        if c > bound or ab * c > row_limit:
+                            break
+                        cand[n, 0] = a
+                        cand[n, 1] = b
+                        cand[n, 2] = c
+                        n += 1
+            offsets[i + 1] = n
+
+            best_fin = np.int64(-1)
+            for ia in range(spec[i, 11]):
+                a = uvals[spec[i, 10] + ia]
+                if a > col_limit:
+                    break
+                for ib in range(spec[i, 13]):
+                    bv = uvals[spec[i, 12] + ib]
+                    ab = a * bv
+                    if ab > col_limit:
+                        break
+                    for ic in range(spec[i, 13]):
+                        c = uvals[spec[i, 12] + ic]
+                        if ab * c > col_limit:
+                            break
+                        fin = (
+                            -(-nn // a) * -(-kk // bv) * -(-kk // c)
+                        )
+                        if best_fin < 0 or fin < best_fin:
+                            best_fin = fin
+                            free_in[i, 0] = a
+                            free_in[i, 1] = bv
+                            free_in[i, 2] = c
+            if best_fin < 0:
+                return np.int64(0), np.int64(-2)
+            fin_free[i] = best_fin
+
+        return _coupling_dp(
+            cand, offsets, ldims, free_in, fin_free, penalty, col_limit,
+            in_out, out_out, relayout_out,
+        )
+
+    @_njit
+    def _flexflow_store_sums(
+        n_total, k_total, s_total, m_total, tn, ti, tj, tr, tc, cap,
+        kernel_bus, kernel_misses,
+    ):
+        for i in range(n_total.shape[0]):
+            rc = tr[i] * tc[i]
+            sum_nat = np.int64(0)
+            cnt_nat = np.int64(0)
+            for r in range(rc):
+                dr = r // tc[i]
+                dc = r % tc[i]
+                er = s_total[i] - dr
+                ec = s_total[i] - dc
+                nr = 0 if er <= 0 else (er + tr[i] - 1) // tr[i]
+                ncv = 0 if ec <= 0 else (ec + tc[i] - 1) // tc[i]
+                nat = nr * ncv
+                sum_nat += nat
+                cnt_nat += nat if nat < 1 else 1
+            n_spatial = (
+                -(-s_total[i] // tr[i]) * -(-s_total[i] // tc[i])
+            )
+            occ = tn[i] * ti[i] * tj[i]
+            titj = ti[i] * tj[i]
+            bus = np.int64(0)
+            miss = np.int64(0)
+            for col in range(occ):
+                dn = col // titj
+                rest = col % titj
+                di = rest // tj[i]
+                dj = rest % tj[i]
+                en = n_total[i] - dn
+                ei = k_total[i] - di
+                ej = k_total[i] - dj
+                cn = 0 if en <= 0 else (en + tn[i] - 1) // tn[i]
+                ci = 0 if ei <= 0 else (ei + ti[i] - 1) // ti[i]
+                cj = 0 if ej <= 0 else (ej + tj[i] - 1) // tj[i]
+                l = cn * ci * cj
+                if l > cap[i]:
+                    bus += l * n_spatial
+                    miss += l * sum_nat
+                else:
+                    bus += l
+                    miss += l * cnt_nat
+            kernel_bus[i] = m_total[i] * bus
+            kernel_misses[i] = m_total[i] * miss
+
+    @_njit
+    def _surviving_structures(flags, n_struct, size):
+        alive = np.int64(0)
+        for s in range(n_struct):
+            base = s * size
+            dead = False
+            for t in range(size):
+                idx = base + t
+                if idx < flags.shape[0] and flags[idx]:
+                    dead = True
+                    break
+            if not dead:
+                alive += 1
+        return alive
+
+
+def _i64(values) -> np.ndarray:
+    return np.ascontiguousarray(values, dtype=np.int64)
+
+
+class NumbaKernels:  # pragma: no cover - exercised only where numba is installed
+    """The jitted kernel suite (same surface as :class:`CExtKernels`)."""
+
+    backend = "numba"
+
+    def enumerate_triples(self, a, b, c, limit: int) -> np.ndarray:
+        a, b, c = _i64(a), _i64(b), _i64(c)
+        capacity = len(a) * len(b) * len(c)
+        if capacity == 0:
+            return np.empty((0, 3), dtype=np.int64)
+        out = np.empty((capacity, 3), dtype=np.int64)
+        kept = _enumerate_triples(a, b, c, np.int64(limit), out)
+        return out[: int(kept)]
+
+    def pair_cycles(self, dims_in, ins, dims_out, outs):
+        ins, outs = _i64(ins), _i64(outs)
+        fin = np.empty(len(ins), dtype=np.int64)
+        fout = np.empty(len(outs), dtype=np.int64)
+        cycles = np.empty((len(ins), len(outs)), dtype=np.int64)
+        _pair_cycles(_i64(dims_in), ins, _i64(dims_out), outs, fin, fout, cycles)
+        return fin, fout, cycles
+
+    def coupling_dp(
+        self, cand, offsets, ldims, free_in, fin_free, penalty, col_limit: int
+    ):
+        cand, offsets, ldims = _i64(cand), _i64(offsets), _i64(ldims)
+        free_in, fin_free = _i64(free_in), _i64(fin_free)
+        penalty = _i64(penalty)
+        n_layers = len(ldims)
+        in_out = np.empty((n_layers, 3), dtype=np.int64)
+        out_out = np.empty((n_layers, 3), dtype=np.int64)
+        relayout = np.empty(n_layers, dtype=np.int64)
+        cost, total = _coupling_dp(
+            cand, offsets, ldims, free_in, fin_free, penalty,
+            np.int64(col_limit), in_out, out_out, relayout,
+        )
+        if total < 0:
+            raise MappingError(
+                f"coupling DP kernel rejected its inputs (code {int(total)})"
+            )
+        return in_out, out_out, relayout, int(cost), int(total)
+
+    def map_network_dp(self, uvals, spec, row_limit: int, col_limit: int):
+        uvals, spec = _i64(uvals), _i64(spec)
+        n_layers = len(spec)
+        in_out = np.empty((n_layers, 3), dtype=np.int64)
+        out_out = np.empty((n_layers, 3), dtype=np.int64)
+        relayout = np.empty(n_layers, dtype=np.int64)
+        cost, total = _map_network(
+            uvals, spec, np.int64(row_limit), np.int64(col_limit),
+            in_out, out_out, relayout,
+        )
+        if total < 0:
+            raise MappingError(
+                f"map-network kernel rejected its inputs (code {int(total)})"
+            )
+        return in_out, out_out, relayout, int(cost), int(total)
+
+    def flexflow_store_sums(
+        self, n_total, k_total, s_total, m_total, tn, ti, tj, tr, tc, cap
+    ):
+        cols = [
+            _i64(x)
+            for x in (n_total, k_total, s_total, m_total, tn, ti, tj, tr, tc, cap)
+        ]
+        batch = len(cols[0])
+        bus = np.empty(batch, dtype=np.int64)
+        misses = np.empty(batch, dtype=np.int64)
+        _flexflow_store_sums(*cols, bus, misses)
+        return bus, misses
+
+    def surviving_structures(self, flags, n_struct: int, size: int) -> int:
+        flags = np.ascontiguousarray(flags, dtype=np.uint8)
+        return int(
+            _surviving_structures(flags, np.int64(n_struct), np.int64(size))
+        )
+
+
+def warm_up(suite: "NumbaKernels") -> None:  # pragma: no cover - numba only
+    """Trigger every kernel's JIT compile with tiny inputs.
+
+    Called inside the ``kernels:load`` span so compile time is visible in
+    traces instead of silently inflating the first real search.
+    """
+    one = np.ones(1, dtype=np.int64)
+    triple = np.ones((1, 3), dtype=np.int64)
+    suite.enumerate_triples(one, one, one, 1)
+    suite.pair_cycles((1, 1, 1), triple, (1, 1, 1), triple)
+    suite.coupling_dp(
+        triple,
+        np.array([0, 1], dtype=np.int64),
+        np.ones((1, 4), dtype=np.int64),
+        triple,
+        one, np.zeros(1, dtype=np.int64), 1,
+    )
+    spec = np.array(
+        [[1, 1, 1, 1, 1, 0, 0, 1, 0, 1, 0, 1, 0, 1]], dtype=np.int64
+    )
+    suite.map_network_dp(one, spec, 1, 1)
+    suite.flexflow_store_sums(*(one,) * 10)
+    suite.surviving_structures(np.zeros(1, dtype=np.uint8), 1, 1)
+
+
+def load() -> "NumbaKernels":
+    """The jitted suite, or :class:`NumbaUnavailableError` without numba."""
+    if not AVAILABLE:
+        raise NumbaUnavailableError(
+            "the numba kernel backend was requested but numba is not"
+            " installed in this environment"
+        )
+    return NumbaKernels()  # pragma: no cover - numba only

@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.dataflow.unrolling import UnrollingFactors
 from repro.errors import MappingError, SpecificationError
+from repro.kernels import active_kernels, count_kernel_call
 from repro.nn.layers import ConvLayer
 from repro.sim.analytic import _neuron_store_replay
 from repro.sim.trace import SimTrace
@@ -350,27 +351,19 @@ def batch_flexflow_traces(
 
     # Column classes (dn, di, dj), padded to the widest row occupancy.
     # Invalid (past-occupancy) columns contribute zero to every sum.
+    # (The replay below needs these tables even when the kernel-store
+    # sums run in a compiled kernel.)
     occupancy = f.row_occupancy
     col_idx = np.arange(int(occupancy.max()))[None, :]
     col_valid = col_idx < occupancy[:, None]
     dn, rest = np.divmod(col_idx, (f.ti * f.tj)[:, None])
     di, dj = np.divmod(rest, f.tj[:, None])
-    l_col = (
-        _ceil_counts_2d(n_total, dn, f.tn[:, None])
-        * _ceil_counts_2d(k_total, di, f.ti[:, None])
-        * _ceil_counts_2d(k_total, dj, f.tj[:, None])
-    )
-    l_col = np.where(col_valid, l_col, 0)
 
     # Row offset classes (dr, dc), padded to the widest Tr*Tc.
     rc_count = f.tr * f.tc
     rc_idx = np.arange(int(rc_count.max()))[None, :]
     rc_valid = rc_idx < rc_count[:, None]
     dr, dc = np.divmod(rc_idx, f.tc[:, None])
-    nat = _ceil_counts_2d(s_total, dr, f.tr[:, None]) * _ceil_counts_2d(
-        s_total, dc, f.tc[:, None]
-    )
-    nat = np.where(rc_valid, nat, 0)
     n_spatial = _cdiv(layers.out_size, f.tr) * _cdiv(layers.out_size, f.tc)
 
     f_in = (
@@ -391,15 +384,33 @@ def batch_flexflow_traces(
     # Kernel-store dichotomy, regrouped to avoid the (rc x col) product:
     # sum_{rc,col} where(thrash, l*nat, l*min(nat,1))
     #   = sum_col l_col * (thrash ? sum_rc nat : sum_rc min(nat, 1)).
-    thrash = l_col > kernel_caps[:, None]
-    kernel_bus = m_total * np.where(
-        thrash, l_col * n_spatial[:, None], l_col
-    ).sum(axis=1)
-    sum_nat = nat.sum(axis=1)
-    cnt_nat = np.minimum(nat, 1).sum(axis=1)
-    kernel_misses = m_total * np.where(
-        thrash, l_col * sum_nat[:, None], l_col * cnt_nat[:, None]
-    ).sum(axis=1)
+    suite = active_kernels()
+    if suite is not None:
+        kernel_bus, kernel_misses = suite.flexflow_store_sums(
+            layers.in_maps, layers.kernel, layers.out_size, m_total,
+            f.tn, f.ti, f.tj, f.tr, f.tc, kernel_caps,
+        )
+        count_kernel_call("flexflow_store_sums", suite.backend)
+    else:
+        l_col = (
+            _ceil_counts_2d(n_total, dn, f.tn[:, None])
+            * _ceil_counts_2d(k_total, di, f.ti[:, None])
+            * _ceil_counts_2d(k_total, dj, f.tj[:, None])
+        )
+        l_col = np.where(col_valid, l_col, 0)
+        nat = _ceil_counts_2d(s_total, dr, f.tr[:, None]) * _ceil_counts_2d(
+            s_total, dc, f.tc[:, None]
+        )
+        nat = np.where(rc_valid, nat, 0)
+        thrash = l_col > kernel_caps[:, None]
+        kernel_bus = m_total * np.where(
+            thrash, l_col * n_spatial[:, None], l_col
+        ).sum(axis=1)
+        sum_nat = nat.sum(axis=1)
+        cnt_nat = np.minimum(nat, 1).sum(axis=1)
+        kernel_misses = m_total * np.where(
+            thrash, l_col * sum_nat[:, None], l_col * cnt_nat[:, None]
+        ).sum(axis=1)
 
     neuron_bus, neuron_misses = _batched_neuron_replay(
         layers, f, neuron_caps, dn=dn, di=di, dj=dj, dr=dr, dc=dc

@@ -127,6 +127,7 @@ class TestExperimentTier:
         from repro.experiments import run_experiment
 
         cold = run_experiment("table04")
+        active_cache().drain()
         assert store_files(cache_dir, "experiment"), "expected a write"
         fresh_process_state()
         warm = run_experiment("table04")

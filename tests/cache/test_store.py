@@ -241,3 +241,91 @@ class TestEnvironmentKnobs:
 
     def test_instances_shared_per_root(self, cache_dir):
         assert active_cache() is active_cache()
+
+
+class TestDeferredPublishes:
+    def entry_files(self, root):
+        return sorted(p for p in root.rglob("*.json"))
+
+    def test_buffered_puts_visible_in_process_before_flush(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = hash_payload("unit", {"d": 1})
+        with cache.deferred():
+            cache.put("unit", key, {"v": 1})
+            # The in-process memo answers immediately...
+            assert cache.get("unit", key) == {"v": 1}
+        cache.drain()
+        # ...and after the write-behind flush lands, so does the disk.
+        assert ResultCache(tmp_path).get("unit", key) == {"v": 1}
+
+    def test_nested_blocks_flush_once(self, tmp_path):
+        from repro.obs.metrics import REGISTRY
+
+        REGISTRY.reset()
+        cache = ResultCache(tmp_path)
+        with cache.deferred():
+            cache.put("unit", hash_payload("unit", {"n": 1}), {"n": 1})
+            with cache.deferred():
+                cache.put("unit", hash_payload("unit", {"n": 2}), {"n": 2})
+        cache.drain()
+        assert REGISTRY.counter("cache.deferred_flushes").value == 1
+        assert len(self.entry_files(tmp_path)) == 2
+
+    def test_duplicate_puts_collapse_to_last(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = hash_payload("unit", {"dup": True})
+        with cache.deferred():
+            cache.put("unit", key, {"v": "first"})
+            cache.put("unit", key, {"v": "last"})
+        cache.drain()
+        assert len(self.entry_files(tmp_path)) == 1
+        assert ResultCache(tmp_path).get("unit", key) == {"v": "last"}
+
+    def test_drain_is_noop_when_idle(self, tmp_path):
+        assert ResultCache(tmp_path).drain(timeout=0.1) is True
+
+    def test_eviction_applies_after_deferred_flush(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=3)
+        with cache.deferred():
+            for n in range(10):
+                cache.put("unit", hash_payload("unit", {"n": n}), {"n": n})
+        cache.drain()
+        assert len(self.entry_files(tmp_path)) == 3
+
+    def test_flushes_are_deterministic_across_drains(self, tmp_path):
+        """Same puts -> byte-identical entries, deferred or not."""
+        direct = ResultCache(tmp_path / "direct")
+        deferred = ResultCache(tmp_path / "deferred")
+        payloads = [{"n": n, "rows": list(range(n))} for n in range(5)]
+        for n, payload in enumerate(payloads):
+            direct.put("unit", hash_payload("unit", {"n": n}), payload)
+        with deferred.deferred():
+            for n, payload in enumerate(payloads):
+                deferred.put("unit", hash_payload("unit", {"n": n}), payload)
+        deferred.drain()
+        direct_files = {
+            p.relative_to(tmp_path / "direct"): p.read_bytes()
+            for p in (tmp_path / "direct").rglob("*.json")
+        }
+        deferred_files = {
+            p.relative_to(tmp_path / "deferred"): p.read_bytes()
+            for p in (tmp_path / "deferred").rglob("*.json")
+        }
+        assert direct_files == deferred_files
+
+    def test_module_helper_handles_disabled_cache(self):
+        from repro.cache import deferred_cache_publishes
+
+        # conftest turns REPRO_CACHE off: the helper must still nest.
+        with deferred_cache_publishes() as cache:
+            assert cache is None
+
+    def test_module_helper_batches_active_cache(self, cache_dir):
+        from repro.cache import deferred_cache_publishes
+
+        key = hash_payload("unit", {"helper": 1})
+        with deferred_cache_publishes() as cache:
+            assert cache is active_cache()
+            cache.put("unit", key, {"ok": True})
+        cache.drain()
+        assert ResultCache(cache_dir).get("unit", key) == {"ok": True}

@@ -1,0 +1,288 @@
+"""Multi-host sharded sweeps: leases, done markers, and real contention.
+
+The unit tier drives :class:`ShardStore` and :func:`run_sharded`
+in-process against plugin experiments.  The contention tier spawns two
+real coordinator *processes* sharing one ``REPRO_CACHE_DIR`` — the
+deployment the feature exists for — and asserts the batch completes with
+every experiment executed exactly once across both hosts (run markers on
+disk are the witness, not the coordinators' own claims).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.cache import reset_cache_handles
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments.runner import PLUGIN_ENV, RunPolicy
+from repro.experiments.shard import (
+    ShardStore,
+    default_host_id,
+    run_sharded,
+    shard_batch_id,
+    shard_members,
+)
+
+PLUGIN_SOURCE = """
+import os
+import time
+
+from repro.experiments.common import ExperimentResult
+
+
+def _make(exp_id):
+    class _Exp:
+        @staticmethod
+        def run():
+            log_dir = os.environ.get("REPRO_TEST_SHARD_LOG")
+            if log_dir:
+                # One marker file per execution: the exactly-once witness.
+                marker = os.path.join(
+                    log_dir,
+                    f"{exp_id}-{os.getpid()}-{time.monotonic_ns()}",
+                )
+                with open(marker, "w") as handle:
+                    handle.write(exp_id)
+            delay = float(os.environ.get("REPRO_TEST_SHARD_DELAY", "0"))
+            if delay:
+                time.sleep(delay)
+            return ExperimentResult(exp_id, f"Sharded {exp_id}", [{"id": exp_id}])
+
+    return _Exp
+
+
+EXTRA = {name: _make(name) for name in (
+    "shard_a", "shard_b", "shard_c", "shard_d", "shard_e", "shard_f",
+)}
+"""
+
+SHARD_IDS = ["shard_a", "shard_b", "shard_c", "shard_d", "shard_e", "shard_f"]
+
+
+@pytest.fixture
+def shard_env(tmp_path, monkeypatch):
+    """Plugin experiments + a tmp shared cache root (and handle reset)."""
+    (tmp_path / "repro_test_shard_exps.py").write_text(
+        textwrap.dedent(PLUGIN_SOURCE)
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    monkeypatch.setenv(PLUGIN_ENV, "repro_test_shard_exps:EXTRA")
+    monkeypatch.setenv(
+        "PYTHONPATH",
+        str(tmp_path) + os.pathsep + os.environ.get("PYTHONPATH", ""),
+    )
+    cache_dir = tmp_path / "store"
+    monkeypatch.setenv("REPRO_CACHE", "on")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    log_dir = tmp_path / "ran"
+    log_dir.mkdir()
+    monkeypatch.setenv("REPRO_TEST_SHARD_LOG", str(log_dir))
+    reset_cache_handles()
+    yield tmp_path
+    reset_cache_handles()
+
+
+def executions(tmp_path):
+    """experiment id -> times it actually ran (from the run markers)."""
+    counts = {}
+    for marker in (tmp_path / "ran").iterdir():
+        exp_id = marker.name.rsplit("-", 2)[0]
+        counts[exp_id] = counts.get(exp_id, 0) + 1
+    return counts
+
+
+class TestShardPlan:
+    def test_membership_partitions_the_batch(self):
+        ids = list("abcdefg")
+        shards = [shard_members(ids, i, 3) for i in range(3)]
+        flat = [eid for shard in shards for eid in shard]
+        assert sorted(flat) == sorted(ids)
+        assert shard_members(ids, 2, 8) == ["c"]
+        assert shard_members(ids, 7, 8) == []
+
+    def test_batch_id_sensitivity(self):
+        assert shard_batch_id(["a", "b"], 2) != shard_batch_id(["b", "a"], 2)
+        assert shard_batch_id(["a", "b"], 2) != shard_batch_id(["a", "b"], 3)
+        assert shard_batch_id(["a", "b"], 2) == shard_batch_id(["a", "b"], 2)
+
+    def test_default_host_id_names_this_process(self):
+        assert str(os.getpid()) in default_host_id()
+
+
+class TestShardStore:
+    def test_claim_is_exclusive(self, tmp_path):
+        store = ShardStore("batch01", root=tmp_path)
+        assert store.try_claim(0, "host-a")
+        assert not store.try_claim(0, "host-b")
+        assert store.try_claim(1, "host-b")
+
+    def test_publish_first_wins(self, tmp_path):
+        store = ShardStore("batch01", root=tmp_path)
+        assert store.publish(3, [])
+        assert not store.publish(3, [])
+        assert store.load_done(3) == []
+
+    def test_lease_age_and_steal(self, tmp_path):
+        store = ShardStore("batch01", root=tmp_path)
+        assert store.lease_age_s(0) is None
+        store.try_claim(0, "host-a")
+        age = store.lease_age_s(0)
+        assert age is not None and age < 5.0
+        assert store.steal_lease(0)
+        assert store.lease_age_s(0) is None
+        assert store.try_claim(0, "host-b")
+
+    def test_corrupt_lease_still_ages(self, tmp_path):
+        store = ShardStore("batch01", root=tmp_path)
+        store.dir.mkdir(parents=True, exist_ok=True)
+        (store.dir / "shard-0.lease").write_text("not json")
+        age = store.lease_age_s(0)
+        assert age is not None  # falls back to file mtime
+
+    def test_corrupt_done_marker_reads_as_not_done(self, tmp_path):
+        store = ShardStore("batch01", root=tmp_path)
+        store.dir.mkdir(parents=True, exist_ok=True)
+        (store.dir / "shard-2.done").write_text("{broken")
+        assert store.load_done(2) is None
+
+
+class TestRunSharded:
+    def test_single_host_completes_batch(self, shard_env):
+        outcomes = run_sharded(
+            SHARD_IDS, RunPolicy(), host_id="solo", num_shards=3
+        )
+        assert [o.experiment_id for o in outcomes] == SHARD_IDS
+        assert all(o.ok for o in outcomes)
+        assert not any(o.from_checkpoint for o in outcomes)
+        assert executions(shard_env) == {eid: 1 for eid in SHARD_IDS}
+
+    def test_late_host_merges_without_rerunning(self, shard_env):
+        run_sharded(SHARD_IDS, RunPolicy(), host_id="early", num_shards=2)
+        late = run_sharded(
+            SHARD_IDS, RunPolicy(), host_id="late", num_shards=2
+        )
+        assert all(o.ok and o.from_checkpoint for o in late)
+        assert executions(shard_env) == {eid: 1 for eid in SHARD_IDS}
+
+    def test_unknown_ids_fail_before_any_lease(self, shard_env):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            run_sharded(["shard_a", "nope"], num_shards=2)
+        assert not (shard_env / "store" / ".shards").exists()
+
+    def test_bad_parameters_rejected(self, shard_env):
+        with pytest.raises(ConfigurationError, match="num_shards"):
+            run_sharded(SHARD_IDS, num_shards=0)
+        with pytest.raises(ConfigurationError, match="poll_s"):
+            run_sharded(SHARD_IDS, num_shards=2, poll_s=0)
+        with pytest.raises(ConfigurationError, match="stale_after_s"):
+            run_sharded(SHARD_IDS, num_shards=2, stale_after_s=0)
+
+    def test_wait_times_out_on_live_foreign_lease(self, shard_env):
+        ids = SHARD_IDS[:2]
+        store = ShardStore(shard_batch_id(ids, 2))
+        assert store.try_claim(0, "other-host")  # fresh, never finishes
+        with pytest.raises(ExperimentError, match="timed out"):
+            run_sharded(
+                ids, RunPolicy(), host_id="waiter", num_shards=2,
+                poll_s=0.05, wait_timeout_s=0.5,
+            )
+
+    def test_stale_lease_is_stolen_and_finished(self, shard_env):
+        ids = SHARD_IDS[:4]
+        store = ShardStore(shard_batch_id(ids, 2))
+        store.dir.mkdir(parents=True, exist_ok=True)
+        (store.dir / "shard-0.lease").write_text(
+            json.dumps({"host": "dead", "pid": 1, "claimed_unix": 1.0})
+        )
+        outcomes = run_sharded(
+            ids, RunPolicy(), host_id="stealer", num_shards=2,
+            poll_s=0.05, stale_after_s=0.2, wait_timeout_s=30,
+        )
+        assert all(o.ok for o in outcomes)
+        assert executions(shard_env) == {eid: 1 for eid in ids}
+
+
+COORDINATOR_SCRIPT = """
+import json
+import sys
+
+
+def main():
+    from repro.experiments.runner import RunPolicy
+    from repro.experiments.shard import run_sharded
+
+    host, num_shards = sys.argv[1], int(sys.argv[2])
+    ids = sys.argv[3].split(",")
+    outcomes = run_sharded(
+        ids, RunPolicy(), host_id=host, num_shards=num_shards,
+        poll_s=0.1, wait_timeout_s=120,
+    )
+    print(json.dumps([
+        {
+            "id": o.experiment_id,
+            "ok": o.ok,
+            "merged": o.from_checkpoint,
+        }
+        for o in outcomes
+    ]))
+
+
+# The guard is load-bearing: the resilient runner's workers use the
+# 'spawn' start method, which re-imports this script in every child.
+if __name__ == "__main__":
+    main()
+"""
+
+
+class TestConcurrentCoordinators:
+    def test_two_hosts_one_store_exactly_once(self, shard_env):
+        """Two real coordinator processes race over one shared store."""
+        script = shard_env / "coordinator.py"
+        script.write_text(textwrap.dedent(COORDINATOR_SCRIPT))
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath(src), env.get("PYTHONPATH", "")]
+        )
+        # A small per-experiment delay keeps both hosts in the claim
+        # race long enough to interleave.
+        env["REPRO_TEST_SHARD_DELAY"] = "0.2"
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable, str(script), host, "4",
+                    ",".join(SHARD_IDS),
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=env,
+            )
+            for host in ("host-a", "host-b")
+        ]
+        reports = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=180)
+            assert proc.returncode == 0, err
+            reports.append(json.loads(out.strip().splitlines()[-1]))
+        # Both coordinators return the complete, successful batch...
+        for report in reports:
+            assert [entry["id"] for entry in report] == SHARD_IDS
+            assert all(entry["ok"] for entry in report)
+        # ...and the on-disk run markers prove exactly-once execution.
+        assert executions(shard_env) == {eid: 1 for eid in SHARD_IDS}
+        # Work (or at least merged results) flowed between the hosts:
+        # every experiment some host merged was run by the other one.
+        merged_by_host = [
+            {e["id"] for e in report if e["merged"]} for report in reports
+        ]
+        ran_by_host = [
+            {e["id"] for e in report if not e["merged"]} for report in reports
+        ]
+        assert merged_by_host[0] <= ran_by_host[1]
+        assert merged_by_host[1] <= ran_by_host[0]
