@@ -9,9 +9,11 @@ The server subprocess boots with ``REPRO_CHAOS`` arming a 20% (default)
 hard-kills its spawn worker mid-task.  The drill then drives distinct
 requests through a small thread fleet of well-behaved clients
 (``compute_with_retry``: 503s are retried honoring ``Retry-After``,
-anything else is a failure), drops a few SSE streams mid-flight
-(the ``client_disconnect`` injection point), and finally waits for
-`/healthz` to settle back to ``ok``.
+anything else is a failure), fires a burst of *compatible* cold DSE
+requests with batching pinned on (so the fused dispatch — and its
+leader's failover path — runs on the crash-armed pool), drops a few SSE
+streams mid-flight (the ``client_disconnect`` injection point), and
+finally waits for `/healthz` to settle back to ``ok``.
 
 ``--check`` turns the drill into the CI resilience gate: it exits
 non-zero unless
@@ -45,7 +47,12 @@ from pathlib import Path
 from typing import Any, Dict, List, Tuple
 
 from repro.chaos import ChaosController, ChaosRule
-from repro.serve.loadtest import ServeClient, metric_total, start_server
+from repro.serve.loadtest import (
+    ServeClient,
+    metric_total,
+    percentile,
+    start_server,
+)
 
 #: The drill's workload mix: distinct cheap map points (kept small so a
 #: crash costs a retry, not a long recompute).
@@ -56,14 +63,6 @@ _WORKLOADS = ("PV", "FR", "LeNet-5", "AlexNet", "HG", "VGG-11")
 #: the worst admitted chain is a handful of capped backoffs plus one
 #: worker respawn, far below this even on a slow CI box.
 DEFAULT_P99_BUDGET_MS = 10_000.0
-
-
-def _percentile(samples: List[float], fraction: float) -> float:
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
-    return ordered[index]
 
 
 def _drill_points(count: int) -> List[Tuple[str, Dict[str, Any]]]:
@@ -113,6 +112,9 @@ def run_drill(
             extra_args=[
                 "--timeout", "60", "--retries", "5",
                 "--backoff", "0.05", "--max-backoff", "0.8",
+                # Batching stays ON under chaos so the drill covers the
+                # batch-leader failover path, not just singleton retries.
+                "--batch-window-ms", "50", "--batch-max", "16",
             ],
         )
         try:
@@ -153,6 +155,47 @@ def run_drill(
             for thread in threads:
                 thread.start()
             for thread in threads:
+                thread.join()
+
+            # -- phase 1b: batched burst under fire ----------------------
+            # Compatible cold dse requests fired together so the
+            # BatchScheduler fuses them; the fused dispatch runs on the
+            # same crash-armed pool, so a batch-leader crash exercises
+            # pool-level retries and (if those drain) the per-waiter
+            # failover.  Every waiter must still answer 200.
+            burst = [
+                {"workload": "AlexNet", "dims": [4 + member, 6 + member]}
+                for member in range(concurrency * 2)
+            ]
+            barrier = threading.Barrier(len(burst))
+
+            def batched_drive(body: Dict[str, Any]) -> None:
+                worker = ServeClient(client.host, client.port, timeout=120)
+                try:
+                    barrier.wait(timeout=30)
+                    t0 = time.perf_counter()
+                    try:
+                        _, retries = worker.compute_with_retry(
+                            "dse", body, max_tries=max_tries
+                        )
+                    except Exception as exc:
+                        with lock:
+                            unrecovered.append(str(exc))
+                        return
+                    elapsed_ms = (time.perf_counter() - t0) * 1000.0
+                    with lock:
+                        latencies.append(elapsed_ms)
+                        client_retries[0] += retries
+                finally:
+                    worker.close()
+
+            burst_threads = [
+                threading.Thread(target=batched_drive, args=(body,))
+                for body in burst
+            ]
+            for thread in burst_threads:
+                thread.start()
+            for thread in burst_threads:
                 thread.join()
 
             # -- phase 2: rude clients drop streams mid-flight -----------
@@ -200,9 +243,11 @@ def run_drill(
         "first_unrecovered": unrecovered[0] if unrecovered else None,
         "client_retries": client_retries[0],
         "shed": delta("serve.shed"),
-        "shed_bound": requests * (max_tries - 1),
-        "p50_ms": round(_percentile(latencies, 0.50), 1),
-        "p99_ms": round(_percentile(latencies, 0.99), 1),
+        "shed_bound": (requests + len(burst)) * (max_tries - 1),
+        "batched_requests": delta("serve.batched"),
+        "batch_failovers": delta("serve.batch_failovers"),
+        "p50_ms": round(percentile(latencies, 0.50), 1),
+        "p99_ms": round(percentile(latencies, 0.99), 1),
         "p99_budget_ms": p99_budget_ms,
         "worker_crashes": delta("serve.worker_crashes"),
         "worker_respawns": delta("serve.worker_respawns"),
@@ -226,6 +271,11 @@ def check_report(report: Dict[str, Any]) -> List[str]:
         failures.append(
             "chaos never fired: zero worker crashes observed"
             " — the drill proved nothing"
+        )
+    if report.get("batched_requests", 0) < 2:
+        failures.append(
+            "batching never engaged under chaos: the drill did not"
+            " exercise the batch-leader failover path"
         )
     if report["worker_respawns"] < report["worker_crashes"]:
         failures.append(

@@ -17,6 +17,20 @@ exits non-zero unless
 The warm/cold throughput *ratio* is recorded here but guarded by
 ``capture_baseline.py --check`` against the committed baseline, where
 machine-independent ratio comparison lives.
+
+``--fastpath`` runs the serving-fast-path protocol instead
+(:func:`repro.serve.loadtest.run_fastpath_test`: fused dispatch floor,
+memory-tier warm latency, batched vs unbatched cold throughput — each
+phase boots its own servers).  With ``--check`` it exits non-zero unless
+
+* N compatible concurrent cold requests fused into exactly ONE backend
+  dispatch, with every per-point payload byte-identical to the
+  batching-off singleton answer;
+* the warm p50 through the memory tier is at most half the disk-tier
+  warm p50;
+* the batched cold burst beats the unbatched one by at least 3x
+  throughput;
+* zero 5xx responses anywhere.
 """
 
 from __future__ import annotations
@@ -27,7 +41,44 @@ import os
 import sys
 import tempfile
 
-from repro.serve.loadtest import run_load_test, start_server
+from repro.serve.loadtest import run_fastpath_test, run_load_test, start_server
+
+#: ``--fastpath --check`` floors; ``capture_baseline.py --check`` guards
+#: the same numbers against the committed baseline.
+FASTPATH_MAX_WARM_RATIO = 0.5
+FASTPATH_MIN_COLD_SPEEDUP = 3.0
+
+
+def check_fastpath(report: dict, fanout: int) -> list:
+    """The fast-path acceptance floors; returns failure strings."""
+    failures = []
+    fused = report["fused"]
+    if fused["backend_computations"] != 1:
+        failures.append(
+            f"{fanout} compatible concurrent requests cost"
+            f" {fused['backend_computations']} backend dispatches, not 1"
+        )
+    if fused["singleton_matches"] != fanout:
+        failures.append(
+            f"only {fused['singleton_matches']}/{fanout} batched payloads"
+            " matched the singleton answers byte-wise"
+        )
+    if fused["responses_5xx"] != 0:
+        failures.append(f"{fused['responses_5xx']} 5xx in the fused phase")
+    warm = report["warm_memory"]
+    if warm["mem_over_disk_p50"] > FASTPATH_MAX_WARM_RATIO:
+        failures.append(
+            f"memory-tier warm p50 is {warm['mem_over_disk_p50']:.2f}x the"
+            f" disk tier's (need <= {FASTPATH_MAX_WARM_RATIO})"
+        )
+    cold = report["batched_cold"]
+    if cold["batched_over_unbatched_throughput"] < FASTPATH_MIN_COLD_SPEEDUP:
+        failures.append(
+            "batched cold throughput is only"
+            f" {cold['batched_over_unbatched_throughput']:.2f}x unbatched"
+            f" (need >= {FASTPATH_MIN_COLD_SPEEDUP})"
+        )
+    return failures
 
 
 def main(argv: list) -> int:
@@ -48,7 +99,34 @@ def main(argv: list) -> int:
         "--check", action="store_true",
         help="exit non-zero unless dedup/cache/5xx invariants hold",
     )
+    parser.add_argument(
+        "--fastpath", action="store_true",
+        help="run the serving-fast-path protocol (batching + memory tier)"
+        " instead of the coalesce/warm load test",
+    )
     args = parser.parse_args(argv[1:])
+
+    if args.fastpath:
+        report = run_fastpath_test(
+            jobs=args.jobs, fanout=args.fanout, warm_rounds=args.warm_rounds
+        )
+        print(json.dumps(report, indent=2))
+        if not args.check:
+            return 0
+        failures = check_fastpath(report, args.fanout)
+        if failures:
+            for failure in failures:
+                print(f"fastpath check FAILED: {failure}", file=sys.stderr)
+            return 1
+        warm = report["warm_memory"]
+        cold = report["batched_cold"]
+        print(
+            "fastpath check passed: fused"
+            f" {args.fanout}->1 dispatch, warm mem/disk p50"
+            f" {warm['mem_over_disk_p50']:.2f}, batched cold"
+            f" {cold['batched_over_unbatched_throughput']:.1f}x, zero 5xx"
+        )
+        return 0
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
         env = dict(os.environ)

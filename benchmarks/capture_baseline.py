@@ -31,6 +31,13 @@ model outputs enforced exactly, with absolute invariants on AlexNet
 ``serve`` boots a fresh ``repro serve`` instance against an empty store and runs
 the load-test protocol (:mod:`repro.serve.loadtest`): coalescing of
 identical concurrent requests, then cold vs warm request throughput.
+``serve_fastpath`` runs the serving-fast-path protocol (cross-request
+dynamic batching + the in-memory hot cache tier): compatible concurrent
+cold requests must fuse into one backend dispatch with byte-identical
+per-point payloads, the memory tier must at least halve the warm p50
+against the disk tier, and the batched cold burst must beat the
+unbatched one by >= 3x throughput — absolute invariants, enforced by
+:func:`bench_serve.check_fastpath`.
 ``chaos`` runs the resilience drill (:mod:`bench_chaos`): a serve
 instance with a 20% ``worker_crash`` injection rate must answer every
 request, heal, and stay within the latency budget; its invariants are
@@ -372,6 +379,16 @@ def _bench_chaos():
     return bench_chaos
 
 
+def _bench_serve():
+    """Import :mod:`bench_serve` however this script was launched."""
+    bench_dir = str(Path(__file__).resolve().parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    import bench_serve
+
+    return bench_serve
+
+
 def _serve() -> dict:
     """Load-test a freshly booted serve instance against an empty store.
 
@@ -394,6 +411,35 @@ def _serve() -> dict:
             proc.wait(timeout=30)
     report["warm_over_cold_throughput"] = round(
         report["warm_over_cold_throughput"], 2
+    )
+    return report
+
+
+#: Fanout of the fused phase in the ``serve_fastpath`` section (and the
+#: value its dispatch-floor invariant is checked against).
+SERVE_FASTPATH_FANOUT = 16
+
+
+def _serve_fastpath() -> dict:
+    """Run the serving-fast-path protocol (batching + memory tier).
+
+    Three phases, each booting its own servers (see
+    :func:`repro.serve.loadtest.run_fastpath_test`): the fused dispatch
+    floor with byte-parity against singleton answers, warm p50 through
+    the memory tier vs the disk tier, and a batched vs unbatched
+    compatible cold burst.  ``--check`` re-runs the protocol and applies
+    :func:`bench_serve.check_fastpath`'s absolute floors — the fused
+    count and parity are exact invariants, and both ratios compare two
+    same-machine measurements.
+    """
+    report = _bench_serve().run_fastpath_test(
+        fanout=SERVE_FASTPATH_FANOUT
+    )
+    report["warm_memory"]["mem_over_disk_p50"] = round(
+        report["warm_memory"]["mem_over_disk_p50"], 4
+    )
+    report["batched_cold"]["batched_over_unbatched_throughput"] = round(
+        report["batched_cold"]["batched_over_unbatched_throughput"], 2
     )
     return report
 
@@ -433,6 +479,7 @@ def capture(rounds: int = 5) -> dict:
     kernels = _kernels(rounds)
     dse_per_layer = _dse_per_layer()
     serve = _serve()
+    serve_fastpath = _serve_fastpath()
     chaos = _bench_chaos().run_drill()
 
     return {
@@ -471,6 +518,7 @@ def capture(rounds: int = 5) -> dict:
         "kernels": kernels,
         "dse_per_layer": dse_per_layer,
         "serve": serve,
+        "serve_fastpath": serve_fastpath,
         "chaos": chaos,
     }
 
@@ -574,6 +622,28 @@ def check(baseline_path: Path, tolerance: float) -> int:
     )
     if cold < SWEEP_COLD_MIN:
         failures.append(("sweep.cold_speedup_median", 0.0))
+    # The fast-path section carries absolute invariants (fused dispatch
+    # count, byte parity, ratio floors), not baseline-relative bands:
+    # re-apply bench_serve's floors to the fresh measurement.
+    if "serve_fastpath" in baseline:
+        fastpath_failures = _bench_serve().check_fastpath(
+            payload["serve_fastpath"], SERVE_FASTPATH_FANOUT
+        )
+        for failure in fastpath_failures:
+            print(f"serve_fastpath invariant: {failure}")
+            failures.append(("serve_fastpath", 0.0))
+        if not fastpath_failures:
+            fast = payload["serve_fastpath"]
+            print(
+                "serve_fastpath: fused"
+                f" {SERVE_FASTPATH_FANOUT}->1, warm mem/disk p50"
+                f" {fast['warm_memory']['mem_over_disk_p50']:.2f}, batched"
+                " cold"
+                f" {fast['batched_cold']['batched_over_unbatched_throughput']:.2f}x"
+                " -> ok"
+            )
+    else:
+        print("serve_fastpath: no baseline section recorded, skipping")
     # The chaos section carries absolute resilience invariants, not
     # machine-relative ratios: re-check them on the fresh measurement.
     if "chaos" in baseline:
@@ -650,7 +720,11 @@ def main(argv: list) -> int:
         f" kernels {payload['kernels']['speedup_median']}x"
         f" ({payload['kernels']['backend']}),"
         f" serve warm/cold {payload['serve']['warm_over_cold_throughput']}x"
-        f" (dedup {payload['serve']['dedup']['dedup_hit_rate']:.2f})"
+        f" (dedup {payload['serve']['dedup']['dedup_hit_rate']:.2f}),"
+        f" fastpath mem/disk p50"
+        f" {payload['serve_fastpath']['warm_memory']['mem_over_disk_p50']}"
+        f" batched cold"
+        f" {payload['serve_fastpath']['batched_cold']['batched_over_unbatched_throughput']}x"
     )
     return 0
 

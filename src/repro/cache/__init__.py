@@ -18,10 +18,12 @@ from repro.cache.keys import (
     mask_payload,
     network_payload,
 )
+from repro.cache.memtier import DEFAULT_MEM_MB, MemoryTier
 from repro.cache.store import (
     ENV_DIR,
     ENV_ENABLE,
     ENV_MAX_ENTRIES,
+    ENV_MEM_MB,
     ResultCache,
     active_cache,
     cache_enabled,
@@ -32,9 +34,12 @@ from repro.cache.store import (
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "DEFAULT_MEM_MB",
     "ENV_DIR",
     "ENV_ENABLE",
     "ENV_MAX_ENTRIES",
+    "ENV_MEM_MB",
+    "MemoryTier",
     "ResultCache",
     "active_cache",
     "cache_enabled",

@@ -21,6 +21,10 @@ to worker processes:
   ``$XDG_CACHE_HOME/repro-flexflow`` or ``~/.cache/repro-flexflow``).
 * ``REPRO_CACHE_MAX_ENTRIES`` — optional positive bound; writes beyond it
   evict oldest-mtime entries first.
+* ``REPRO_CACHE_MEM_MB`` — byte budget (MiB) for the in-memory hot tier
+  holding decoded entries in front of the disk store (default
+  :data:`repro.cache.memtier.DEFAULT_MEM_MB`; ``0`` disables the tier
+  so every hit pays the disk read).
 
 Hit/miss/corrupt/evict counts flow into the :mod:`repro.obs` metrics
 registry (``cache.lookups{section,outcome}``, ``cache.writes{section}``,
@@ -41,6 +45,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 from repro.cache.keys import CACHE_SCHEMA_VERSION
+from repro.cache.memtier import DEFAULT_MEM_MB, MemoryTier
 from repro.chaos import chaos_point, chaos_sleep
 from repro.errors import ConfigurationError
 from repro.fsutil import atomic_write_text
@@ -59,9 +64,10 @@ DEFAULT_SUBDIR = "repro-flexflow"
 ENV_ENABLE = "REPRO_CACHE"
 ENV_DIR = "REPRO_CACHE_DIR"
 ENV_MAX_ENTRIES = "REPRO_CACHE_MAX_ENTRIES"
+ENV_MEM_MB = "REPRO_CACHE_MEM_MB"
 
-#: Per-process memo bound (entries), independent of the on-disk store.
-_MEMO_MAX = 4096
+#: Sentinel distinguishing "not buffered" from a buffered ``None``.
+_MISSING = object()
 
 #: Corrupt entries are moved (never deleted) into this dot-directory,
 #: which every store walk skips; operators can inspect or purge it.
@@ -76,9 +82,20 @@ _FLUSH_SEQUENCE = itertools.count()
 
 
 class ResultCache:
-    """One on-disk store plus a bounded in-process memo in front of it."""
+    """One on-disk store plus a byte-budgeted memory tier in front of it.
 
-    def __init__(self, root: Path, *, max_entries: Optional[int] = None):
+    ``mem_budget_mb=None`` resolves the budget from ``REPRO_CACHE_MEM_MB``
+    at construction (default :data:`~repro.cache.memtier.DEFAULT_MEM_MB`);
+    ``0`` disables the tier so every hit pays the disk read.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        *,
+        max_entries: Optional[int] = None,
+        mem_budget_mb: Optional[int] = None,
+    ):
         if max_entries is not None and max_entries <= 0:
             raise ConfigurationError(
                 f"cache max_entries must be positive, got {max_entries}"
@@ -86,7 +103,9 @@ class ResultCache:
         self.root = Path(root)
         self._root_str = str(self.root)
         self.max_entries = max_entries
-        self._memo: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+        if mem_budget_mb is None:
+            mem_budget_mb = _mem_mb_from_env()
+        self.mem = MemoryTier(mem_budget_mb * 1024 * 1024)
         # Active deferral buffer (see :meth:`deferred`); ``None`` means
         # puts publish eagerly.  The depth counter makes nesting safe.
         self._deferred: "Optional[OrderedDict[Tuple[str, str], Any]]" = None
@@ -130,6 +149,9 @@ class ResultCache:
         mortems.  Falls back to deletion if the move itself fails; never
         raises.
         """
+        # The memory tier must never outlive the disk entry it mirrors:
+        # drop it first so a concurrent reader re-reads (and heals) disk.
+        self.mem.invalidate(section, path.stem)
         dest = self.quarantine_path(section) / path.name
         try:
             dest.parent.mkdir(parents=True, exist_ok=True)
@@ -146,12 +168,21 @@ class ResultCache:
 
     def get(self, section: str, key: str) -> Optional[Any]:
         """The stored payload, or ``None`` on miss/corruption (never raises)."""
-        memo_key = (section, key)
-        if memo_key in self._memo:
-            self._memo.move_to_end(memo_key)
+        hit, payload = self.mem.get(section, key)
+        if hit:
             REGISTRY.counter("cache.lookups", section=section, outcome="hit").inc()
             REGISTRY.counter("cache.memo_hits", section=section).inc()
-            return self._memo[memo_key]
+            return payload
+        if self._deferred is not None:
+            # A put buffered in this very block must stay visible to its
+            # own process even when the memory tier is disabled.
+            buffered = self._deferred.get((section, key), _MISSING)
+            if buffered is not _MISSING:
+                REGISTRY.counter(
+                    "cache.lookups", section=section, outcome="hit"
+                ).inc()
+                REGISTRY.counter("cache.memo_hits", section=section).inc()
+                return buffered
         chaos_sleep("slow_io")
         path_str = self._entry_path_str(section, key)
         try:
@@ -170,7 +201,7 @@ class ResultCache:
             self._quarantine(Path(path_str), section)
             return None
         REGISTRY.counter("cache.lookups", section=section, outcome="hit").inc()
-        self._remember(memo_key, entry["payload"])
+        self.mem.put(section, key, entry["payload"])
         return entry["payload"]
 
     def put(self, section: str, key: str, payload: Any) -> None:
@@ -182,7 +213,7 @@ class ResultCache:
         """
         if self._deferred is not None:
             self._deferred[(section, key)] = payload
-            self._remember((section, key), payload)
+            self.mem.put(section, key, payload)
             return
         self._write_entry(section, key, payload)
         if self.max_entries is not None:
@@ -217,7 +248,7 @@ class ResultCache:
             except OSError:
                 pass
         REGISTRY.counter("cache.writes", section=section).inc()
-        self._remember((section, key), payload)
+        self.mem.put(section, key, payload)
 
     @contextmanager
     def deferred(self):
@@ -390,6 +421,7 @@ class ResultCache:
             "entries": total_entries,
             "bytes": total_bytes,
             "sections": sections,
+            "memory": self.mem.stats(),
         }
 
     def verify(self, *, repair: bool = False) -> Dict[str, int]:
@@ -429,16 +461,10 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
-        self._memo.clear()
+        self.mem.clear()
         return removed
 
     # -- internals ------------------------------------------------------------
-
-    def _remember(self, memo_key: Tuple[str, str], payload: Any) -> None:
-        self._memo[memo_key] = payload
-        self._memo.move_to_end(memo_key)
-        while len(self._memo) > _MEMO_MAX:
-            self._memo.popitem(last=False)
 
     @staticmethod
     def _decode_entry(text: str, section: str, key: str) -> Optional[Dict[str, Any]]:
@@ -492,7 +518,7 @@ class ResultCache:
 
 # -- the ambient cache handle -------------------------------------------------
 
-_instances: Dict[Tuple[str, Optional[int]], ResultCache] = {}
+_instances: Dict[Tuple[str, Optional[int], int], ResultCache] = {}
 
 
 def cache_enabled() -> bool:
@@ -538,11 +564,31 @@ def _max_entries_from_env() -> Optional[int]:
     return value
 
 
+def _mem_mb_from_env() -> int:
+    """The hot-tier budget in MiB (``0`` disables the tier)."""
+    raw = os.environ.get(ENV_MEM_MB)
+    if raw is None or not raw.strip():
+        return DEFAULT_MEM_MB
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{ENV_MEM_MB} must be a non-negative integer (MiB), got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ConfigurationError(
+            f"{ENV_MEM_MB} must be a non-negative integer (MiB), got {raw!r}"
+        )
+    return value
+
+
 #: Raw environment tuple -> resolved ``(root, max_entries)`` or ``None``
 #: (disabled).  The environment is still consulted on every call — only
 #: the *parsing* (path resolution, int validation) is memoized, so tests
 #: and subprocesses can flip the variables without reimporting.
-_resolved_env: Dict[Tuple[Optional[str], ...], Optional[Tuple[str, Optional[int]]]] = {}
+_resolved_env: Dict[
+    Tuple[Optional[str], ...], Optional[Tuple[str, Optional[int], int]]
+] = {}
 
 
 def active_cache() -> Optional[ResultCache]:
@@ -557,6 +603,7 @@ def active_cache() -> Optional[ResultCache]:
         os.environ.get(ENV_ENABLE),
         os.environ.get(ENV_DIR),
         os.environ.get(ENV_MAX_ENTRIES),
+        os.environ.get(ENV_MEM_MB),
         os.environ.get("XDG_CACHE_HOME"),
         os.environ.get("HOME"),
     )
@@ -566,7 +613,11 @@ def active_cache() -> Optional[ResultCache]:
         resolved = (
             None
             if not cache_enabled()
-            else (str(cache_root()), _max_entries_from_env())
+            else (
+                str(cache_root()),
+                _max_entries_from_env(),
+                _mem_mb_from_env(),
+            )
         )
         if len(_resolved_env) > 64:
             _resolved_env.clear()
@@ -575,7 +626,11 @@ def active_cache() -> Optional[ResultCache]:
         return None
     instance = _instances.get(resolved)
     if instance is None:
-        instance = ResultCache(Path(resolved[0]), max_entries=resolved[1])
+        instance = ResultCache(
+            Path(resolved[0]),
+            max_entries=resolved[1],
+            mem_budget_mb=resolved[2],
+        )
         _instances[resolved] = instance
     return instance
 

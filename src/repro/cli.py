@@ -201,8 +201,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or maintain the persistent result cache"
     )
     cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
-    cache_sub.add_parser(
+    stats_cmd = cache_sub.add_parser(
         "stats", help="entry/byte counts per section and configuration"
+    )
+    stats_cmd.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (includes memory-tier counters)",
     )
     cache_sub.add_parser("clear", help="delete every cached entry")
     verify_cmd = cache_sub.add_parser(
@@ -268,6 +272,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
         help="on SIGTERM or POST /drain, how long to wait for in-flight"
         " requests before exiting (default 10)",
+    )
+    serve_cmd.add_argument(
+        "--batch-window-ms", type=float, default=2.0, metavar="MS",
+        help="how long a cold batchable request waits for compatible"
+        " requests to fuse with (0 disables dynamic batching; default 2)",
+    )
+    serve_cmd.add_argument(
+        "--batch-max", type=int, default=16,
+        help="most requests one fused batch dispatch may carry"
+        " (default 16)",
     )
 
     faults = sub.add_parser(
@@ -690,6 +704,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.cache_command == "stats":
         stats = store.stats()
         state = "on" if cache_enabled() else "off"
+        if args.json:
+            import json
+
+            from repro.obs.metrics import REGISTRY
+
+            snapshot = REGISTRY.snapshot()
+            stats["enabled"] = state == "on"
+            stats["memory"]["counters"] = {
+                name: value
+                for name, value in sorted(snapshot.items())
+                if name.startswith("cache.mem_")
+            }
+            print(json.dumps(stats, indent=2))
+            return 0
         print(f"root:    {stats['root']}")
         print(f"enabled: {state}")
         print(f"schema:  {stats['schema']}")
@@ -699,6 +727,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 f"  {section:<18} {bucket['entries']:>6} entries"
                 f" {bucket['bytes']:>10} bytes"
             )
+        memory = stats["memory"]
+        budget_mb = memory["budget_bytes"] / (1024 * 1024)
+        print(
+            f"memory tier:       {memory['entries']:>6} entries"
+            f" {memory['bytes']:>10} bytes"
+            f" (budget {budget_mb:.0f} MiB, {memory['shards']} shards)"
+        )
         return 0
     if args.cache_command == "clear":
         removed = store.clear()
@@ -732,10 +767,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.experiments.runner import RunPolicy
     from repro.serve.app import ServeApp, run_app
+    from repro.serve.batcher import BatchPolicy
     from repro.serve.resilience import ResiliencePolicy
 
     if args.jobs < 0:
         raise ConfigurationError(f"jobs must be >= 0, got {args.jobs}")
+    if args.batch_window_ms < 0:
+        raise ConfigurationError(
+            f"batch-window-ms must be >= 0, got {args.batch_window_ms}"
+        )
+    if args.batch_max < 1:
+        raise ConfigurationError(
+            f"batch-max must be >= 1, got {args.batch_max}"
+        )
     policy = RunPolicy(
         jobs=max(1, args.jobs), timeout_s=args.timeout,
         retries=args.retries, backoff_s=args.backoff,
@@ -748,7 +792,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout_s=args.drain_timeout,
         grace_factor=args.grace_factor,
     )
-    app = ServeApp(policy, jobs=args.jobs, resilience=resilience)
+    batching = BatchPolicy(
+        window_ms=args.batch_window_ms, max_batch=args.batch_max
+    )
+    app = ServeApp(
+        policy, jobs=args.jobs, resilience=resilience, batching=batching
+    )
     try:
         asyncio.run(run_app(app, args.host, args.port))
     except KeyboardInterrupt:

@@ -32,14 +32,17 @@ import json
 import signal
 import sys
 import time
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs
 
 from repro.cache import active_cache
+from repro.cache.memtier import payload_digest
 from repro.errors import ConfigurationError, ReproError, SpecificationError
 from repro.experiments.runner import RunPolicy
 from repro.obs.events import event_record
 from repro.obs.metrics import REGISTRY
+from repro.serve.batcher import BatchPolicy, BatchScheduler
 from repro.serve.coalescer import Coalescer
 from repro.serve.pool import ProgressSink, WorkerPool, _noop_sink
 from repro.serve.resilience import (
@@ -58,6 +61,11 @@ MAX_BODY = 2 * 1024 * 1024
 
 #: Idle keep-alive connections are closed after this many seconds.
 IDLE_TIMEOUT_S = 60.0
+
+#: Hot-response entries retained (LRU): pre-encoded cache-hit response
+#: bytes keyed by the raw request body, validated against the memory
+#: tier's payload digest on every hit.
+HOT_RESPONSES_MAX = 512
 
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -89,12 +97,21 @@ class ServeApp:
         *,
         jobs: int = 2,
         resilience: Optional[ResiliencePolicy] = None,
+        batching: Optional[BatchPolicy] = None,
     ) -> None:
         self.coalescer = Coalescer()
         self.resilience = ServeResilience(resilience or ResiliencePolicy())
         self.pool = WorkerPool(
             policy, jobs=jobs,
             grace_factor=self.resilience.policy.grace_factor,
+        )
+        self.batcher = BatchScheduler(
+            batching or BatchPolicy(), self._dispatch
+        )
+        # Raw body bytes -> (kind, serve key, payload digest, response
+        # body bytes): the warm fast path.  Event-loop-only access.
+        self._hot_responses: "OrderedDict[Tuple[str, bytes], Tuple[str, str, bytes]]" = (
+            OrderedDict()
         )
         self.drained = asyncio.Event()
         self._drain_task: Optional[asyncio.Task] = None
@@ -157,6 +174,24 @@ class ServeApp:
         finally:
             self.resilience.exit(request.kind)
 
+    async def _dispatch(
+        self, request: ComputeRequest, progress: ProgressSink
+    ) -> Dict[str, Any]:
+        """One actual pool execution (singleton or fused batch).
+
+        This is the only path that bumps ``serve.backend_computations``,
+        so the counter measures real backend dispatches: N coalesced
+        waiters count once, and K batched requests count once under
+        ``kind="batch"``.
+        """
+        REGISTRY.counter(
+            "serve.backend_computations", kind=request.kind
+        ).inc()
+        progress(
+            event_record("scheduled", "serve", {"label": request.label})
+        )
+        return await self.pool.run(request, progress)
+
     async def _serve_admitted(
         self, request: ComputeRequest, progress: ProgressSink
     ) -> Dict[str, Any]:
@@ -172,17 +207,13 @@ class ServeApp:
                     )
                     return {"source": "cache", "result": stored, "spans": []}
             # The breaker gates backend computations only — cache hits
-            # stay served while a failing backend cools off.
+            # stay served while a failing backend cools off.  Each
+            # member of a fused batch passes (and scores) its own kind's
+            # breaker, so batching never launders backend failures.
             breaker = self.resilience.breaker(request.kind)
             breaker.acquire()
-            REGISTRY.counter(
-                "serve.backend_computations", kind=request.kind
-            ).inc()
-            progress(
-                event_record("scheduled", "serve", {"label": request.label})
-            )
             try:
-                envelope = await self.pool.run(request, progress)
+                envelope = await self.batcher.submit(request, progress)
             except asyncio.CancelledError:
                 breaker.abort()  # no verdict from a cancelled attempt
                 raise
@@ -191,7 +222,13 @@ class ServeApp:
                 raise
             breaker.record_success()
             if cache is not None:
-                cache.put("serve", request.key, envelope["result"])
+                # Every point lands under its own content-addressed key
+                # — batched or not — so future singletons still hit.
+                # Deferred: the publish IO runs on the cache's flush
+                # thread, not the event loop (the memory tier makes the
+                # entry visible to this process immediately).
+                with cache.deferred():
+                    cache.put("serve", request.key, envelope["result"])
             REGISTRY.counter("serve.results", source="computed").inc()
             return {"source": "computed", **envelope}
 
@@ -330,15 +367,22 @@ class ServeApp:
             ):
                 if method != "POST":
                     raise _HttpError(405, "use POST")
-                request = parse_request(
-                    path.rsplit("/", 1)[1], self._decode_body(body)
-                )
-                if query.get("stream", ["0"])[-1] in ("1", "true"):
+                kind = path.rsplit("/", 1)[1]
+                streaming = query.get("stream", ["0"])[-1] in ("1", "true")
+                if not streaming and await self._serve_hot(
+                    kind, body, writer, keep_alive=keep_alive
+                ):
+                    return keep_alive
+                request = parse_request(kind, self._decode_body(body))
+                if streaming:
                     await self._respond_sse(writer, request)
                     return False  # SSE responses close the connection
                 payload = await self.serve_request(request)
-                await self._write_json(
-                    writer, 200, payload, keep_alive=keep_alive
+                encoded = json.dumps(payload).encode("utf-8")
+                if payload.get("source") == "cache":
+                    self._hot_store(kind, body, request.key, encoded)
+                await self._write_raw(
+                    writer, 200, encoded, keep_alive=keep_alive
                 )
                 return keep_alive
             if path == "/v1/sweep":
@@ -383,6 +427,54 @@ class ServeApp:
             )
             return False
 
+    # -- the hot response path -----------------------------------------------
+
+    async def _serve_hot(
+        self, kind: str, body: bytes, writer: asyncio.StreamWriter,
+        *, keep_alive: bool,
+    ) -> bool:
+        """Replay a pre-encoded cache-hit response for a repeated body.
+
+        The stored bytes were produced by a normal cache-hit response for
+        this exact body, and are replayed only while the memory tier
+        still holds the same payload (digest match) — a quarantined,
+        evicted, or replaced cache entry silently falls back to the full
+        path.  Skips body parsing, key hashing, coalescing, and response
+        encoding: the sub-millisecond warm path.
+        """
+        hot_key = (kind, body)
+        entry = self._hot_responses.get(hot_key)
+        if entry is None:
+            return False
+        serve_key, digest, encoded = entry
+        cache = active_cache()
+        if cache is None or cache.mem.digest("serve", serve_key) != digest:
+            self._hot_responses.pop(hot_key, None)
+            return False
+        self._hot_responses.move_to_end(hot_key)
+        REGISTRY.counter("serve.requests", kind=kind).inc()
+        self.resilience.enter(kind)  # draining/shed still refuse here
+        try:
+            REGISTRY.counter("serve.results", source="cache").inc()
+            REGISTRY.counter("serve.hot_path", kind=kind).inc()
+            await self._write_raw(writer, 200, encoded, keep_alive=keep_alive)
+        finally:
+            self.resilience.exit(kind)
+        return True
+
+    def _hot_store(
+        self, kind: str, body: bytes, serve_key: str, encoded: bytes
+    ) -> None:
+        cache = active_cache()
+        if cache is None:
+            return
+        digest = cache.mem.digest("serve", serve_key)
+        if digest is None:
+            return  # tier disabled (or entry already evicted): no hot path
+        self._hot_responses[(kind, body)] = (serve_key, digest, encoded)
+        while len(self._hot_responses) > HOT_RESPONSES_MAX:
+            self._hot_responses.popitem(last=False)
+
     @staticmethod
     def _decode_body(body: bytes) -> Any:
         try:
@@ -390,8 +482,9 @@ class ServeApp:
         except (ValueError, UnicodeDecodeError) as exc:
             raise _HttpError(400, f"body is not valid JSON: {exc}") from exc
 
-    @staticmethod
+    @classmethod
     async def _write_json(
+        cls,
         writer: asyncio.StreamWriter,
         status: int,
         payload: Dict[str, Any],
@@ -399,7 +492,20 @@ class ServeApp:
         keep_alive: bool,
         extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        await cls._write_raw(
+            writer, status, json.dumps(payload).encode("utf-8"),
+            keep_alive=keep_alive, extra_headers=extra_headers,
+        )
+
+    @staticmethod
+    async def _write_raw(
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        *,
+        keep_alive: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         connection = "keep-alive" if keep_alive else "close"
         extras = "".join(
             f"{name}: {value}\r\n"

@@ -53,14 +53,9 @@ def _exec_map(spec: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-def _exec_simulate(spec: Dict[str, Any]) -> Dict[str, Any]:
-    from repro.accelerators import make_accelerator
-
-    network = _network_from_spec(spec)
-    dim, arch = spec["dim"], spec["arch"]
-    config = ArchConfig().scaled_to(dim)
-    accelerator = make_accelerator(arch, config, workload_name=network.name)
-    result = accelerator.simulate_network(network)
+def _simulate_payload(network: Network, arch: str, dim: int, result) -> Dict[str, Any]:
+    """One simulate response body (shared by singleton and fused paths,
+    so a batched per-point payload is byte-identical to a singleton's)."""
     return {
         "workload": network.name,
         "arch": arch,
@@ -75,23 +70,31 @@ def _exec_simulate(spec: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-def _exec_dse(spec: Dict[str, Any]) -> Dict[str, Any]:
-    from repro.arch.area import area_report
-    from repro.experiments.common import evaluate_sweep
+def _exec_simulate(spec: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.accelerators import make_accelerator
 
     network = _network_from_spec(spec)
-    dims = spec["dims"]
+    dim, arch = spec["dim"], spec["arch"]
+    config = ArchConfig().scaled_to(dim)
+    accelerator = make_accelerator(arch, config, workload_name=network.name)
+    return _simulate_payload(network, arch, dim, accelerator.simulate_network(network))
+
+
+def _dse_payload(network: Network, dims, results) -> Dict[str, Any]:
+    """One dse response body from pre-evaluated per-dim results.
+
+    The best-dim scan walks ``dims`` in request order with a strict
+    ``>``, exactly like the pre-fusion code, so a request's payload does
+    not depend on which other requests it was batched with.
+    """
+    from repro.arch.area import area_report
+
     base = ArchConfig()
-    per_dim = [(dim, base.scaled_to(dim)) for dim in dims]
-    results = evaluate_sweep(
-        f"serve:{network.name}",
-        [(dim, "flexflow", network, cfg) for dim, cfg in per_dim],
-    )
     rows = []
     best_dim, best_density = None, -1.0
-    for dim, cfg in per_dim:
+    for dim in dims:
         result = results[dim]
-        area = area_report("flexflow", cfg).total_mm2
+        area = area_report("flexflow", base.scaled_to(dim)).total_mm2
         density = result.gops / area
         rows.append(
             {
@@ -105,6 +108,63 @@ def _exec_dse(spec: Dict[str, Any]) -> Dict[str, Any]:
         if density > best_density:
             best_dim, best_density = dim, density
     return {"workload": network.name, "rows": rows, "best_dim": best_dim}
+
+
+def _dse_results(network: Network, dims) -> Dict[int, Any]:
+    """Evaluate the distinct dims of a dse request set in one sweep."""
+    from repro.experiments.common import evaluate_sweep
+
+    base = ArchConfig()
+    return evaluate_sweep(
+        f"serve:{network.name}",
+        [(dim, "flexflow", network, base.scaled_to(dim)) for dim in sorted(set(dims))],
+    )
+
+
+def _exec_dse(spec: Dict[str, Any]) -> Dict[str, Any]:
+    network = _network_from_spec(spec)
+    dims = spec["dims"]
+    return _dse_payload(network, dims, _dse_results(network, dims))
+
+
+def _exec_batch(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """One fused dispatch for N compatible requests (the dynamic batcher).
+
+    ``spec`` carries the member kind plus every member's singleton spec;
+    all members share one network (and arch, for simulate) and differ in
+    dims/grid points — exactly the axes :func:`evaluate_sweep` takes in
+    one shot.  The union of the members' points is evaluated once, then
+    each member's payload is rebuilt through the same helpers the
+    singleton executors use, so per-point payloads are byte-identical to
+    what each request would have produced alone.
+    """
+    from repro.experiments.common import evaluate_sweep
+
+    kind = spec["kind"]
+    members = spec["members"]
+    network = _network_from_spec(members[0])
+    if kind == "dse":
+        union = sorted({dim for member in members for dim in member["dims"]})
+        results = _dse_results(network, union)
+        payloads = [
+            _dse_payload(network, member["dims"], results)
+            for member in members
+        ]
+    elif kind == "simulate":
+        arch = members[0]["arch"]
+        base = ArchConfig()
+        union = sorted({member["dim"] for member in members})
+        results = evaluate_sweep(
+            f"serve:{network.name}",
+            [(dim, arch, network, base.scaled_to(dim)) for dim in union],
+        )
+        payloads = [
+            _simulate_payload(network, arch, member["dim"], results[member["dim"]])
+            for member in members
+        ]
+    else:
+        raise SpecificationError(f"kind {kind!r} is not batchable")
+    return {"results": payloads}
 
 
 def _exec_dse_per_layer(spec: Dict[str, Any]) -> Dict[str, Any]:
@@ -122,6 +182,7 @@ _EXECUTORS = {
     "simulate": _exec_simulate,
     "dse": _exec_dse,
     "dse_per_layer": _exec_dse_per_layer,
+    "batch": _exec_batch,
 }
 
 

@@ -68,7 +68,21 @@ def _noop_sink(record: Dict[str, Any]) -> None:
 
 
 def _spawn_worker_main(conn) -> None:
-    """One spawn worker's loop: ``(task_id, kind, spec)`` in, reply out."""
+    """One spawn worker's loop: ``(task_id, kind, spec)`` in, reply out.
+
+    Before serving, the worker eagerly loads the compiled kernel backend
+    (numba/cext builds happen here, at pool start) so the first cold
+    request does not pay the load, and reports how long it took via a
+    ``warm`` message (the ``serve.worker_warm_ms`` gauge).
+    """
+    try:
+        from repro.kernels import active_kernels
+
+        started = time.perf_counter()
+        active_kernels()
+        conn.send((None, "warm", (time.perf_counter() - started) * 1000.0))
+    except Exception:
+        pass  # a worker that cannot warm still serves (numpy fallback)
     while True:
         try:
             message = conn.recv()
@@ -159,6 +173,18 @@ class _ThreadWorker:
         self._thread.start()
 
     def _loop(self) -> None:
+        try:
+            # Same eager warm-up as a spawn worker; the kernel load is
+            # process-memoized, so only the first inline worker pays it.
+            from repro.kernels import active_kernels
+
+            started = time.perf_counter()
+            active_kernels()
+            self._post(
+                self, (None, "warm", (time.perf_counter() - started) * 1000.0)
+            )
+        except Exception:
+            pass
         while True:
             message = self._queue.get()
             if message is None:
@@ -335,6 +361,12 @@ class WorkerPool:
                 self._retire(worker, "pipe closed unexpectedly")
             return
         task_id, status, data = payload
+        if status == "warm":
+            # Pool-start kernel preload report.  The worker was never
+            # checked out for this message, so do NOT release it — that
+            # would enqueue an idle worker twice.
+            REGISTRY.gauge("serve.worker_warm_ms").set(data)
+            return
         fut = self._pending.pop(task_id, None)
         if fut is not None:
             if not fut.done():

@@ -1,0 +1,214 @@
+"""The in-memory hot tier: budget, eviction, digests, store integration.
+
+The tier fronts the content-addressed disk store with decoded payloads
+(:mod:`repro.cache.memtier`).  These tests pin its three contracts —
+byte budget with LRU eviction, digest-validated invalidation, and the
+parity requirement that a memory-tier hit returns *bit-identical* data
+to the disk-tier read it replaced — plus the store-level interactions:
+deferred-put visibility and quarantine dropping resident entries.
+"""
+
+import json
+
+import pytest
+
+from repro.cache import (
+    ResultCache,
+    canonical_json,
+    hash_payload,
+)
+from repro.cache.memtier import (
+    ENTRY_OVERHEAD_BYTES,
+    MemoryTier,
+    payload_digest,
+)
+from repro.errors import ConfigurationError
+from repro.obs.metrics import REGISTRY
+
+
+def counter_value(name, **labels):
+    return REGISTRY.counter(name, **labels).value
+
+
+class TestMemoryTier:
+    def test_round_trip_and_hit_miss_counters(self):
+        tier = MemoryTier(1024 * 1024, shards=1)
+        hits = counter_value("cache.mem_hits", section="unit")
+        misses = counter_value("cache.mem_misses", section="unit")
+        assert tier.get("unit", "k") == (False, None)
+        tier.put("unit", "k", {"rows": [1, 2]})
+        assert tier.get("unit", "k") == (True, {"rows": [1, 2]})
+        assert counter_value("cache.mem_hits", section="unit") == hits + 1
+        assert counter_value("cache.mem_misses", section="unit") == misses + 1
+
+    def test_stored_none_is_a_hit(self):
+        tier = MemoryTier(1024, shards=1)
+        tier.put("unit", "k", None)
+        assert tier.get("unit", "k") == (True, None)
+
+    def test_byte_budget_evicts_lru(self):
+        payload = {"blob": "x" * 256}
+        entry_bytes = len(
+            json.dumps(payload, separators=(",", ":"))
+        ) + ENTRY_OVERHEAD_BYTES
+        tier = MemoryTier(entry_bytes * 2, shards=1)
+        evictions = counter_value("cache.mem_evictions")
+        tier.put("unit", "a", payload)
+        tier.put("unit", "b", payload)
+        tier.get("unit", "a")  # refresh: "b" becomes the LRU victim
+        tier.put("unit", "c", payload)
+        assert tier.get("unit", "a")[0] is True
+        assert tier.get("unit", "b")[0] is False  # evicted
+        assert tier.get("unit", "c")[0] is True
+        assert counter_value("cache.mem_evictions") == evictions + 1
+        assert tier.stats()["bytes"] <= tier.budget_bytes
+
+    def test_oversized_payload_skips_the_tier(self):
+        tier = MemoryTier(512, shards=1)
+        tier.put("unit", "big", {"blob": "x" * 4096})
+        assert tier.get("unit", "big")[0] is False
+        assert tier.stats()["entries"] == 0
+
+    def test_unserializable_payload_skips_the_tier(self):
+        tier = MemoryTier(1024, shards=1)
+        tier.put("unit", "obj", {"fn": object()})
+        assert tier.get("unit", "obj")[0] is False
+
+    def test_changed_payload_replaces_and_counts_invalidation(self):
+        tier = MemoryTier(1024 * 1024, shards=1)
+        invalidations = counter_value("cache.mem_invalidations")
+        tier.put("unit", "k", {"v": 1})
+        first = tier.digest("unit", "k")
+        tier.put("unit", "k", {"v": 1})  # same bytes: no invalidation
+        assert counter_value("cache.mem_invalidations") == invalidations
+        tier.put("unit", "k", {"v": 2})
+        assert counter_value("cache.mem_invalidations") == invalidations + 1
+        assert tier.digest("unit", "k") != first
+        assert tier.get("unit", "k") == (True, {"v": 2})
+
+    def test_digest_matches_payload_digest_helper(self):
+        tier = MemoryTier(1024 * 1024, shards=1)
+        tier.put("unit", "k", {"v": [1, 2, 3]})
+        assert tier.digest("unit", "k") == payload_digest({"v": [1, 2, 3]})
+        assert tier.digest("unit", "absent") is None
+
+    def test_invalidate_drops_the_entry(self):
+        tier = MemoryTier(1024 * 1024, shards=1)
+        tier.put("unit", "k", {"v": 1})
+        assert tier.invalidate("unit", "k") is True
+        assert tier.invalidate("unit", "k") is False
+        assert tier.get("unit", "k")[0] is False
+        assert tier.stats() == {
+            "budget_bytes": tier.budget_bytes,
+            "entries": 0,
+            "bytes": 0,
+            "shards": 1,
+        }
+
+    def test_zero_budget_disables_everything(self):
+        tier = MemoryTier(0)
+        assert tier.enabled is False
+        tier.put("unit", "k", {"v": 1})
+        assert tier.get("unit", "k") == (False, None)
+        assert tier.digest("unit", "k") is None
+
+
+class TestStoreIntegration:
+    def test_memory_hit_is_bit_identical_to_disk_hit(self, tmp_path):
+        """The parity requirement: force both tiers over the same keys
+        and compare canonical bytes."""
+        payload = {"rows": [1.5, 2.25], "meta": {"zeta": 1, "alpha": 2}}
+        key = hash_payload("unit", {"q": 1})
+        ResultCache(tmp_path, mem_budget_mb=8).put("unit", key, payload)
+
+        disk_only = ResultCache(tmp_path, mem_budget_mb=0)
+        via_disk = disk_only.get("unit", key)
+
+        tiered = ResultCache(tmp_path, mem_budget_mb=8)
+        first = tiered.get("unit", key)  # disk read, admits to memory
+        assert tiered.mem.digest("unit", key) is not None
+        second = tiered.get("unit", key)  # memory hit
+        assert canonical_json(via_disk) == canonical_json(payload)
+        assert canonical_json(first) == canonical_json(payload)
+        assert canonical_json(second) == canonical_json(payload)
+        # Key order is part of the contract (report columns derive from
+        # it), so compare plain dumps too, not just the canonical form.
+        assert json.dumps(second) == json.dumps(via_disk)
+
+    def test_disk_tier_never_consulted_on_memory_hit(self, tmp_path):
+        cache = ResultCache(tmp_path, mem_budget_mb=8)
+        key = hash_payload("unit", {"q": 2})
+        cache.put("unit", key, {"v": 1})
+        cache._entry_path("unit", key).unlink()  # disk gone, memory holds
+        assert cache.get("unit", key) == {"v": 1}
+
+    def test_deferred_put_visible_with_tier_disabled(self, tmp_path):
+        """The deferral buffer must keep same-process visibility even
+        when ``REPRO_CACHE_MEM_MB=0`` turns the memory tier off."""
+        cache = ResultCache(tmp_path, mem_budget_mb=0)
+        key = hash_payload("unit", {"q": 3})
+        with cache.deferred():
+            cache.put("unit", key, {"v": 3})
+            assert cache.get("unit", key) == {"v": 3}
+
+    def test_repair_quarantine_drops_the_resident_entry(self, tmp_path):
+        """A corrupt disk entry must never keep serving from memory:
+        quarantining it invalidates the resident copy too."""
+        cache = ResultCache(tmp_path, mem_budget_mb=8)
+        key = hash_payload("unit", {"q": 4})
+        cache.put("unit", key, {"v": 4})
+        assert cache.get("unit", key) == {"v": 4}  # resident
+        cache._entry_path("unit", key).write_text("{corrupt")
+        invalidations = counter_value("cache.mem_invalidations")
+        report = cache.verify(repair=True)
+        assert report["corrupt"] == 1 and report["quarantined"] == 1
+        assert counter_value("cache.mem_invalidations") == invalidations + 1
+        assert cache.get("unit", key) is None  # memory did not mask it
+
+    def test_stats_reports_the_memory_tier(self, tmp_path):
+        cache = ResultCache(tmp_path, mem_budget_mb=8)
+        key = hash_payload("unit", {"q": 5})
+        cache.put("unit", key, {"v": 5})
+        stats = cache.stats()
+        assert stats["memory"]["budget_bytes"] == 8 * 1024 * 1024
+        assert stats["memory"]["entries"] == 1
+        assert stats["memory"]["bytes"] > 0
+
+    def test_env_budget_validation(self, monkeypatch):
+        import repro.cache.store as store_mod
+
+        monkeypatch.setenv(store_mod.ENV_MEM_MB, "16")
+        assert store_mod._mem_mb_from_env() == 16
+        monkeypatch.setenv(store_mod.ENV_MEM_MB, "")
+        assert store_mod._mem_mb_from_env() == store_mod.DEFAULT_MEM_MB
+        for bad in ("-1", "many"):
+            monkeypatch.setenv(store_mod.ENV_MEM_MB, bad)
+            with pytest.raises(ConfigurationError):
+                store_mod._mem_mb_from_env()
+
+
+class TestCliStats:
+    def test_stats_json_includes_memory_counters(
+        self, cache_dir, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_MEM_MB", "8")
+        from repro.cache import active_cache, reset_cache_handles
+        from repro.cli import main
+
+        reset_cache_handles()
+        cache = active_cache()
+        key = hash_payload("unit", {"q": 6})
+        cache.put("unit", key, {"v": 6})
+        cache.get("unit", key)
+        assert main(["cache", "stats", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["enabled"] is True
+        assert stats["entries"] >= 1  # the disk entry written above
+        assert stats["memory"]["budget_bytes"] == 8 * 1024 * 1024
+        counters = stats["memory"]["counters"]
+        assert counters and all(
+            name.startswith("cache.mem_") for name in counters
+        )
+        # The hit recorded on the live handle above is in the registry.
+        assert any(name.startswith("cache.mem_hits") for name in counters)
+        reset_cache_handles()

@@ -79,11 +79,12 @@ def make_server(serve_cache):
     """Factory for in-process servers with custom run/resilience policies."""
     handles = []
 
-    def make(policy=None, *, jobs=0, resilience=None):
+    def make(policy=None, *, jobs=0, resilience=None, batching=None):
         app = ServeApp(
             policy or RunPolicy(jobs=1, retries=0),
             jobs=jobs,
             resilience=resilience,
+            batching=batching,
         )
         handle = ServerHandle(app).start()
         handles.append(handle)

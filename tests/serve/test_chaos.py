@@ -231,6 +231,16 @@ class TestCacheSelfHealing:
         disk.  The next read detects it, moves it to the quarantine (for
         post mortems — never deleted), and recomputes: the client sees
         two clean 200s, not a decode error."""
+        from repro.cache import active_cache
+        from repro.dataflow import map_network
+        from repro.nn import get_workload
+
+        # Warm the mapper's caches BEFORE arming chaos (the inline
+        # worker shares this process), so the worker's own map_network
+        # publish doesn't consume the one-shot corruption budget — the
+        # `serve` entry must be the first disk write under fire.
+        map_network(get_workload("PV"), 4)
+        active_cache().drain()
         monkeypatch.setenv("REPRO_CHAOS", "cache_corrupt=1@1,seed=1")
         reset_chaos_handles()
         quarantined_before = counter_value(
@@ -240,7 +250,10 @@ class TestCacheSelfHealing:
         body = {"workload": "PV", "dim": 4}
         first = client.compute("map", body)
         assert first["source"] == "computed"
-        # Drop the in-process memo so the next probe really reads disk.
+        # The serve publish is write-behind: wait for the flush thread to
+        # land the (corrupted) entry on disk, then drop the in-process
+        # handles so the next probe really reads that disk entry.
+        active_cache().drain()
         reset_cache_handles()
         second = client.compute("map", body)
         assert second["source"] == "computed"  # not "cache": it was bad

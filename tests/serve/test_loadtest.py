@@ -1,0 +1,71 @@
+"""Load-test harness units: percentile math and the hot response path."""
+
+import json
+
+import pytest
+
+from repro.cache import reset_cache_handles
+from repro.obs.metrics import REGISTRY
+from repro.serve.loadtest import metric_total, percentile
+
+
+class TestPercentile:
+    def test_interpolates_between_observations(self):
+        """numpy's default (linear) method, pinned on 1..10: the old
+        rounded-index picker returned 9.0 / 10.0 / 10.0 here."""
+        samples = [float(value) for value in range(1, 11)]
+        assert percentile(samples, 0.50) == pytest.approx(5.5)
+        assert percentile(samples, 0.95) == pytest.approx(9.55)
+        assert percentile(samples, 0.99) == pytest.approx(9.91)
+
+    def test_edges(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([3.0], 0.99) == 3.0
+        assert percentile([1.0, 2.0], 0.0) == 1.0
+        assert percentile([1.0, 2.0], 1.0) == 2.0
+        # Out-of-range fractions clamp instead of indexing off the end.
+        assert percentile([1.0, 2.0], 1.5) == 2.0
+        assert percentile([1.0, 2.0], -0.5) == 1.0
+
+    def test_input_order_is_irrelevant(self):
+        shuffled = [7.0, 1.0, 5.0, 3.0, 9.0]
+        assert percentile(shuffled, 0.5) == 5.0
+        assert percentile(shuffled, 0.75) == 7.0
+
+
+class TestHotResponsePath:
+    def test_repeated_body_replays_byte_identical_bytes(self, server):
+        """Request #2 is a cache hit whose encoded response is hot-stored;
+        request #3 must replay those exact bytes (``serve.hot_path``)."""
+        client = server.client()
+        body = json.dumps({"workload": "PV", "dim": 8}).encode("utf-8")
+        client.compute_raw("map", body)  # computed, publishes the cache
+        second = client.compute_raw("map", body)  # cache hit, hot-stored
+        before = metric_total(REGISTRY.snapshot(), "serve.hot_path")
+        third = client.compute_raw("map", body)
+        assert (
+            metric_total(REGISTRY.snapshot(), "serve.hot_path")
+            == before + 1
+        )
+        assert third == second  # byte-identical replay
+        assert json.loads(third)["source"] == "cache"
+        client.close()
+
+    def test_hot_path_requires_the_memory_tier(
+        self, make_server, monkeypatch
+    ):
+        """``REPRO_CACHE_MEM_MB=0`` disables the tier; without a resident
+        digest to validate against, responses take the full path (still
+        correct, just not replayed)."""
+        monkeypatch.setenv("REPRO_CACHE_MEM_MB", "0")
+        reset_cache_handles()
+        server = make_server()
+        client = server.client()
+        body = json.dumps({"workload": "PV", "dim": 8}).encode("utf-8")
+        client.compute_raw("map", body)
+        second = client.compute_raw("map", body)
+        before = metric_total(REGISTRY.snapshot(), "serve.hot_path")
+        third = client.compute_raw("map", body)
+        assert metric_total(REGISTRY.snapshot(), "serve.hot_path") == before
+        assert third == second  # same cache-hit encoding either way
+        client.close()

@@ -202,3 +202,34 @@ class TestSupervision:
         assert respawns.value >= respawns_before + 1
         assert pool.worker_count == 1
         assert REGISTRY.gauge("serve.pool_workers").value == 1
+
+
+class TestEagerWarmup:
+    def test_inline_worker_reports_warm_gauge(self, inline_pool):
+        """Worker start eagerly loads the kernel backend and reports the
+        load time via the ``serve.worker_warm_ms`` gauge, so the first
+        cold request never pays the kernel (JIT) load."""
+        gauge = REGISTRY.gauge("serve.worker_warm_ms")
+        gauge.set(-1.0)
+        pool = inline_pool(jobs=1, retries=0)
+        envelope = run(pool.run(MAP_PV))
+        assert envelope["result"]["workload"] == "PV"
+        # The warm message is posted before the worker's first reply, so
+        # by the time the reply landed the gauge has the load time.
+        assert gauge.value >= 0.0
+
+    def test_spawn_worker_reports_warm_gauge(self):
+        gauge = REGISTRY.gauge("serve.worker_warm_ms")
+        gauge.set(-1.0)
+        pool = WorkerPool(
+            RunPolicy(jobs=1, retries=0, timeout_s=60.0), jobs=1
+        )
+        try:
+            envelope = run(pool.run(MAP_PV))
+            assert envelope["result"]["workload"] == "PV"
+            deadline = time.monotonic() + 10.0
+            while gauge.value < 0.0 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert gauge.value >= 0.0
+        finally:
+            pool.shutdown()
